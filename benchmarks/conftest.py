@@ -1,0 +1,84 @@
+"""Shared fixtures for the per-figure benchmarks.
+
+Each figure's underlying dataset is generated once per session at the
+canonical configuration for its setting; the benchmarks then time the
+analysis that produces the figure and print paper-vs-measured rows.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only           # timings
+    pytest benchmarks/ --benchmark-only -s        # + the figure rows
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import cdn_topology, cloud_topology, edgefabric_topology
+from repro.topology import build_internet
+from repro.workloads import assign_ldns, generate_client_prefixes
+
+#: Seed shared by every benchmark, so EXPERIMENTS.md numbers reproduce.
+BENCH_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def edge_internet():
+    return build_internet(edgefabric_topology(BENCH_SEED))
+
+
+@pytest.fixture(scope="session")
+def edge_dataset(edge_internet):
+    from repro.edgefabric import MeasurementConfig, run_measurement
+
+    prefixes = generate_client_prefixes(edge_internet, 250, seed=BENCH_SEED + 1)
+    return run_measurement(
+        edge_internet,
+        prefixes,
+        MeasurementConfig(days=10.0, seed=BENCH_SEED + 2),
+    )
+
+
+@pytest.fixture(scope="session")
+def cdn_setup():
+    from repro.cdn import BeaconConfig, CdnDeployment, run_beacon_campaign
+
+    internet = build_internet(cdn_topology(BENCH_SEED))
+    prefixes = generate_client_prefixes(internet, 250, seed=BENCH_SEED + 1)
+    prefixes, _resolvers = assign_ldns(
+        prefixes, internet, seed=BENCH_SEED + 2, public_fraction=0.25
+    )
+    deployment = CdnDeployment(internet)
+    dataset = run_beacon_campaign(
+        deployment,
+        prefixes,
+        BeaconConfig(days=6.0, requests_per_prefix=80, seed=BENCH_SEED + 3),
+    )
+    return deployment, dataset
+
+
+@pytest.fixture(scope="session")
+def cloud_setup():
+    from repro.cloudtiers import (
+        CampaignConfig,
+        CloudDeployment,
+        SpeedcheckerPlatform,
+        run_campaign,
+    )
+
+    internet = build_internet(cloud_topology(BENCH_SEED))
+    deployment = CloudDeployment(internet)
+    platform = SpeedcheckerPlatform(deployment, seed=BENCH_SEED + 1)
+    dataset = run_campaign(
+        platform,
+        CampaignConfig(days=10, vps_per_day=120, seed=BENCH_SEED + 2),
+    )
+    return deployment, dataset
+
+
+def print_comparison(title: str, rows) -> None:
+    """Print a paper-vs-measured table for one experiment."""
+    print()
+    print(f"=== {title} ===")
+    print(format_table(["statistic", "paper", "measured"], rows, float_fmt="{:.3g}"))

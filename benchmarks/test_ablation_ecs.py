@@ -1,0 +1,54 @@
+"""Ablation for §3.2.1's ECS counterfactual.
+
+"EDNS Client Subnet was designed to overcome this limitation, but its
+adoption by ISPs is virtually non-existent (< 0.1% of ASes) outside of
+public resolvers."  The benchmark asks what adoption would buy: train
+the Figure 4 policy with ECS off (the measured world), on for public
+resolvers only, and on universally.
+"""
+
+import pytest
+
+from repro.cdn import redirection_improvement, train_redirection_policy
+
+from conftest import print_comparison
+
+
+def test_ablation_ecs_adoption(benchmark, cdn_setup):
+    _deployment, dataset = cdn_setup
+    resolvers = {p.ldns for p in dataset.prefixes}
+    public = {r for r in resolvers if r.startswith("ldns-public")}
+
+    def sweep():
+        results = {}
+        for label, ecs in (
+            ("no ECS (paper's world)", None),
+            ("ECS at public resolvers", public),
+            ("universal ECS", resolvers),
+        ):
+            policy = train_redirection_policy(
+                dataset, margin_ms=0.5, max_train_samples=4, ecs_resolvers=ecs
+            )
+            results[label] = redirection_improvement(dataset, policy)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for label, fig4 in results.items():
+        rows.append(
+            [
+                label,
+                "improved / hurt",
+                f"{fig4.frac_improved:.0%} / {fig4.frac_hurt:.0%}",
+            ]
+        )
+    print_comparison("§3.2.1 ablation — what would ECS adoption buy?", rows)
+
+    baseline = results["no ECS (paper's world)"]
+    with_public = results["ECS at public resolvers"]
+    universal = results["universal ECS"]
+    # Per-client granularity can only help: more improvement, no more hurt.
+    assert with_public.frac_improved >= baseline.frac_improved - 0.02
+    assert universal.frac_improved >= with_public.frac_improved - 0.02
+    assert universal.frac_hurt <= baseline.frac_hurt + 0.02

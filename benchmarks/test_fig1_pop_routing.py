@@ -1,0 +1,63 @@
+"""Figure 1: possible median latency improvement over BGP's egress choice.
+
+Paper series: CDF over traffic of (BGP − best alternate) median MinRTT,
+with a confidence band; positive = alternate faster.  Headline numbers:
+BGP better than or roughly as good as the best alternative for the vast
+majority of traffic; median MinRTT improvable by >= 5 ms for only 2-4%
+of traffic; half the traffic within 500 km of the serving PoP.
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_cdf_figure
+from repro.edgefabric import bgp_vs_best_alternate
+from repro.geo import great_circle_km
+
+from conftest import print_comparison
+
+
+def test_fig1_bgp_vs_best_alternate(benchmark, edge_dataset, edge_internet):
+    result = benchmark(bgp_vs_best_alternate, edge_dataset)
+
+    weights = np.array([p.prefix.weight for p in edge_dataset.pairs])
+    distances = np.array(
+        [
+            great_circle_km(
+                p.prefix.city.location,
+                edge_internet.wan.pop(p.pop_code).city.location,
+            )
+            for p in edge_dataset.pairs
+        ]
+    )
+    frac_500 = weights[distances <= 500.0].sum() / weights.sum()
+    frac_2500 = weights[distances <= 2500.0].sum() / weights.sum()
+
+    print_comparison(
+        "Figure 1 — BGP vs best alternate egress route",
+        [
+            ["traffic improvable >= 5 ms", "2-4%", f"{result.frac_alternate_better_5ms:.1%}"],
+            ["BGP within 1 ms of best", "majority", f"{result.frac_bgp_within_1ms:.1%}"],
+            ["diff p50 (ms)", "~0", result.cdf.median],
+            ["diff p90 (ms)", "< 5", result.cdf.quantile(0.9)],
+            ["diff p98 (ms)", "5-10", result.cdf.quantile(0.98)],
+            ["traffic within 500 km of PoP", "50%", f"{frac_500:.0%}"],
+            ["traffic within 2500 km of PoP", "90%", f"{frac_2500:.0%}"],
+        ],
+    )
+
+    print()
+    print(
+        ascii_cdf_figure(
+            {"BGP - best alternate": result.cdf},
+            "Figure 1 (reproduced)",
+            "median MinRTT difference (ms)",
+            x_range=(-10.0, 10.0),
+        )
+    )
+
+    # Shape assertions: who wins and by roughly what factor.
+    assert 0.005 <= result.frac_alternate_better_5ms <= 0.10
+    assert abs(result.cdf.median) < 5.0
+    assert result.cdf.quantile(0.9) < 10.0
+    assert 0.30 <= frac_500 <= 0.75
+    assert frac_2500 >= 0.85

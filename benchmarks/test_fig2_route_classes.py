@@ -1,0 +1,36 @@
+"""Figure 2: peer-vs-transit and private-vs-public route classes.
+
+Paper series: CDFs of median MinRTT difference between the best peering
+route and the best transit route (solid), and between private and
+public exchange peers (dashed); both concentrated around zero —
+"transits have performance similar to that of peers, and routes via
+public exchange have performance similar to those via private
+interconnections".  This is also the §3.1.2 evidence that direct
+peering does not fully explain BGP's success.
+"""
+
+from repro.core import evaluate_direct_peering, Verdict
+from repro.edgefabric import route_class_comparison
+
+from conftest import print_comparison
+
+
+def test_fig2_route_class_comparison(benchmark, edge_dataset):
+    result = benchmark(route_class_comparison, edge_dataset)
+
+    print_comparison(
+        "Figure 2 — route-class latency differences",
+        [
+            ["peer − transit median (ms)", "~0", result.peer_vs_transit.median],
+            ["private − public median (ms)", "~0", result.private_vs_public.median],
+            ["transit within 5 ms of peer", "most traffic", f"{result.frac_transit_within_5ms:.0%}"],
+            ["public within 5 ms of private", "most traffic", f"{result.frac_public_within_5ms:.0%}"],
+        ],
+    )
+
+    assert abs(result.peer_vs_transit.median) < 5.0
+    assert abs(result.private_vs_public.median) < 5.0
+    assert result.frac_transit_within_5ms > 0.6
+    assert result.frac_public_within_5ms > 0.6
+    verdict = evaluate_direct_peering(result)
+    assert verdict.verdict in (Verdict.SUPPORTED, Verdict.INCONCLUSIVE)

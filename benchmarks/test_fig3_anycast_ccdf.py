@@ -1,0 +1,52 @@
+"""Figure 3: CCDF of (anycast − best unicast) per request, by region.
+
+Paper series: World / United States / Europe CCDFs.  Headline numbers:
+anycast within 10 ms of the best unicast for ~70% of requests globally;
+the best unicast at least 100 ms faster for nearly 10% of requests.
+"""
+
+from repro.analysis import ascii_cdf_figure
+from repro.cdn import anycast_vs_best_unicast
+from repro.core import evaluate_short_paths, Verdict
+
+from conftest import print_comparison
+
+
+def test_fig3_anycast_vs_best_unicast(benchmark, cdn_setup):
+    _deployment, dataset = cdn_setup
+    result = benchmark(anycast_vs_best_unicast, dataset)
+
+    rows = [
+        ["world: within 10 ms", "~70%", f"{result.frac_within_10ms['world']:.0%}"],
+        ["world: >= 100 ms worse", "~10%", f"{result.frac_beyond_100ms['world']:.1%}"],
+    ]
+    for group, label in (("united-states", "US"), ("europe", "Europe")):
+        if group in result.frac_within_10ms:
+            rows.append(
+                [
+                    f"{label}: within 10 ms",
+                    "region-dependent",
+                    f"{result.frac_within_10ms[group]:.0%}",
+                ]
+            )
+    print_comparison("Figure 3 — anycast vs best nearby unicast", rows)
+    print()
+    print(
+        ascii_cdf_figure(
+            dict(result.ccdfs),
+            "Figure 3 (reproduced, CCDF)",
+            "anycast - best unicast (ms)",
+            x_range=(0.0, 150.0),
+        )
+    )
+
+    assert 0.55 <= result.frac_within_10ms["world"] <= 0.90
+    assert 0.03 <= result.frac_beyond_100ms["world"] <= 0.25
+    # Regional curves exist and are in the same regime as the global one
+    # (their exact ordering wobbles with the seed; the paper's regional
+    # gaps are likewise modest).
+    for group in ("united-states", "europe"):
+        if group in result.frac_within_10ms:
+            assert 0.5 <= result.frac_within_10ms[group] <= 1.0
+    verdict = evaluate_short_paths(result)
+    assert verdict.verdict is Verdict.SUPPORTED

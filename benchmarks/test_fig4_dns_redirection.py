@@ -1,0 +1,39 @@
+"""Figure 4: improvement over anycast from per-LDNS DNS redirection.
+
+Paper series: CDF over weighted /24s of (anycast − predicted) latency
+at the median and 75th percentile.  Headline numbers: the median curve
+shows improvement for 27% of queries but the prediction did *worse*
+than anycast for 17% — "DNS redirection schemes also struggle to direct
+clients to optimal server locations, performing worse than anycast
+nearly as often as they beat it".
+"""
+
+from repro.cdn import redirection_improvement, train_redirection_policy
+
+from conftest import print_comparison
+
+
+def test_fig4_redirection_improvement(benchmark, cdn_setup):
+    _deployment, dataset = cdn_setup
+    policy = train_redirection_policy(dataset, margin_ms=0.5, max_train_samples=4)
+
+    result = benchmark(redirection_improvement, dataset, policy)
+
+    print_comparison(
+        "Figure 4 — DNS redirection vs anycast (weighted /24s)",
+        [
+            ["/24s improved at median", "27%", f"{result.frac_improved:.0%}"],
+            ["/24s hurt at median", "17%", f"{result.frac_hurt:.0%}"],
+            ["resolvers redirected", "n/a", f"{result.frac_redirected:.0%}"],
+            ["median-improvement p75 (ms)", "> 0", result.median_cdf.quantile(0.75)],
+            ["median-improvement p25 (ms)", "<= 0", result.median_cdf.quantile(0.25)],
+        ],
+    )
+
+    # Shape: redirection helps a minority and hurts a non-trivial slice.
+    assert 0.10 <= result.frac_improved <= 0.45
+    assert result.frac_hurt >= 0.02
+    assert result.frac_hurt <= result.frac_improved
+    # The p75 curve stochastically dominates the median curve.
+    for q in (0.25, 0.5, 0.75):
+        assert result.p75_cdf.quantile(q) >= result.median_cdf.quantile(q) - 1e-9

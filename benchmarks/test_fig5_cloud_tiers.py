@@ -1,0 +1,50 @@
+"""Figure 5: per-country Standard − Premium median latency difference.
+
+Paper map: most of North America, South America, and Europe within
+±10 ms; some Middle East / South America countries favour Standard;
+most of Asia and Oceania favour Premium; India strongly favours
+Standard (see the §3.3.2 benchmark).
+"""
+
+from repro.geo import COUNTRY_REGIONS, Region
+from repro.cloudtiers import country_medians
+from repro.analysis import text_choropleth
+
+from conftest import print_comparison
+
+
+def test_fig5_country_medians(benchmark, cloud_setup):
+    _deployment, dataset = cloud_setup
+    result = benchmark(country_medians, dataset)
+
+    rows = [
+        ["countries measured", "~17k <City,AS>", len(result.country_diff_ms)],
+        ["within ±10 ms", "most of NA/SA/EU", f"{result.frac_within_10ms:.0%}"],
+        ["Premium better (>10 ms)", "Asia, Oceania", len(result.premium_better)],
+        ["Standard better (>10 ms)", "India, some ME/SA", len(result.standard_better)],
+    ]
+    for region in (
+        Region.NORTH_AMERICA,
+        Region.SOUTH_AMERICA,
+        Region.EUROPE,
+        Region.ASIA,
+        Region.OCEANIA,
+    ):
+        if region in result.region_medians:
+            rows.append(
+                [
+                    f"region median: {region.value}",
+                    "see map",
+                    f"{result.region_medians[region]:+.1f} ms",
+                ]
+            )
+    print_comparison("Figure 5 — Standard − Premium by country", rows)
+    print(text_choropleth(result.country_diff_ms, COUNTRY_REGIONS))
+
+    # Shape: Oceania and (mildly) Asia favour Premium; NA/SA/EU are
+    # within ~15 ms; India is in the standard-better set.
+    assert result.region_medians[Region.OCEANIA] > 10.0
+    assert result.region_medians[Region.ASIA] > -10.0
+    for region in (Region.NORTH_AMERICA, Region.SOUTH_AMERICA, Region.EUROPE):
+        assert abs(result.region_medians[region]) < 20.0
+    assert "IN" in result.standard_better

@@ -1,0 +1,69 @@
+"""Section 3.1.1: route options to a destination degrade together.
+
+Paper observations: periods of degradation on BGP-preferred paths are
+more prevalent than opportunities to improve via alternates; alternates
+that do beat BGP are consistently better all the time; when the
+destination network is congested there is no performant alternative.
+"""
+
+from repro.core import evaluate_degrade_together, Verdict
+from repro.edgefabric import extract_episodes, persistence_decomposition
+
+from conftest import print_comparison
+
+
+def test_s311_persistence_decomposition(benchmark, edge_dataset):
+    result = benchmark(persistence_decomposition, edge_dataset)
+
+    print_comparison(
+        "§3.1.1 — persistent vs transient alternate-route wins",
+        [
+            ["pairs where alternates never win", "most", f"{result.frac_pairs_never:.0%}"],
+            ["pairs with persistent winners", "most of the rest", f"{result.frac_pairs_persistent:.0%}"],
+            ["pairs with transient winners", "few", f"{result.frac_pairs_transient:.0%}"],
+            ["degradation co-occurrence", "high", f"{result.degradation_co_occurrence:.0%}"],
+            ["median route correlation", "high", f"{result.median_route_correlation:.2f}"],
+        ],
+    )
+
+    assert result.frac_pairs_never > 0.5
+    assert result.degradation_co_occurrence > 0.4
+    assert result.median_route_correlation > 0.5
+    verdict = evaluate_degrade_together(result)
+    assert verdict.verdict is Verdict.SUPPORTED
+
+
+def test_s311_episode_prevalence(benchmark, edge_dataset):
+    """The section's second observation, at episode granularity:
+    degradation periods are more prevalent than improvement
+    opportunities, and most degradations offer no escape route."""
+    result = benchmark(extract_episodes, edge_dataset)
+
+    print_comparison(
+        "§3.1.1 — degradation vs opportunity episodes",
+        [
+            [
+                "windows inside a degradation episode",
+                "more prevalent",
+                f"{result.degradation_window_share:.1%}",
+            ],
+            [
+                "windows inside an opportunity episode",
+                "less prevalent",
+                f"{result.opportunity_window_share:.1%}",
+            ],
+            [
+                "degradations with an escape route",
+                "minority (degrade together)",
+                f"{result.frac_degradations_with_escape:.0%}",
+            ],
+            [
+                "median degradation duration",
+                "transient",
+                f"{result.median_degradation_minutes:.0f} min",
+            ],
+        ],
+    )
+
+    assert result.degradation_window_share > result.opportunity_window_share
+    assert result.frac_degradations_with_escape < 0.5

@@ -1,0 +1,110 @@
+"""Section 3.1.3's open question, answered in emulation.
+
+The paper could not run this on production traffic ("peers would
+complain"); the emulation sweeps peer retention with capacity-aware
+congestion.  Expected shape, given Figure 2's transit ≈ peer finding:
+median latency barely moves as peers are dropped while capacity holds,
+and the traffic share on transit grows to 100%.
+"""
+
+import pytest
+
+from repro.core import edgefabric_topology
+from repro.edgefabric import peering_reduction_study
+from repro.topology import build_internet
+from repro.workloads import generate_client_prefixes
+
+from conftest import BENCH_SEED, print_comparison
+
+
+@pytest.fixture(scope="module")
+def study_inputs():
+    config = edgefabric_topology(BENCH_SEED)
+
+    def factory():
+        return build_internet(config)
+
+    prefixes = generate_client_prefixes(factory(), 200, seed=BENCH_SEED + 1)
+    return factory, prefixes
+
+
+def test_s313_peering_reduction(benchmark, study_inputs):
+    factory, prefixes = study_inputs
+
+    result = benchmark.pedantic(
+        peering_reduction_study,
+        args=(factory, prefixes),
+        kwargs={"retentions": (1.0, 0.75, 0.5, 0.25, 0.1, 0.0)},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for point in result.points:
+        rows.append(
+            [
+                f"retention {point.retention:.0%}: median RTT (ms)",
+                "roughly flat",
+                point.median_rtt_ms,
+            ]
+        )
+    rows.append(
+        [
+            "traffic on transit at retention 0",
+            "100%",
+            f"{result.points[-1].frac_traffic_on_transit:.0%}",
+        ]
+    )
+    print_comparison("§3.1.3 — peering-footprint reduction (emulated)", rows)
+
+    # Latency is insensitive to de-peering while capacity holds:
+    # dropping 90% of peers barely moves the median (the paper's
+    # conjecture, enabled by Figure 2's transit ≈ peer finding)...
+    assert abs(result.degradation_at(0.5)) < 5.0
+    assert abs(result.degradation_at(0.1)) < 10.0
+    # ...and everything lands on transit in the end.  Note the very last
+    # step (0% peers) can saturate a transit adjacency because plain BGP
+    # concentrates traffic on one upstream — the capacity caveat the
+    # paper flags (see the cliff benchmark below).
+    assert result.points[-1].frac_traffic_on_transit == pytest.approx(1.0)
+    assert result.points[0].frac_traffic_on_transit < 0.5
+
+
+def test_s313_capacity_cliff(benchmark, study_inputs):
+    """The caveat: with 3x the traffic, de-peering saturates what's left."""
+    factory, prefixes = study_inputs
+
+    result = benchmark.pedantic(
+        peering_reduction_study,
+        args=(factory, prefixes),
+        kwargs={
+            "retentions": (1.0, 0.25, 0.0),
+            "total_traffic_gbps": 12_000.0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_comparison(
+        "§3.1.3 — the capacity cliff at 12 Tbps",
+        [
+            [
+                "p95 RTT at full peering (ms)",
+                "baseline",
+                result.points[0].p95_rtt_ms,
+            ],
+            [
+                "p95 RTT fully de-peered (ms)",
+                "worse",
+                result.points[-1].p95_rtt_ms,
+            ],
+            [
+                "max utilization fully de-peered",
+                "> 1",
+                result.points[-1].max_link_utilization,
+            ],
+        ],
+    )
+    assert (
+        result.points[-1].max_link_utilization
+        > result.points[0].max_link_utilization
+    )

@@ -1,0 +1,55 @@
+"""§3.2.2's deployment-design questions: how many sites are enough?
+
+"How quickly does benefit diminish when adding PoPs? As PoPs are added,
+the chance of anycast picking a suboptimal one increases, but the
+number of reasonably performing ones increases. How do those factors
+relate?"
+"""
+
+import pytest
+
+from repro.core import cdn_topology
+from repro.cdn import site_count_study
+
+from conftest import BENCH_SEED, print_comparison
+
+
+def test_s322_site_count_sweep(benchmark):
+    result = benchmark.pedantic(
+        site_count_study,
+        args=(cdn_topology(BENCH_SEED),),
+        kwargs={"site_counts": (4, 8, 12, 20, 29), "n_prefixes": 150, "seed": BENCH_SEED + 1},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for point in result.points:
+        rows.append(
+            [
+                f"{point.n_sites} sites: median RTT (ms)",
+                "falls, diminishing",
+                point.median_rtt_ms,
+            ]
+        )
+        rows.append(
+            [
+                f"{point.n_sites} sites: suboptimal catchments",
+                "rises with density",
+                f"{point.frac_suboptimal_catchment:.0%}",
+            ]
+        )
+    for a, b, m in result.marginal_benefit_ms():
+        rows.append([f"marginal benefit {a}->{b} sites", "shrinks", f"{m:.1f} ms/site"])
+    print_comparison("§3.2.2 — anycast site-count sweep", rows)
+
+    medians = [p.median_rtt_ms for p in result.points]
+    # Latency falls as sites are added...
+    assert medians[-1] < medians[0]
+    # ...with diminishing marginal benefit...
+    marginal = result.marginal_benefit_ms()
+    assert marginal[0][2] > marginal[-1][2]
+    # ...while suboptimal-catchment frequency does NOT fall (the tension
+    # the section describes: more sites = more ways to pick wrong).
+    suboptimal = [p.frac_suboptimal_catchment for p in result.points]
+    assert suboptimal[-1] >= suboptimal[0] - 0.02

@@ -1,0 +1,35 @@
+"""Section 3.3.2: the India anomaly and the single-WAN hypothesis.
+
+Paper observations: BGP routes on the public Internet consistently
+outperform Google's private WAN from India; Google's WAN carries the
+traffic east across the Pacific while a Tier-1 carries the public route
+west via Europe the whole way.
+"""
+
+from repro.core import evaluate_single_wan, Verdict
+from repro.cloudtiers import country_medians, india_case_study
+
+from conftest import print_comparison
+
+
+def test_s332_india_case_study(benchmark, cloud_setup):
+    deployment, dataset = cloud_setup
+    result = benchmark(india_case_study, dataset, deployment)
+
+    print_comparison(
+        "§3.3.2 — India: public Internet vs the private WAN",
+        [
+            ["eligible Indian VPs", "many", result.n_vps],
+            ["median Standard − Premium (ms)", "< 0 (Standard wins)", result.median_diff_ms],
+            ["Premium traceroutes via Pacific", "yes (east)", f"{result.frac_premium_via_pacific:.0%}"],
+            ["Standard traceroutes west via Europe", "yes", f"{result.frac_standard_via_west:.0%}"],
+        ],
+    )
+
+    assert result.median_diff_ms < -10.0
+    assert result.frac_premium_via_pacific > 0.6
+    assert result.frac_standard_via_west > 0.6
+
+    fig5 = country_medians(dataset)
+    verdict = evaluate_single_wan(fig5, result)
+    assert verdict.verdict is Verdict.SUPPORTED

@@ -1,0 +1,46 @@
+"""Section 3.3's ingress statistic: where traffic enters the provider.
+
+Paper numbers: "traceroutes from 80% of vantage points enter Google's
+network within 400 km of the vantage point when using the Premium Tier,
+whereas only 10% do when using the Standard Tier."  Our footprint has
+fewer PoPs than Google's, so the absolute fractions are lower; the
+benchmark asserts the *contrast*.
+"""
+
+import numpy as np
+
+from repro.cloudtiers import Tier, ingress_distance_cdf
+
+from conftest import print_comparison
+
+
+def test_s33_ingress_distance(benchmark, cloud_setup):
+    deployment, dataset = cloud_setup
+    result = benchmark(ingress_distance_cdf, dataset, deployment)
+
+    premium = result.frac_within_400km[Tier.PREMIUM]
+    standard = result.frac_within_400km[Tier.STANDARD]
+    print_comparison(
+        "§3.3 — vantage points entering the WAN within 400 km",
+        [
+            ["Premium", "80%", f"{premium:.0%}"],
+            ["Standard", "10%", f"{standard:.0%}"],
+            [
+                "Premium median ingress distance",
+                "< 400 km",
+                f"{np.median(result.distances_km[Tier.PREMIUM]):.0f} km",
+            ],
+            [
+                "Standard median ingress distance",
+                "far",
+                f"{np.median(result.distances_km[Tier.STANDARD]):.0f} km",
+            ],
+        ],
+    )
+
+    assert premium > 0.35
+    assert standard < 0.10
+    assert premium > 5 * max(standard, 0.01)
+    assert np.median(result.distances_km[Tier.PREMIUM]) < np.median(
+        result.distances_km[Tier.STANDARD]
+    )

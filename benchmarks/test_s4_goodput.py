@@ -1,0 +1,33 @@
+"""Section 4's footnote: 10 MB download goodput per tier.
+
+Paper: "We used Speedchecker to measure goodput of 10MB downloads from
+Google's Premium and Standard Tiers and saw little difference."  The
+bottleneck is the access link, shared by both tiers, so the RTT gap
+only affects the slow-start ramp.
+"""
+
+from repro.cloudtiers import Tier, goodput_comparison
+
+from conftest import print_comparison
+
+
+def test_s4_goodput_comparison(benchmark, cloud_setup):
+    _deployment, dataset = cloud_setup
+    result = benchmark(goodput_comparison, dataset)
+
+    print_comparison(
+        "§4 — 10 MB goodput, Premium vs Standard",
+        [
+            ["premium median (Mbps)", "similar", result.median_goodput_mbps[Tier.PREMIUM]],
+            ["standard median (Mbps)", "similar", result.median_goodput_mbps[Tier.STANDARD]],
+            ["premium/standard ratio", "~1", result.median_ratio],
+        ],
+    )
+
+    assert 0.85 <= result.median_ratio <= 1.25
+
+    # Sensitivity: short transfers feel the RTT gap more than long ones.
+    short = goodput_comparison(dataset, transfer_mb=0.25)
+    import math
+
+    assert abs(math.log(result.median_ratio)) <= abs(math.log(short.median_ratio)) + 0.05

@@ -1,0 +1,43 @@
+"""§4's hybrid design question: anycast by default, redirect with confidence.
+
+"...understanding how best to design hybrid approaches with the
+benefits of both anycast and DNS redirection."  The hybrid policy gates
+redirection on consistent, large training-time wins; the benchmark
+shows it keeps most of the improvement while (nearly) eliminating the
+regressions that plague the plain Figure 4 scheme.
+"""
+
+from repro.cdn import (
+    redirection_improvement,
+    train_hybrid_policy,
+    train_redirection_policy,
+)
+
+from conftest import print_comparison
+
+
+def test_s4_hybrid_policy(benchmark, cdn_setup):
+    _deployment, dataset = cdn_setup
+    plain = train_redirection_policy(dataset, margin_ms=0.5, max_train_samples=4)
+    plain_result = redirection_improvement(dataset, plain)
+
+    hybrid = benchmark(train_hybrid_policy, dataset)
+    hybrid_result = redirection_improvement(dataset, hybrid)
+
+    print_comparison(
+        "§4 — plain redirection vs confidence-gated hybrid",
+        [
+            ["plain: /24s improved", "27% (paper)", f"{plain_result.frac_improved:.0%}"],
+            ["plain: /24s hurt", "17% (paper)", f"{plain_result.frac_hurt:.0%}"],
+            ["hybrid: /24s improved", "keeps the big wins", f"{hybrid_result.frac_improved:.0%}"],
+            ["hybrid: /24s hurt", "~0 (design goal)", f"{hybrid_result.frac_hurt:.1%}"],
+            ["plain: resolvers redirected", "-", f"{plain.frac_redirected:.0%}"],
+            ["hybrid: resolvers redirected", "fewer", f"{hybrid.frac_redirected:.0%}"],
+        ],
+    )
+
+    assert hybrid.frac_redirected <= plain.frac_redirected
+    assert hybrid_result.frac_hurt <= plain_result.frac_hurt
+    assert hybrid_result.frac_hurt < 0.05
+    # The gate keeps at least a third of the plain scheme's improvement.
+    assert hybrid_result.frac_improved >= plain_result.frac_improved / 3.0

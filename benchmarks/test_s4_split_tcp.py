@@ -1,0 +1,41 @@
+"""Section 4's split-TCP question.
+
+"Splitting TCP connections provides latency benefits over long
+distances; an interesting area for study is how this benefit varies if
+the backend of the split connection is over a private WAN versus the
+public Internet."
+"""
+
+from repro.cloudtiers import split_tcp_study
+
+from conftest import print_comparison
+
+
+def test_s4_split_tcp(benchmark, cloud_setup):
+    deployment, dataset = cloud_setup
+    result = benchmark(split_tcp_study, dataset, deployment)
+
+    rows = []
+    for point in result.points:
+        rows.append(
+            [
+                f"{point.transfer_mb:g} MB: split benefit (ms)",
+                "large over long RTTs",
+                point.split_benefit_ms,
+            ]
+        )
+        rows.append(
+            [
+                f"{point.transfer_mb:g} MB: WAN-vs-public backend (ms)",
+                "(open question)",
+                point.wan_backend_advantage_ms,
+            ]
+        )
+    print_comparison("§4 — split TCP: direct vs split, WAN vs public backend", rows)
+
+    for point in result.points:
+        # Splitting wins (the eligible panel is the far-from-DC one)...
+        assert point.split_benefit_ms > 0
+        # ...and the backend's network matters far less than the split —
+        # the answer to the section's open question, in this model.
+        assert abs(point.wan_backend_advantage_ms) < point.split_benefit_ms

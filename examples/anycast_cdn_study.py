@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Setting B in full: anycast vs DNS redirection, plus grooming.
+
+Reproduces Figures 3 and 4 on the Microsoft-style canonical topology and
+then demonstrates the Section 3.2.2 "nurture" hypothesis: manually
+grooming the worst anycast catchment (withholding the announcement from
+the peer that attracts traffic it serves badly) and measuring the
+improvement.
+
+Run with::
+
+    python examples/anycast_cdn_study.py [seed]
+"""
+
+import sys
+from collections import Counter
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.bgp import Grooming
+from repro.cdn import (
+    BeaconConfig,
+    CdnDeployment,
+    anycast_vs_best_unicast,
+    redirection_improvement,
+    run_beacon_campaign,
+    train_redirection_policy,
+)
+from repro.core import cdn_topology
+from repro.topology import build_internet
+from repro.workloads import assign_ldns, generate_client_prefixes
+
+
+def main(seed: int = 0) -> None:
+    print("Building the anycast CDN's Internet...")
+    internet = build_internet(cdn_topology(seed))
+    prefixes = generate_client_prefixes(internet, 250, seed=seed + 1)
+    prefixes, _resolvers = assign_ldns(
+        prefixes, internet, seed=seed + 2, public_fraction=0.25
+    )
+    deployment = CdnDeployment(internet)
+
+    print("Injecting beacons into search results for 6 days...")
+    dataset = run_beacon_campaign(
+        deployment,
+        prefixes,
+        BeaconConfig(days=6.0, requests_per_prefix=80, seed=seed + 3),
+    )
+
+    fig3 = anycast_vs_best_unicast(dataset)
+    print("\n== Figure 3: anycast vs best nearby unicast (per request) ==")
+    rows = []
+    for group in ("world", "united-states", "europe"):
+        if group in fig3.ccdfs:
+            rows.append(
+                [
+                    group,
+                    f"{fig3.frac_within_10ms[group]:.0%}",
+                    f"{fig3.frac_beyond_100ms[group]:.1%}",
+                ]
+            )
+    print(format_table(["group", "within 10 ms", ">= 100 ms worse"], rows))
+    print("  (paper: ~70% within 10 ms globally, ~10% at least 100 ms worse)")
+
+    policy = train_redirection_policy(dataset, margin_ms=0.5, max_train_samples=4)
+    fig4 = redirection_improvement(dataset, policy)
+    print("\n== Figure 4: LDNS-granularity DNS redirection vs anycast ==")
+    print(
+        format_table(
+            ["statistic", "value"],
+            [
+                ["resolvers redirected", f"{fig4.frac_redirected:.0%}"],
+                ["/24s improved (median)", f"{fig4.frac_improved:.0%}"],
+                ["/24s hurt (median)", f"{fig4.frac_hurt:.0%}"],
+                ["median improvement p75", f"{fig4.median_cdf.quantile(0.75):.1f} ms"],
+            ],
+        )
+    )
+    print("  (paper: improvement for 27% of queries, worse for 17%)")
+
+    # ---- the operator's view ------------------------------------------
+    from repro.cdn import catchment_map
+
+    cmap = catchment_map(deployment, prefixes)
+    print("\n== Catchment map (top sites) ==")
+    print(cmap.render(top=6))
+    print(
+        f"  misdirected traffic: {cmap.global_frac_misdirected:.0%} — "
+        "the grooming targets below"
+    )
+
+    # ---- Section 3.2.2: grooming the worst catchment -------------------
+    print("\n== Section 3.2.2: grooming anycast by hand ==")
+    gaps = np.nanmedian(dataset.anycast_rtt - dataset.best_nearby_unicast(), axis=1)
+    worst = int(np.argmax(gaps))
+    victim = dataset.prefixes[worst]
+    print(
+        f"  worst catchment: {victim.pid} in {victim.city.name} "
+        f"lands at {dataset.catchments[worst]} "
+        f"(median gap {gaps[worst]:.0f} ms)"
+    )
+    # Groom with a no-announce community: stop announcing the anycast
+    # prefix to the neighbor whose (remote) peering attracts this client.
+    # Prepending would not work — the peer route wins on local preference
+    # no matter how long its path looks.
+    path = deployment.anycast_path(victim)
+    bad_neighbor = path.as_path[-2] if len(path.as_path) >= 2 else None
+    grooming = Grooming.ungroomed([p.city for p in internet.wan.pops])
+    grooming.suppress_neighbor(bad_neighbor)
+    groomed = CdnDeployment(internet, grooming=grooming)
+    before = deployment.catchment(victim).code
+    after = groomed.catchment(victim).code
+    before_ms = 2.0 * deployment.anycast_path(victim).one_way_ms
+    after_ms = 2.0 * groomed.anycast_path(victim).one_way_ms
+    print(
+        format_table(
+            ["", "catchment", "propagation RTT (ms)"],
+            [["ungroomed", before, before_ms], ["groomed", after, after_ms]],
+        )
+    )
+    if after_ms < before_ms:
+        print("  grooming recovered the latency without any dynamic control —")
+        print("  optimization 'even when done at human timescales' pays off.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 0)

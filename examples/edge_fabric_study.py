@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Setting A in full: spray sessions over BGP's top-3 egress routes.
+
+Reproduces the Figure 1 and Figure 2 analyses on the Facebook-style
+canonical topology, prints the CDF series and the paper's headline
+statistics, and compares routing schemes (BGP policy vs an omniscient
+controller vs the best static route).
+
+Run with::
+
+    python examples/edge_fabric_study.py [seed]
+"""
+
+import sys
+
+from repro.analysis import format_table, text_cdf
+from repro.core import edgefabric_topology
+from repro.core.schemes import compare_schemes
+from repro.edgefabric import (
+    MeasurementConfig,
+    bgp_vs_best_alternate,
+    persistence_decomposition,
+    route_class_comparison,
+    run_measurement,
+)
+from repro.topology import build_internet
+from repro.workloads import generate_client_prefixes
+
+
+def main(seed: int = 0) -> None:
+    print("Building the content provider's Internet...")
+    internet = build_internet(edgefabric_topology(seed))
+    prefixes = generate_client_prefixes(internet, 250, seed=seed + 1)
+
+    print("Spraying sessions across top-3 egress routes for 5 days...")
+    dataset = run_measurement(
+        internet, prefixes, MeasurementConfig(days=5.0, seed=seed + 2)
+    )
+    print(
+        f"  measured {dataset.n_pairs} (PoP, prefix) pairs over "
+        f"{dataset.n_windows} fifteen-minute windows"
+    )
+
+    fig1 = bgp_vs_best_alternate(dataset)
+    print("\n== Figure 1: median MinRTT difference (BGP - best alternate) ==")
+    print(text_cdf(*fig1.cdf.series(), label="BGP - alternate (ms)"))
+    print(
+        f"\n  traffic where an alternate improves the median by >= 5 ms: "
+        f"{fig1.frac_alternate_better_5ms:.1%}   (paper: 2-4%)"
+    )
+    print(
+        f"  traffic where BGP is within 1 ms of the best alternate:    "
+        f"{fig1.frac_bgp_within_1ms:.1%}"
+    )
+
+    fig2 = route_class_comparison(dataset)
+    print("\n== Figure 2: route-class comparison ==")
+    print(
+        format_table(
+            ["comparison", "median diff (ms)", "within 5 ms"],
+            [
+                [
+                    "peer - transit",
+                    fig2.peer_vs_transit.median,
+                    f"{fig2.frac_transit_within_5ms:.0%}",
+                ],
+                [
+                    "private - public",
+                    fig2.private_vs_public.median,
+                    f"{fig2.frac_public_within_5ms:.0%}",
+                ],
+            ],
+        )
+    )
+
+    persistence = persistence_decomposition(dataset)
+    print("\n== Section 3.1.1: do route options degrade together? ==")
+    print(
+        format_table(
+            ["statistic", "value"],
+            [
+                ["pairs where alternates never win", persistence.frac_pairs_never],
+                ["pairs with persistent winners", persistence.frac_pairs_persistent],
+                ["pairs with transient winners", persistence.frac_pairs_transient],
+                ["degradation co-occurrence", persistence.degradation_co_occurrence],
+                ["median route correlation", persistence.median_route_correlation],
+            ],
+        )
+    )
+
+    schemes = compare_schemes(dataset)
+    print("\n== Routing schemes (volume-weighted) ==")
+    rows = [
+        [name, stats["median_ms"], stats["p95_ms"], stats["improvement_over_bgp_ms"]]
+        for name, stats in schemes.items()
+    ]
+    print(format_table(["scheme", "median ms", "p95 ms", "gain vs BGP"], rows))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 0)

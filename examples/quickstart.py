@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Quickstart: run all three studies on a small world and print the report.
+
+This is the five-minute tour of the library: one ``Study`` per setting
+from the paper, a common ``run()`` API, and a paper-style report with
+the hypothesis verdicts.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import (
+    AnycastCdnStudy,
+    CloudTiersStudy,
+    PopRoutingStudy,
+    render_report,
+)
+from repro.topology import TopologyConfig
+
+
+def main() -> None:
+    # A compact world so the whole thing runs in under a minute; drop the
+    # `topology=` arguments to use each setting's full canonical config.
+    topology = TopologyConfig(seed=0, n_tier1=4, n_transit=28, n_eyeball=80)
+
+    print("Running Setting A (PoP egress routing, Figures 1-2)...")
+    pop = PopRoutingStudy(
+        seed=0, n_prefixes=80, days=2.0, topology=topology
+    ).run()
+
+    print("Running Setting B (anycast CDN, Figures 3-4)...")
+    cdn = AnycastCdnStudy(
+        seed=0, n_prefixes=80, days=2.0, requests_per_prefix=40, topology=topology
+    ).run()
+
+    print("Running Setting C (cloud tiers, Figure 5)...")
+    cloud = CloudTiersStudy(
+        seed=0, days=4, vps_per_day=80, topology=topology
+    ).run()
+
+    print()
+    print(render_report([pop, cdn, cloud]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Section 4's split-TCP question, run end to end.
+
+Compares three ways to fetch an object from the cloud data center, per
+transfer size: one end-to-end connection over the public Internet,
+split at the ingress PoP with the backend over the private WAN, and
+split with the backend over the public Internet (the pre-WAN Akamai
+configuration).
+
+Run with::
+
+    python examples/split_tcp_study.py [seed]
+"""
+
+import sys
+
+from repro.analysis import format_table
+from repro.cloudtiers import (
+    CampaignConfig,
+    CloudDeployment,
+    SpeedcheckerPlatform,
+    run_campaign,
+    split_tcp_study,
+)
+from repro.core import cloud_topology
+from repro.topology import build_internet
+
+
+def main(seed: int = 0) -> None:
+    print("Measuring tier paths (compressed campaign)...")
+    internet = build_internet(cloud_topology(seed))
+    deployment = CloudDeployment(internet)
+    platform = SpeedcheckerPlatform(deployment, seed=seed + 1)
+    dataset = run_campaign(
+        platform, CampaignConfig(days=5, vps_per_day=100, seed=seed + 2)
+    )
+
+    result = split_tcp_study(dataset, deployment)
+    print(f"\n{result.n_vps} eligible vantage points; median completion times:")
+    rows = []
+    for point in result.points:
+        rows.append(
+            [
+                f"{point.transfer_mb:g} MB",
+                point.direct_ms,
+                point.split_wan_ms,
+                point.split_public_ms,
+                point.split_benefit_ms,
+                point.wan_backend_advantage_ms,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "object",
+                "direct (ms)",
+                "split+WAN (ms)",
+                "split+public (ms)",
+                "split benefit",
+                "WAN backend edge",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nReading: splitting at the PoP is the big win (slow start ramps on"
+        "\nthe short front RTT); whether the backend rides the private WAN or"
+        "\nthe public Internet moves the needle far less — the §4 question,"
+        "\nanswered in this model."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 0)

@@ -1,0 +1,36 @@
+"""repro — reproduction of "Beating BGP is Harder than we Thought" (HotNets '19).
+
+The package provides a simulated Internet substrate (AS-level topology, BGP
+route propagation, a geodesic latency model with congestion) plus one
+subpackage per measurement setting studied in the paper:
+
+* :mod:`repro.edgefabric` — performance-aware egress route selection at a
+  content provider's PoPs (the Facebook / Edge Fabric setting, Figures 1-2).
+* :mod:`repro.cdn` — anycast versus DNS redirection at an anycast CDN
+  (the Microsoft Bing setting, Figures 3-4).
+* :mod:`repro.cloudtiers` — private WAN versus public Internet
+  (the Google Premium/Standard tier setting, Figure 5).
+
+:mod:`repro.core` ties the settings together behind a unified ``Study`` API
+and implements evaluators for the paper's hypotheses about why BGP is hard
+to beat.
+"""
+
+from repro.errors import (
+    ReproError,
+    TopologyError,
+    RoutingError,
+    MeasurementError,
+    AnalysisError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "RoutingError",
+    "MeasurementError",
+    "AnalysisError",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Statistics and presentation toolkit shared by all analyses."""
+
+from repro.analysis.stats import (
+    Cdf,
+    weighted_cdf,
+    weighted_ccdf,
+    weighted_quantile,
+    weighted_fraction_below,
+    bootstrap_ci,
+)
+from repro.analysis.compare import area_between, ks_distance, quantile_shift
+from repro.analysis.plot import ascii_cdf_figure, ascii_plot
+from repro.analysis.tables import (
+    format_table,
+    text_histogram,
+    text_cdf,
+    text_choropleth,
+)
+
+__all__ = [
+    "Cdf",
+    "weighted_cdf",
+    "weighted_ccdf",
+    "weighted_quantile",
+    "weighted_fraction_below",
+    "bootstrap_ci",
+    "area_between",
+    "ks_distance",
+    "quantile_shift",
+    "ascii_cdf_figure",
+    "ascii_plot",
+    "format_table",
+    "text_histogram",
+    "text_cdf",
+    "text_choropleth",
+]

@@ -1,0 +1,51 @@
+"""Distribution-comparison metrics for reproducibility checks.
+
+"Matching the shape" of a figure needs a number: these metrics compare
+two CDFs so tests (and users re-running at other seeds) can quantify
+how far a re-measured distribution drifted from a reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.analysis.stats import Cdf
+
+
+def _common_grid(a: Cdf, b: Cdf) -> np.ndarray:
+    return np.unique(np.concatenate([a.xs, b.xs]))
+
+
+def _eval(cdf: Cdf, grid: np.ndarray) -> np.ndarray:
+    idx = np.searchsorted(cdf.xs, grid, side="right") - 1
+    out = np.where(idx >= 0, cdf.ps[np.clip(idx, 0, None)], 0.0)
+    return out
+
+
+def ks_distance(a: Cdf, b: Cdf) -> float:
+    """Kolmogorov-Smirnov distance: max vertical gap between two CDFs."""
+    grid = _common_grid(a, b)
+    return float(np.max(np.abs(_eval(a, grid) - _eval(b, grid))))
+
+
+def area_between(a: Cdf, b: Cdf) -> float:
+    """Area between two CDFs (the Wasserstein-1 distance).
+
+    Units are those of the underlying values (e.g. milliseconds): the
+    average amount by which one distribution's quantiles shift.
+    """
+    grid = _common_grid(a, b)
+    if grid.size < 2:
+        return 0.0
+    fa = _eval(a, grid)
+    fb = _eval(b, grid)
+    widths = np.diff(grid)
+    return float(np.sum(np.abs(fa - fb)[:-1] * widths))
+
+
+def quantile_shift(a: Cdf, b: Cdf, q: float = 0.5) -> float:
+    """Signed difference of one quantile: ``b`` minus ``a``."""
+    if not 0.0 <= q <= 1.0:
+        raise AnalysisError(f"quantile must be in [0, 1], got {q}")
+    return b.quantile(q) - a.quantile(q)

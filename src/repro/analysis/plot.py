@@ -1,0 +1,92 @@
+"""ASCII line plots for CDFs/CCDFs — the paper's figures, in a terminal.
+
+No plotting dependency is available offline, so the benchmarks and CLI
+render distribution series as monospace plots.  Good enough to eyeball
+a crossover or a tail against the paper's figure.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.analysis.stats import Cdf
+
+#: Marker characters assigned to series in order.
+MARKERS = "*o+x#@"
+
+
+def ascii_plot(
+    series: Mapping[str, Cdf],
+    width: int = 64,
+    height: int = 16,
+    x_range: Optional[Tuple[float, float]] = None,
+    x_label: str = "",
+    y_label: str = "cum. fraction",
+) -> str:
+    """Render one or more CDF-like series as an ASCII plot.
+
+    Args:
+        series: Label -> :class:`Cdf` (``ps`` may be a CCDF's survival
+            fractions; anything in [0, 1] plots fine).
+        width / height: Plot area in characters.
+        x_range: X-axis limits; defaults to the pooled data range.
+        x_label: Caption under the x axis.
+        y_label: Legend title for the y axis.
+
+    Returns:
+        The plot as a multi-line string, with a legend.
+    """
+    if not series:
+        raise AnalysisError("nothing to plot")
+    if width < 16 or height < 4:
+        raise AnalysisError("plot area too small")
+    if x_range is None:
+        lo = min(float(c.xs[0]) for c in series.values())
+        hi = max(float(c.xs[-1]) for c in series.values())
+    else:
+        lo, hi = x_range
+    if not hi > lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    xs_grid = np.linspace(lo, hi, width)
+    for (label, cdf), marker in zip(series.items(), MARKERS):
+        for col, x in enumerate(xs_grid):
+            p = cdf.fraction_at_most(x)
+            p = min(max(p, 0.0), 1.0)
+            row = height - 1 - int(round(p * (height - 1)))
+            grid[row][col] = marker
+
+    lines = []
+    for i, row in enumerate(grid):
+        frac = 1.0 - i / (height - 1)
+        prefix = f"{frac:4.2f} |" if i % max(1, (height - 1) // 4) == 0 else "     |"
+        lines.append(prefix + "".join(row))
+    lines.append("     +" + "-" * width)
+    left = f"{lo:.4g}"
+    right = f"{hi:.4g}"
+    pad = max(1, width - len(left) - len(right))
+    lines.append("      " + left + " " * pad + right)
+    if x_label:
+        lines.append("      " + x_label.center(width))
+    legend = "   ".join(
+        f"{marker} {label}"
+        for (label, _), marker in zip(series.items(), MARKERS)
+    )
+    lines.append(f"      [{y_label}]  {legend}")
+    return "\n".join(lines)
+
+
+def ascii_cdf_figure(
+    series: Mapping[str, Cdf],
+    title: str,
+    x_label: str,
+    x_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """A titled CDF figure, paper-style."""
+    body = ascii_plot(series, x_range=x_range, x_label=x_label)
+    bar = "=" * max(len(title), 10)
+    return f"{title}\n{bar}\n{body}"

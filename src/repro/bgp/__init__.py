@@ -1,0 +1,45 @@
+"""BGP simulator: route propagation, decision process, grooming.
+
+The simulator works at AS granularity with the standard Gao-Rexford
+model: routes learned from customers are exported to everyone; routes
+learned from peers or providers are exported only to customers.  Route
+selection prefers customer routes over peer routes over provider routes,
+then shorter (prepend-adjusted) AS paths, then the lowest next-hop ASN —
+a deterministic stand-in for the protocol's arbitrary final tie-breaks.
+
+Announcements can be restricted to a set of origination cities
+(:func:`~repro.bgp.propagation.propagate`'s ``origin_cities``), which is
+how unicast front-end prefixes, DC-scoped Standard-tier prefixes, and
+grooming by selective announcement are all expressed.
+"""
+
+from repro.bgp.routes import Route, RoutePref, NeighborRoute
+from repro.bgp.propagation import RoutingTable, propagate
+from repro.bgp.decision import EgressDecisionProcess, RouteClass, classify_route
+from repro.bgp.grooming import Grooming
+from repro.bgp.ribdump import (
+    PathStatistics,
+    RibEntry,
+    dump_rib,
+    path_statistics,
+    route_visibility,
+    valley_free_violations,
+)
+
+__all__ = [
+    "Route",
+    "RoutePref",
+    "NeighborRoute",
+    "RoutingTable",
+    "propagate",
+    "EgressDecisionProcess",
+    "RouteClass",
+    "classify_route",
+    "Grooming",
+    "PathStatistics",
+    "RibEntry",
+    "dump_rib",
+    "path_statistics",
+    "route_visibility",
+    "valley_free_violations",
+]

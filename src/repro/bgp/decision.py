@@ -1,0 +1,111 @@
+"""The content provider's egress route decision process.
+
+Facebook's standard (performance-agnostic) policy from Section 3.1 of the
+paper: "prefers private peers with dedicated capacity first, then public
+peers, and finally transit providers; and chooses shorter paths over
+longer ones".  The decision process here reproduces that ranking and
+yields the top-k preferred routes — the paper's load balancers spray
+sessions over BGP's first, second, and third choices.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import RoutingError
+from repro.topology import ASGraph, PeeringKind, Relationship
+from repro.bgp.routes import NeighborRoute
+
+
+class RouteClass(str, enum.Enum):
+    """Business class of an egress route candidate at the provider."""
+
+    CUSTOMER = "customer"  #: Route via a paying customer (rare for CDNs).
+    PRIVATE_PEER = "private-peer"  #: Via a PNI with dedicated capacity.
+    PUBLIC_PEER = "public-peer"  #: Via a public exchange peer.
+    TRANSIT = "transit"  #: Via a transit provider.
+
+
+#: Facebook-style local preference; higher wins.
+DEFAULT_LOCAL_PREF: Dict[RouteClass, int] = {
+    RouteClass.CUSTOMER: 450,
+    RouteClass.PRIVATE_PEER: 400,
+    RouteClass.PUBLIC_PEER: 300,
+    RouteClass.TRANSIT: 200,
+}
+
+
+def classify_route(graph: ASGraph, holder_asn: int, candidate: NeighborRoute) -> RouteClass:
+    """Classify a candidate egress route by the link it arrives over."""
+    link = candidate.link
+    if link.relationship is Relationship.CUSTOMER:
+        if link.customer_asn == holder_asn:
+            return RouteClass.TRANSIT
+        return RouteClass.CUSTOMER
+    if link.kind is PeeringKind.PRIVATE:
+        return RouteClass.PRIVATE_PEER
+    return RouteClass.PUBLIC_PEER
+
+
+@dataclass(frozen=True)
+class RankedRoute:
+    """A candidate annotated with its class and BGP rank (0 = preferred)."""
+
+    candidate: NeighborRoute
+    route_class: RouteClass
+    local_pref: int
+    rank: int
+
+
+@dataclass
+class EgressDecisionProcess:
+    """Ranks egress candidates the way the provider's BGP policy would.
+
+    Args:
+        graph: Topology (used to classify candidate links).
+        holder_asn: The AS running the decision process.
+        local_pref: Preference per route class; defaults to the
+            Facebook-style policy quoted in the paper.
+    """
+
+    graph: ASGraph
+    holder_asn: int
+    local_pref: Dict[RouteClass, int] = field(
+        default_factory=lambda: dict(DEFAULT_LOCAL_PREF)
+    )
+
+    def _key(self, candidate: NeighborRoute) -> Tuple[int, int, int]:
+        route_class = classify_route(self.graph, self.holder_asn, candidate)
+        pref = self.local_pref[route_class]
+        # Highest local pref, then shortest advertised AS path, then the
+        # deterministic stand-in for BGP's final tie-breaks: lowest
+        # neighbor ASN.
+        return (-pref, candidate.route.advertised_length, candidate.neighbor)
+
+    def rank(self, candidates: Sequence[NeighborRoute]) -> List[RankedRoute]:
+        """Rank candidates best-first.
+
+        Raises:
+            RoutingError: if ``candidates`` is empty.
+        """
+        if not candidates:
+            raise RoutingError("no candidate routes to rank")
+        ordered = sorted(candidates, key=self._key)
+        ranked = []
+        for i, candidate in enumerate(ordered):
+            route_class = classify_route(self.graph, self.holder_asn, candidate)
+            ranked.append(
+                RankedRoute(
+                    candidate=candidate,
+                    route_class=route_class,
+                    local_pref=self.local_pref[route_class],
+                    rank=i,
+                )
+            )
+        return ranked
+
+    def top(self, candidates: Sequence[NeighborRoute], k: int) -> List[RankedRoute]:
+        """The ``k`` most preferred candidates (fewer if fewer exist)."""
+        return self.rank(candidates)[:k]

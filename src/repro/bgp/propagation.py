@@ -1,0 +1,251 @@
+"""Valley-free route propagation to a stable Gao-Rexford state.
+
+Uses the classic three-phase construction (customer routes bottom-up,
+then one round of peer routes, then provider routes top-down), each phase
+a Dijkstra-style expansion over advertised path length so that prepending
+is honoured.  The result is the unique stable state for the standard
+preference order customer > peer > provider, shortest advertised path,
+lowest next-hop ASN.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.geo import City
+from repro.topology import ASGraph, Link, Relationship
+from repro.bgp.routes import NeighborRoute, Route, RoutePref
+
+
+@dataclass
+class RoutingTable:
+    """Stable routing state for one originated prefix.
+
+    Attributes:
+        graph: The topology the state was computed over.
+        origin: The originating AS.
+        origin_cities: When set, the origin announced only over link
+            interconnects in these cities (unicast front-end prefixes,
+            DC-scoped cloud prefixes, grooming by selective announcement).
+        prepends: Per-neighbor prepend counts applied at origination.
+        suppressed: Neighbors the origin does not announce to at all
+            (grooming with a no-announce community).
+    """
+
+    graph: ASGraph
+    origin: int
+    origin_cities: Optional[FrozenSet[City]] = None
+    prepends: Mapping[int, int] = field(default_factory=dict)
+    suppressed: FrozenSet[int] = frozenset()
+    _routes: Dict[int, Route] = field(default_factory=dict)
+
+    def best(self, asn: int) -> Optional[Route]:
+        """The AS's selected route, or ``None`` if unreachable."""
+        return self._routes.get(asn)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._routes
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def reachable_asns(self) -> Iterator[int]:
+        """ASes holding a route, in no particular order."""
+        return iter(self._routes)
+
+    def next_hop(self, asn: int) -> Optional[int]:
+        """The neighbor ``asn`` forwards to, or ``None`` at/after origin."""
+        route = self.best(asn)
+        if route is None or route.as_hops == 0:
+            return None
+        return route.next_hop
+
+    # --- export logic ---------------------------------------------------
+
+    def _origin_export_allowed(self, link: Link) -> bool:
+        neighbor = link.other(self.origin)
+        if neighbor in self.suppressed:
+            return False
+        if self.origin_cities is None:
+            return True
+        return any(c in self.origin_cities for c in link.cities)
+
+    def exported_route(self, from_asn: int, to_asn: int) -> Optional[Route]:
+        """The route ``from_asn`` would advertise to neighbor ``to_asn``.
+
+        Applies valley-free export filters, loop suppression, the origin's
+        city scoping, and origination prepends.  Returns the route *as
+        seen by the receiver* (path starts at ``to_asn``), or ``None`` if
+        nothing is exported.
+        """
+        route = self.best(from_asn)
+        if route is None:
+            return None
+        if to_asn in route.path:
+            return None  # loop prevention
+        link = self.graph.link(from_asn, to_asn)
+        if from_asn == self.origin and not self._origin_export_allowed(link):
+            return None
+        # Export filter: to a customer, export everything; to a peer or a
+        # provider, export only customer and originated routes.
+        exporting_to_customer = (
+            link.relationship is Relationship.CUSTOMER
+            and link.customer_asn == to_asn
+        )
+        if not exporting_to_customer and route.pref not in (
+            RoutePref.CUSTOMER,
+            RoutePref.ORIGIN,
+        ):
+            return None
+        learned_pref = _pref_at_receiver(link, to_asn)
+        extra = 0
+        if from_asn == self.origin:
+            extra = int(self.prepends.get(to_asn, 0))
+        return route.extended_to(to_asn, learned_pref, extra_length=extra)
+
+    def candidates_at(self, asn: int) -> List[NeighborRoute]:
+        """All routes the AS's neighbors would advertise to it.
+
+        This is the Adj-RIB-In a border router sees — the raw material of
+        the content provider's egress decision (Section 3.1 of the paper).
+        Ordered by neighbor ASN for determinism.
+        """
+        candidates = []
+        for neighbor in sorted(self.graph.neighbors(asn)):
+            route = self.exported_route(neighbor, asn)
+            if route is not None:
+                link = self.graph.link(asn, neighbor)
+                candidates.append(NeighborRoute(neighbor, route, link))
+        return candidates
+
+
+def _pref_at_receiver(link: Link, receiver: int) -> RoutePref:
+    """Preference class of a route ``receiver`` learns over ``link``."""
+    if link.relationship is Relationship.PEER:
+        return RoutePref.PEER
+    if link.customer_asn == receiver:
+        return RoutePref.PROVIDER  # learned from my provider
+    return RoutePref.CUSTOMER  # learned from my customer
+
+
+def propagate(
+    graph: ASGraph,
+    origin: int,
+    origin_cities: Optional[FrozenSet[City]] = None,
+    prepends: Optional[Mapping[int, int]] = None,
+    suppressed: Optional[FrozenSet[int]] = None,
+) -> RoutingTable:
+    """Propagate one prefix from ``origin`` to a stable state.
+
+    Args:
+        graph: Topology to propagate over.
+        origin: Originating AS; must exist in the graph.
+        origin_cities: When given, the origin announces only on links that
+            interconnect in at least one of these cities.
+        prepends: Extra advertised hops per receiving neighbor, applied at
+            origination (grooming by prepending).
+        suppressed: Neighbors the origin withholds the announcement from
+            entirely (grooming with a no-announce community).
+
+    Returns:
+        The stable :class:`RoutingTable`.
+
+    Raises:
+        RoutingError: if ``origin`` is not in the graph.
+    """
+    if origin not in graph:
+        raise RoutingError(f"origin AS {origin} not in graph")
+    prepends = dict(prepends or {})
+    table = RoutingTable(
+        graph=graph,
+        origin=origin,
+        origin_cities=frozenset(origin_cities) if origin_cities else None,
+        prepends=prepends,
+        suppressed=frozenset(suppressed or ()),
+    )
+    routes = table._routes
+    routes[origin] = Route(path=(origin,), pref=RoutePref.ORIGIN, advertised_length=0)
+
+    def origin_allowed(neighbor: int) -> bool:
+        return table._origin_export_allowed(graph.link(origin, neighbor))
+
+    def origin_extra(neighbor: int) -> int:
+        return int(prepends.get(neighbor, 0))
+
+    # --- Phase 1: customer routes, origin upward through providers. -----
+    heap: List[Tuple[int, int, int, Route]] = []
+
+    def push_to_providers(asn: int, route: Route) -> None:
+        for provider in graph.providers(asn):
+            if provider in route.path:
+                continue
+            if asn == origin and not origin_allowed(provider):
+                continue
+            extra = origin_extra(provider) if asn == origin else 0
+            offered = route.extended_to(provider, RoutePref.CUSTOMER, extra)
+            heapq.heappush(
+                heap, (offered.advertised_length, asn, provider, offered)
+            )
+
+    push_to_providers(origin, routes[origin])
+    while heap:
+        _, _, asn, offered = heapq.heappop(heap)
+        if asn in routes:
+            continue  # already holds an equal-or-better customer route
+        routes[asn] = offered
+        push_to_providers(asn, offered)
+
+    # --- Phase 2: one round of peer routes. ------------------------------
+    phase1_holders = list(routes)
+    peer_offers: Dict[int, Route] = {}
+    for asn in phase1_holders:
+        route = routes[asn]
+        for peer in graph.peers(asn):
+            if peer in routes or peer in route.path:
+                continue
+            if asn == origin and not origin_allowed(peer):
+                continue
+            extra = origin_extra(peer) if asn == origin else 0
+            offered = route.extended_to(peer, RoutePref.PEER, extra)
+            incumbent = peer_offers.get(peer)
+            if incumbent is None or _offer_key(offered) < _offer_key(incumbent):
+                peer_offers[peer] = offered
+    routes.update(peer_offers)
+
+    # --- Phase 3: provider routes, downward through customers. ----------
+    # Dijkstra over customer edges, seeded by every AS that already holds
+    # a route.  Only routeless ASes adopt provider routes (lower pref than
+    # anything assigned in phases 1-2), and they re-export downward.
+    frontier: List[Tuple[int, int, int, Route]] = []
+    for asn, route in list(routes.items()):
+        for customer in graph.customers(asn):
+            if customer in routes or customer in route.path:
+                continue
+            if asn == origin and not origin_allowed(customer):
+                continue
+            extra = origin_extra(customer) if asn == origin else 0
+            offered = route.extended_to(customer, RoutePref.PROVIDER, extra)
+            heapq.heappush(
+                frontier, (offered.advertised_length, asn, customer, offered)
+            )
+    while frontier:
+        _, _, asn, offered = heapq.heappop(frontier)
+        if asn in routes:
+            continue  # already adopted an equal-or-better offer
+        routes[asn] = offered
+        for customer in graph.customers(asn):
+            if customer in routes or customer in offered.path:
+                continue
+            nxt = offered.extended_to(customer, RoutePref.PROVIDER)
+            heapq.heappush(
+                frontier, (nxt.advertised_length, asn, customer, nxt)
+            )
+    return table
+
+
+def _offer_key(route: Route) -> Tuple[int, int]:
+    """Ordering key among same-preference offers: shortest, lowest hop."""
+    return (route.advertised_length, route.next_hop)

@@ -1,0 +1,135 @@
+"""Operator tooling over routing state: RIB dumps and path statistics.
+
+The paper's methodology is built on exactly this kind of telemetry
+(route collectors, traceroute-derived AS paths); these helpers expose
+the simulator's stable state the same way, and audit the invariants the
+Gao-Rexford model promises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.topology import ASGraph, Relationship
+from repro.bgp.propagation import RoutingTable
+from repro.bgp.routes import RoutePref
+
+
+@dataclass(frozen=True)
+class RibEntry:
+    """One row of a RIB dump."""
+
+    asn: int
+    as_path: Tuple[int, ...]
+    pref: RoutePref
+    advertised_length: int
+
+
+def dump_rib(table: RoutingTable) -> List[RibEntry]:
+    """Dump every AS's selected route, sorted by ASN."""
+    rows = []
+    for asn in sorted(table.reachable_asns()):
+        route = table.best(asn)
+        rows.append(
+            RibEntry(
+                asn=asn,
+                as_path=route.path,
+                pref=route.pref,
+                advertised_length=route.advertised_length,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class PathStatistics:
+    """AS-path statistics over one or more routing tables.
+
+    Attributes:
+        n_routes: Routes summarized.
+        mean_hops: Mean real AS-hop count.
+        max_hops: Longest path seen.
+        hop_histogram: Hop count -> number of routes.
+        pref_mix: Preference class -> fraction of routes.
+    """
+
+    n_routes: int
+    mean_hops: float
+    max_hops: int
+    hop_histogram: Dict[int, int]
+    pref_mix: Dict[RoutePref, float]
+
+
+def path_statistics(tables: Iterable[RoutingTable]) -> PathStatistics:
+    """Aggregate path statistics across routing tables."""
+    hops: List[int] = []
+    prefs: Dict[RoutePref, int] = {}
+    for table in tables:
+        for asn in table.reachable_asns():
+            route = table.best(asn)
+            if route.as_hops == 0:
+                continue  # the origin itself
+            hops.append(route.as_hops)
+            prefs[route.pref] = prefs.get(route.pref, 0) + 1
+    if not hops:
+        raise RoutingError("no non-origin routes to summarize")
+    histogram: Dict[int, int] = {}
+    for h in hops:
+        histogram[h] = histogram.get(h, 0) + 1
+    total = len(hops)
+    return PathStatistics(
+        n_routes=total,
+        mean_hops=float(np.mean(hops)),
+        max_hops=int(max(hops)),
+        hop_histogram=dict(sorted(histogram.items())),
+        pref_mix={pref: count / total for pref, count in sorted(prefs.items())},
+    )
+
+
+def valley_free_violations(
+    graph: ASGraph, table: RoutingTable
+) -> List[Tuple[int, Tuple[int, ...]]]:
+    """Audit a table for Gao-Rexford violations.
+
+    Returns ``(asn, path)`` for every selected route whose path goes
+    uphill or sideways after having gone down — always empty for tables
+    produced by :func:`repro.bgp.propagate`; useful as a regression
+    check and for auditing hand-built states.
+    """
+    violations = []
+    for asn in table.reachable_asns():
+        route = table.best(asn)
+        if route.as_hops == 0:
+            continue
+        state = "up"
+        for x, y in zip(route.path[:-1], route.path[1:]):
+            link = graph.link(x, y)
+            if link.relationship is Relationship.PEER:
+                kind = "peer"
+            elif link.customer_asn == y:
+                kind = "down"
+            else:
+                kind = "up"
+            if state == "up":
+                if kind == "peer":
+                    state = "peered"
+                elif kind == "down":
+                    state = "down"
+            elif kind != "down":
+                violations.append((asn, route.path))
+                break
+            else:
+                state = "down"
+    return violations
+
+
+def route_visibility(graph: ASGraph, table: RoutingTable) -> float:
+    """Fraction of ASes holding a route to the table's origin."""
+    total = len(graph)
+    if total == 0:
+        raise RoutingError("empty graph")
+    return len(table) / total

@@ -1,0 +1,108 @@
+"""Route objects exchanged and stored by the BGP simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import RoutingError
+from repro.topology import Link
+
+
+class RoutePref(enum.IntEnum):
+    """Local preference class under Gao-Rexford economics.
+
+    Higher is preferred.  ORIGIN marks the originating AS itself.
+    """
+
+    PROVIDER = 1
+    PEER = 2
+    CUSTOMER = 3
+    ORIGIN = 4
+
+
+@dataclass(frozen=True)
+class Route:
+    """A route as held by one AS.
+
+    Attributes:
+        path: AS path from the holder to the origin, inclusive on both
+            ends: ``path[0]`` is the AS holding the route, ``path[-1]``
+            the origin. A route at the origin has ``path == (origin,)``.
+        pref: Gao-Rexford preference class of how the route was learned.
+        advertised_length: AS-path length as advertised, including any
+            prepending (always >= the real hop count).
+    """
+
+    path: Tuple[int, ...]
+    pref: RoutePref
+    advertised_length: int
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise RoutingError("route path cannot be empty")
+        if len(set(self.path)) != len(self.path):
+            raise RoutingError(f"route path contains a loop: {self.path}")
+        if self.advertised_length < len(self.path) - 1:
+            raise RoutingError(
+                "advertised_length cannot be shorter than the real path"
+            )
+        if self.pref is RoutePref.ORIGIN and len(self.path) != 1:
+            raise RoutingError("ORIGIN routes must have a single-AS path")
+
+    @property
+    def holder(self) -> int:
+        """The AS holding this route."""
+        return self.path[0]
+
+    @property
+    def origin(self) -> int:
+        """The AS originating the prefix."""
+        return self.path[-1]
+
+    @property
+    def next_hop(self) -> int:
+        """The neighbor the holder forwards to.
+
+        Raises:
+            RoutingError: for a route at the origin itself.
+        """
+        if len(self.path) < 2:
+            raise RoutingError("origin route has no next hop")
+        return self.path[1]
+
+    @property
+    def as_hops(self) -> int:
+        """Real number of inter-AS hops on the path."""
+        return len(self.path) - 1
+
+    def extended_to(self, asn: int, pref: RoutePref, extra_length: int = 0) -> "Route":
+        """The route as learned by neighbor ``asn`` from the holder.
+
+        Args:
+            asn: The learning AS; must not already be on the path.
+            pref: Preference class under which the neighbor learns it.
+            extra_length: Additional advertised hops (prepending).
+        """
+        if asn in self.path:
+            raise RoutingError(f"AS {asn} already on path {self.path}")
+        return Route(
+            path=(asn,) + self.path,
+            pref=pref,
+            advertised_length=self.advertised_length + 1 + extra_length,
+        )
+
+
+@dataclass(frozen=True)
+class NeighborRoute:
+    """A candidate route offered to an AS by one of its neighbors.
+
+    This is what a border router's Adj-RIB-In holds: the neighbor, the
+    route *as seen by the receiving AS* (path starts with the receiver),
+    and the link it arrives over.
+    """
+
+    neighbor: int
+    route: Route
+    link: Link

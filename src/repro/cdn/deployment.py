@@ -1,0 +1,125 @@
+"""CDN deployment: anycast and unicast routing state over an Internet.
+
+The CDN is the topology's provider AS; its PoPs are the front-ends.  The
+anycast prefix is announced at every front-end; each front-end also gets
+a unicast prefix announced only at its own city (this is what the Bing
+study measured against).  Routing state for all of them is computed once
+and shared by the measurement campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.geo import City, great_circle_km
+from repro.topology import Internet, PointOfPresence
+from repro.bgp import propagate
+from repro.bgp.propagation import RoutingTable
+from repro.netmodel import ForwardingPath, trace
+from repro.workloads import ClientPrefix
+
+
+@dataclass
+class CdnDeployment:
+    """Routing state of an anycast CDN over a generated Internet.
+
+    Args:
+        internet: The topology; the provider AS plays the CDN.
+        grooming: Optional grooming actions applied to the anycast
+            prefix (Section 3.2.2's "nurture").
+    """
+
+    internet: Internet
+    anycast_table: RoutingTable = field(init=False, repr=False)
+    unicast_tables: Dict[str, RoutingTable] = field(
+        init=False, repr=False, default_factory=dict
+    )
+
+    def __init__(self, internet: Internet, grooming=None) -> None:
+        self.internet = internet
+        origin_cities = None
+        prepends = None
+        suppressed = None
+        if grooming is not None:
+            origin_cities, prepends, suppressed = grooming.compile()
+        self.anycast_table = propagate(
+            internet.graph,
+            internet.provider_asn,
+            origin_cities=origin_cities,
+            prepends=prepends,
+            suppressed=suppressed,
+        )
+        self.unicast_tables = {}
+        for pop in internet.wan.pops:
+            self.unicast_tables[pop.code] = propagate(
+                internet.graph,
+                internet.provider_asn,
+                origin_cities=frozenset({pop.city}),
+            )
+
+    @property
+    def front_ends(self) -> List[PointOfPresence]:
+        """All front-ends (the provider's PoPs)."""
+        return self.internet.wan.pops
+
+    # --- client-side routing ------------------------------------------------
+
+    def anycast_path(self, prefix: ClientPrefix) -> ForwardingPath:
+        """Forwarding path from a client to the anycast prefix.
+
+        The path ends where traffic enters the CDN; the catchment
+        front-end is the PoP at/nearest that ingress.
+        """
+        return trace(
+            self.internet.graph,
+            self.anycast_table,
+            prefix.asn,
+            prefix.city,
+        )
+
+    def catchment(self, prefix: ClientPrefix) -> PointOfPresence:
+        """The front-end anycast delivers this client to."""
+        path = self.anycast_path(prefix)
+        return self.internet.wan.nearest_pop(path.ingress_city.location)
+
+    def unicast_path(
+        self, prefix: ClientPrefix, pop_code: str
+    ) -> Optional[ForwardingPath]:
+        """Forwarding path from a client to one front-end's unicast prefix.
+
+        Returns ``None`` when the client has no route to that unicast
+        prefix (possible for site-scoped announcements on sparse graphs).
+        """
+        table = self.unicast_tables.get(pop_code)
+        if table is None:
+            raise RoutingError(f"unknown front-end {pop_code!r}")
+        try:
+            return trace(
+                self.internet.graph,
+                table,
+                prefix.asn,
+                prefix.city,
+                dest_city=self.internet.wan.pop(pop_code).city,
+                wan=self.internet.wan,
+            )
+        except RoutingError:
+            return None
+
+    def nearby_front_ends(
+        self, prefix: ClientPrefix, k: int
+    ) -> List[PointOfPresence]:
+        """The ``k`` front-ends geographically nearest a client.
+
+        This is the measurement target set the Bing beacons used
+        ("directing clients to fetch objects from multiple unicast server
+        locations" at nearby front-ends).
+        """
+        return sorted(
+            self.front_ends,
+            key=lambda p: (
+                great_circle_km(prefix.city.location, p.city.location),
+                p.code,
+            ),
+        )[:k]

@@ -1,0 +1,107 @@
+"""Hybrid anycast + DNS redirection (Section 4's design question).
+
+"Understanding how to trade this benefit off with its more limited
+control is an area of ongoing research, as is understanding how best to
+design hybrid approaches with the benefits of both anycast and DNS
+redirection."
+
+The hybrid policy keeps everyone on anycast (resilience, cache-free
+failover) and redirects a resolver only when the training data shows a
+*consistent, large* win for one unicast front-end — a confidence gate
+on top of the plain Figure 4 scheme.  The design goal is to capture
+most of the achievable improvement while hurting (nearly) nobody.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.cdn.dns_redirection import ANYCAST, RedirectionPolicy
+from repro.cdn.measurement import BeaconDataset
+
+
+def train_hybrid_policy(
+    dataset: BeaconDataset,
+    train_fraction: float = 0.5,
+    margin_ms: float = 10.0,
+    consistency: float = 0.8,
+    max_train_samples: int = 8,
+) -> RedirectionPolicy:
+    """Train the confidence-gated hybrid policy.
+
+    A resolver is redirected to a front-end only when, over the pooled
+    training samples of its clients, that front-end beats anycast by at
+    least ``margin_ms`` in at least ``consistency`` of the paired
+    samples.  Everything else stays on anycast.
+
+    Args:
+        dataset: Beacon measurements with LDNS assignments.
+        train_fraction: Leading fraction of requests used for training.
+        margin_ms: Required per-sample advantage.
+        consistency: Required fraction of training samples showing the
+            advantage.
+        max_train_samples: Sample budget per member prefix.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise AnalysisError("train_fraction must be in (0, 1)")
+    if not 0.0 < consistency <= 1.0:
+        raise AnalysisError("consistency must be in (0, 1]")
+    if max_train_samples < 1:
+        raise AnalysisError("max_train_samples must be >= 1")
+    n_train = max(1, int(dataset.n_requests * train_fraction))
+    n_used = min(n_train, max_train_samples)
+    sample_idx = np.unique(
+        np.linspace(0, n_train - 1, n_used).round().astype(int)
+    )
+
+    by_ldns: Dict[str, List[int]] = {}
+    for i, prefix in enumerate(dataset.prefixes):
+        if prefix.ldns is None:
+            raise AnalysisError(
+                f"prefix {prefix.pid} has no LDNS; run assign_ldns first"
+            )
+        by_ldns.setdefault(prefix.ldns, []).append(i)
+
+    choices: Dict[str, str] = {}
+    for ldns, members in by_ldns.items():
+        best_code = None
+        best_win_rate = 0.0
+        best_margin = -np.inf
+        all_codes = dataset.fe_codes[members[0]]
+        anycast = dataset.anycast_rtt[members][:, sample_idx]
+        for code in all_codes:
+            paired_wins = []
+            margins = []
+            for row, m in enumerate(members):
+                col = dataset.column_of(m, code)
+                if col is None:
+                    continue
+                unicast = dataset.unicast_rtt[m, sample_idx, col]
+                ok = ~np.isnan(unicast)
+                if not ok.any():
+                    continue
+                advantage = anycast[row][ok] - unicast[ok]
+                paired_wins.extend((advantage >= margin_ms).tolist())
+                margins.extend(advantage.tolist())
+            if not paired_wins:
+                continue
+            win_rate = float(np.mean(paired_wins))
+            median_margin = float(np.median(margins))
+            if win_rate > best_win_rate or (
+                win_rate == best_win_rate and median_margin > best_margin
+            ):
+                best_code = code
+                best_win_rate = win_rate
+                best_margin = median_margin
+        if (
+            best_code is not None
+            and best_win_rate >= consistency
+            and best_margin >= margin_ms
+        ):
+            choices[ldns] = best_code
+        else:
+            choices[ldns] = ANYCAST
+    return RedirectionPolicy(choices=choices, margin_ms=margin_ms)

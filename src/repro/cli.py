@@ -1,0 +1,369 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Installed as ``repro-bgp`` (see pyproject.toml); also runnable as
+``python -m repro.cli``.
+
+Examples::
+
+    repro-bgp fig1                # Figure 1 rows
+    repro-bgp fig5 --seed 3       # Figure 5 at another seed
+    repro-bgp report              # all three studies + hypothesis verdicts
+    repro-bgp list                # everything available
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.analysis import format_table, text_choropleth
+from repro.geo import COUNTRY_REGIONS
+
+
+def _pop_study(args):
+    from repro.core import PopRoutingStudy
+
+    return PopRoutingStudy(
+        seed=args.seed, n_prefixes=args.scale, days=args.days
+    ).run()
+
+
+def _cdn_study(args):
+    from repro.core import AnycastCdnStudy
+
+    return AnycastCdnStudy(
+        seed=args.seed, n_prefixes=args.scale, days=args.days
+    ).run()
+
+
+def _cloud_study(args):
+    from repro.core import CloudTiersStudy
+
+    return CloudTiersStudy(
+        seed=args.seed, days=max(2, int(args.days)), vps_per_day=args.scale
+    ).run()
+
+
+def cmd_fig1(args) -> None:
+    from repro.analysis import ascii_cdf_figure
+
+    result = _pop_study(args)
+    fig1 = result.figures["fig1"]
+    print(
+        ascii_cdf_figure(
+            {"BGP - best alternate": fig1.cdf},
+            "Figure 1 (reproduced)",
+            "median MinRTT difference (ms)",
+            x_range=(-10.0, 10.0),
+        )
+    )
+    if getattr(args, "csv", None):
+        from repro.io import write_cdf_csv
+
+        write_cdf_csv(fig1.cdf, args.csv, label="bgp_minus_alternate_ms")
+        print(f"wrote {args.csv}")
+    print()
+    print(
+        format_table(
+            ["statistic", "value"],
+            [
+                ["traffic improvable >= 5 ms", f"{fig1.frac_alternate_better_5ms:.1%}"],
+                ["BGP within 1 ms of best", f"{fig1.frac_bgp_within_1ms:.1%}"],
+                ["diff p50 (ms)", fig1.cdf.median],
+                ["diff p90 (ms)", fig1.cdf.quantile(0.9)],
+                ["diff p98 (ms)", fig1.cdf.quantile(0.98)],
+            ],
+        )
+    )
+
+
+def cmd_fig2(args) -> None:
+    result = _pop_study(args)
+    fig2 = result.figures["fig2"]
+    print(
+        format_table(
+            ["comparison", "median (ms)", "within 5 ms"],
+            [
+                [
+                    "peer - transit",
+                    fig2.peer_vs_transit.median,
+                    f"{fig2.frac_transit_within_5ms:.0%}",
+                ],
+                [
+                    "private - public",
+                    fig2.private_vs_public.median,
+                    f"{fig2.frac_public_within_5ms:.0%}",
+                ],
+            ],
+        )
+    )
+
+
+def cmd_fig3(args) -> None:
+    from repro.analysis import ascii_cdf_figure
+
+    result = _cdn_study(args)
+    fig3 = result.figures["fig3"]
+    print(
+        ascii_cdf_figure(
+            dict(fig3.ccdfs),
+            "Figure 3 (reproduced, CCDF)",
+            "anycast - best unicast (ms)",
+            x_range=(0.0, 150.0),
+        )
+    )
+    if getattr(args, "csv", None):
+        from repro.io import write_cdf_csv
+
+        write_cdf_csv(fig3.ccdfs["world"], args.csv, label="anycast_minus_best_ms")
+        print(f"wrote {args.csv}")
+    print()
+    rows = []
+    for group in sorted(fig3.frac_within_10ms):
+        rows.append(
+            [
+                group,
+                f"{fig3.frac_within_10ms[group]:.0%}",
+                f"{fig3.frac_beyond_100ms.get(group, 0.0):.1%}",
+            ]
+        )
+    print(format_table(["group", "within 10 ms", ">= 100 ms worse"], rows))
+
+
+def cmd_fig4(args) -> None:
+    result = _cdn_study(args)
+    fig4 = result.figures["fig4"]
+    print(
+        format_table(
+            ["statistic", "value"],
+            [
+                ["/24s improved at median", f"{fig4.frac_improved:.0%}"],
+                ["/24s hurt at median", f"{fig4.frac_hurt:.0%}"],
+                ["resolvers redirected", f"{fig4.frac_redirected:.0%}"],
+            ],
+        )
+    )
+
+
+def cmd_fig5(args) -> None:
+    result = _cloud_study(args)
+    fig5 = result.figures["fig5"]
+    print(text_choropleth(fig5.country_diff_ms, COUNTRY_REGIONS))
+    if getattr(args, "csv", None):
+        from repro.io import write_country_csv
+
+        write_country_csv(fig5.country_diff_ms, args.csv)
+        print(f"wrote {args.csv}")
+    print()
+    print(
+        format_table(
+            ["statistic", "value"],
+            [
+                ["countries within +/- 10 ms", f"{fig5.frac_within_10ms:.0%}"],
+                ["premium better", ", ".join(fig5.premium_better) or "-"],
+                ["standard better", ", ".join(fig5.standard_better) or "-"],
+            ],
+        )
+    )
+
+
+def cmd_report(args) -> None:
+    from repro.core import render_report
+
+    results = [_pop_study(args), _cdn_study(args), _cloud_study(args)]
+    print(render_report(results))
+
+
+def cmd_peering(args) -> None:
+    from repro.core import edgefabric_topology
+    from repro.edgefabric import peering_reduction_study
+    from repro.topology import build_internet
+    from repro.workloads import generate_client_prefixes
+
+    config = edgefabric_topology(args.seed)
+
+    def factory():
+        return build_internet(config)
+
+    prefixes = generate_client_prefixes(factory(), args.scale, seed=args.seed + 1)
+    result = peering_reduction_study(factory, prefixes)
+    rows = [
+        [
+            f"{p.retention:.0%}",
+            p.median_rtt_ms,
+            p.p95_rtt_ms,
+            f"{p.frac_traffic_on_transit:.0%}",
+            f"{p.max_link_utilization:.2f}",
+        ]
+        for p in result.points
+    ]
+    print(
+        format_table(
+            ["peers kept", "median RTT", "p95 RTT", "on transit", "max util"],
+            rows,
+        )
+    )
+
+
+def cmd_grooming(args) -> None:
+    from repro.core import cdn_topology
+    from repro.cdn import groom_iteratively
+    from repro.topology import build_internet
+    from repro.workloads import generate_client_prefixes
+
+    internet = build_internet(cdn_topology(args.seed))
+    prefixes = generate_client_prefixes(internet, args.scale, seed=args.seed + 1)
+    result = groom_iteratively(internet, prefixes, max_actions=25)
+    rows = [
+        [s.action[:60], f"{s.frac_within_10ms:.0%}", s.worst_gap_ms]
+        for s in result.steps
+    ]
+    print(format_table(["action", "within 10 ms", "worst gap (ms)"], rows))
+
+
+def cmd_topo(args) -> None:
+    from repro.core import cloud_topology
+    from repro.topology import build_internet, topology_summary
+
+    internet = build_internet(cloud_topology(args.seed))
+    print(topology_summary(internet).render())
+
+
+def cmd_catchments(args) -> None:
+    from repro.core import cdn_topology
+    from repro.cdn import CdnDeployment, catchment_map
+    from repro.topology import build_internet
+    from repro.workloads import generate_client_prefixes
+
+    internet = build_internet(cdn_topology(args.seed))
+    prefixes = generate_client_prefixes(internet, args.scale, seed=args.seed + 1)
+    cmap = catchment_map(CdnDeployment(internet), prefixes)
+    print(cmap.render())
+    print()
+    print(
+        format_table(
+            ["statistic", "value"],
+            [
+                ["median client distance", f"{cmap.global_median_km:.0f} km"],
+                ["misdirected traffic", f"{cmap.global_frac_misdirected:.0%}"],
+                ["unreachable traffic", f"{cmap.frac_unreachable:.1%}"],
+            ],
+        )
+    )
+
+
+def cmd_validate(args) -> None:
+    from repro.core import validate_reproduction
+
+    report = validate_reproduction(
+        seed=args.seed,
+        scale="full" if args.scale >= 200 else "small",
+        progress=lambda message: print(f"  {message}"),
+    )
+    print(report.render())
+    if not report.passed:
+        raise SystemExit(1)
+
+
+def cmd_sites(args) -> None:
+    from repro.core import cdn_topology
+    from repro.cdn import site_count_study
+
+    result = site_count_study(
+        cdn_topology(args.seed), n_prefixes=args.scale, seed=args.seed + 1
+    )
+    rows = [
+        [
+            p.n_sites,
+            p.median_rtt_ms,
+            p.p90_rtt_ms,
+            f"{p.frac_suboptimal_catchment:.0%}",
+            p.p90_gap_ms,
+        ]
+        for p in result.points
+    ]
+    print(
+        format_table(
+            ["sites", "median RTT", "p90 RTT", "suboptimal", "p90 gap"],
+            rows,
+        )
+    )
+
+
+COMMANDS: Dict[str, Callable] = {
+    "fig1": cmd_fig1,
+    "fig2": cmd_fig2,
+    "fig3": cmd_fig3,
+    "fig4": cmd_fig4,
+    "fig5": cmd_fig5,
+    "report": cmd_report,
+    "peering": cmd_peering,
+    "grooming": cmd_grooming,
+    "sites": cmd_sites,
+    "topo": cmd_topo,
+    "catchments": cmd_catchments,
+    "validate": cmd_validate,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bgp",
+        description=(
+            "Regenerate experiments from 'Beating BGP is Harder than we "
+            "Thought' (HotNets '19) on the simulated substrate."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+    descriptions = {
+        "fig1": "Figure 1: BGP vs best alternate egress route",
+        "fig2": "Figure 2: peer vs transit, private vs public",
+        "fig3": "Figure 3: anycast vs best unicast CCDF",
+        "fig4": "Figure 4: DNS redirection vs anycast",
+        "fig5": "Figure 5: Standard - Premium per country",
+        "report": "All three studies + hypothesis verdicts",
+        "peering": "Section 3.1.3: peering-reduction emulation",
+        "grooming": "Section 3.2.2: iterative anycast grooming",
+        "sites": "Section 3.2.2: anycast site-count sweep",
+        "topo": "Structural summary of the generated topology",
+        "catchments": "Anycast catchment map (the operator's view)",
+        "validate": "Self-check: verify every headline claim",
+    }
+    for name, handler in COMMANDS.items():
+        cmd = sub.add_parser(name, help=descriptions[name])
+        cmd.add_argument("--seed", type=int, default=0, help="randomness seed")
+        cmd.add_argument(
+            "--scale",
+            type=int,
+            default=150,
+            help="population size (prefixes or daily vantage points)",
+        )
+        cmd.add_argument(
+            "--days", type=float, default=3.0, help="campaign length in days"
+        )
+        cmd.add_argument(
+            "--csv",
+            default=None,
+            metavar="PATH",
+            help="also write the figure's series as CSV (fig1/fig3/fig5)",
+        )
+        cmd.set_defaults(handler=handler)
+    sub.add_parser("list", help="list available commands").set_defaults(
+        handler=lambda args: print("\n".join(f"{k:10s} {v}" for k, v in descriptions.items()))
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "handler", None):
+        parser.print_help()
+        return 2
+    args.handler(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,161 @@
+"""Split-TCP study (final open question of Section 4).
+
+"Splitting TCP connections provides latency benefits over long
+distances; an interesting area for study is how this benefit varies if
+the backend of the split connection is over a private WAN versus the
+public Internet, as it traditionally was for Akamai before its recent
+WAN buildout."
+
+For every eligible vantage point we decompose its measured paths into a
+client-to-PoP front segment and a PoP-to-datacenter backend, then model
+three ways to fetch an object from the data center:
+
+* **direct** — one end-to-end connection over the public Internet
+  (the Standard-tier path);
+* **split / WAN backend** — terminate at the ingress PoP, fetch over
+  the provider's WAN (warm, pooled connections);
+* **split / public backend** — terminate at the PoP, fetch over the
+  public Internet (the pre-WAN Akamai configuration; also warm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.geo import great_circle_km, propagation_rtt_ms
+from repro.netmodel import AS_HOP_PENALTY_MS
+from repro.netmodel.tcp import TcpPath, split_transfer_time_s, transfer_time_s
+from repro.cloudtiers.campaign import TierDataset
+from repro.cloudtiers.tiers import CloudDeployment, Tier
+
+
+@dataclass(frozen=True)
+class SplitTcpPoint:
+    """Median completion times for one transfer size, over eligible VPs.
+
+    Attributes:
+        transfer_mb: Object size.
+        direct_ms: One connection over the public Internet.
+        split_wan_ms: Split at the PoP, backend over the private WAN.
+        split_public_ms: Split at the PoP, backend over the public
+            Internet.
+    """
+
+    transfer_mb: float
+    direct_ms: float
+    split_wan_ms: float
+    split_public_ms: float
+
+    @property
+    def split_benefit_ms(self) -> float:
+        """Latency saved by splitting (WAN backend) vs going direct."""
+        return self.direct_ms - self.split_wan_ms
+
+    @property
+    def wan_backend_advantage_ms(self) -> float:
+        """How much the WAN backend beats the public backend."""
+        return self.split_public_ms - self.split_wan_ms
+
+
+@dataclass(frozen=True)
+class SplitTcpResult:
+    """Study output: one point per transfer size, ascending."""
+
+    points: Tuple[SplitTcpPoint, ...]
+    n_vps: int
+
+    def point(self, transfer_mb: float) -> SplitTcpPoint:
+        for p in self.points:
+            if abs(p.transfer_mb - transfer_mb) < 1e-12:
+                return p
+        raise AnalysisError(f"no point for {transfer_mb} MB")
+
+
+def split_tcp_study(
+    dataset: TierDataset,
+    deployment: CloudDeployment,
+    transfer_sizes_mb: Sequence[float] = (0.064, 0.256, 1.0, 10.0),
+    bottleneck_mbps: float = 50.0,
+    core_mbps: float = 1000.0,
+) -> SplitTcpResult:
+    """Compare direct vs split transfers across the eligible panel.
+
+    Args:
+        dataset: Campaign measurements (front/backend RTTs are derived
+            from the per-VP medians and traceroute ingress points).
+        deployment: Routing state (for the WAN and topology constants).
+        transfer_sizes_mb: Object sizes to sweep.
+        bottleneck_mbps: Client access-link bandwidth (shared bottleneck).
+        core_mbps: Backend bandwidth (WAN or well-provisioned transit).
+
+    Returns:
+        Median completion times per size.
+    """
+    if not transfer_sizes_mb:
+        raise AnalysisError("no transfer sizes")
+    internet = deployment.internet
+    wan = internet.wan
+    dc = internet.dc_pop
+    tier1_inflation = internet.config.tier1_inflation
+
+    rtt_tuples: List[Tuple[float, float, float, float]] = []
+    per_vp: Dict[str, List[Tuple[float, float]]] = {}
+    for record in dataset.eligible_records():
+        per_vp.setdefault(record.vp_id, []).append(
+            (record.median_ms[Tier.STANDARD], record.median_ms[Tier.PREMIUM])
+        )
+    for vp_id, samples in per_vp.items():
+        premium_tr = dataset.traceroutes.get((vp_id, Tier.PREMIUM))
+        if premium_tr is None:
+            continue
+        ingress = premium_tr.ingress_city(internet.provider_asn)
+        if ingress is None:
+            continue
+        ingress_pop = wan.nearest_pop(ingress.location)
+        direct = float(np.median([s[0] for s in samples]))
+        premium = float(np.median([s[1] for s in samples]))
+        back_wan = wan.rtt_ms(ingress_pop.code, dc.code)
+        # Client-to-PoP RTT: the Premium measurement minus its WAN leg.
+        front = max(2.0, premium - back_wan)
+        # Backend over the public Internet: a transit carry PoP -> DC.
+        km = great_circle_km(ingress_pop.city.location, dc.city.location)
+        back_public = (
+            propagation_rtt_ms(km, tier1_inflation) + 4.0 * AS_HOP_PENALTY_MS
+        )
+        rtt_tuples.append((direct, front, max(back_wan, 0.5), max(back_public, 0.5)))
+    if not rtt_tuples:
+        raise AnalysisError("no eligible vantage point has usable paths")
+
+    points: List[SplitTcpPoint] = []
+    for size in sorted(transfer_sizes_mb):
+        direct_times = []
+        wan_times = []
+        public_times = []
+        for direct, front, back_wan, back_public in rtt_tuples:
+            direct_times.append(
+                transfer_time_s(TcpPath(direct, bottleneck_mbps), size)
+            )
+            front_path = TcpPath(front, bottleneck_mbps)
+            wan_times.append(
+                split_transfer_time_s(
+                    front_path, TcpPath(back_wan, core_mbps), size
+                )
+            )
+            public_times.append(
+                split_transfer_time_s(
+                    front_path, TcpPath(back_public, core_mbps), size
+                )
+            )
+        points.append(
+            SplitTcpPoint(
+                transfer_mb=size,
+                direct_ms=float(np.median(direct_times)) * 1e3,
+                split_wan_ms=float(np.median(wan_times)) * 1e3,
+                split_public_ms=float(np.median(public_times)) * 1e3,
+            )
+        )
+    return SplitTcpResult(points=tuple(points), n_vps=len(rtt_tuples))

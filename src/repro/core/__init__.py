@@ -1,0 +1,72 @@
+"""Unified study framework tying the three settings together.
+
+* :mod:`repro.core.configs` — canonical per-setting topology and
+  measurement configurations (the three studies measured three different
+  providers; each gets its own calibrated topology).
+* :mod:`repro.core.schemes` — the routing-scheme abstraction the paper
+  compares: BGP policy, omniscient controller, DNS redirection, private
+  WAN.
+* :mod:`repro.core.study` — one `Study` class per setting with a common
+  ``run() -> StudyResult`` interface.
+* :mod:`repro.core.hypotheses` — evaluators for the paper's "why is BGP
+  hard to beat" hypotheses.
+* :mod:`repro.core.report` — paper-style text reports.
+"""
+
+from repro.core.configs import (
+    cdn_topology,
+    cloud_topology,
+    edgefabric_topology,
+    EDGE_FABRIC_POPS,
+)
+from repro.core.schemes import (
+    RoutingScheme,
+    SCHEME_BGP,
+    SCHEME_OMNISCIENT,
+    SCHEME_STATIC_BEST,
+)
+from repro.core.study import (
+    AnycastCdnStudy,
+    CloudTiersStudy,
+    PopRoutingStudy,
+    StudyResult,
+)
+from repro.core.hypotheses import (
+    HypothesisVerdict,
+    Verdict,
+    evaluate_degrade_together,
+    evaluate_direct_peering,
+    evaluate_short_paths,
+    evaluate_single_wan,
+)
+from repro.core.report import render_report
+from repro.core.validate import ClaimCheck, ValidationReport, validate_reproduction
+from repro.core.sweep import StatSummary, SweepResult, sweep_seeds
+
+__all__ = [
+    "cdn_topology",
+    "cloud_topology",
+    "edgefabric_topology",
+    "EDGE_FABRIC_POPS",
+    "RoutingScheme",
+    "SCHEME_BGP",
+    "SCHEME_OMNISCIENT",
+    "SCHEME_STATIC_BEST",
+    "AnycastCdnStudy",
+    "CloudTiersStudy",
+    "PopRoutingStudy",
+    "StudyResult",
+    "HypothesisVerdict",
+    "Verdict",
+    "evaluate_degrade_together",
+    "evaluate_direct_peering",
+    "evaluate_short_paths",
+    "evaluate_single_wan",
+    "render_report",
+    "ClaimCheck",
+    "ValidationReport",
+    "validate_reproduction",
+    "StatSummary",
+    "SweepResult",
+    "sweep_seeds",
+]

@@ -1,0 +1,49 @@
+"""Canonical per-setting configurations.
+
+The paper's three studies measured three different providers, whose
+deployments differed in ways that matter to the results:
+
+* **Setting A (Facebook, Figures 1-2)** — dozens of PoPs, very wide
+  private peering into eyeballs (PNIs with dedicated capacity).
+* **Setting B (Microsoft's CDN in 2015, Figures 3-4)** — "a few dozen
+  front-end server locations", a lighter PNI footprint, and much more
+  reliance on public exchange peering (including remote peering), which
+  is where anycast catchment pathologies come from.
+* **Setting C (Google, Figure 5)** — the densest edge (100+ PoPs; here
+  the full default PoP set) and the curated WAN backbone whose cable
+  layout drives the India anomaly.
+
+These functions are the single source of truth the examples, tests, and
+benchmarks all build their topologies from.
+"""
+
+from __future__ import annotations
+
+from repro.topology import TopologyConfig
+from repro.topology.generator import DEFAULT_POP_CITIES
+
+#: The "dozens of PoPs" footprint used for Settings A and B: the first
+#: 29 entries of the default PoP set (the worldwide metros, without the
+#: regional edge sites).
+EDGE_FABRIC_POPS = DEFAULT_POP_CITIES[:29]
+
+
+def edgefabric_topology(seed: int = 0) -> TopologyConfig:
+    """Topology for the PoP egress-routing setting (Figures 1-2)."""
+    return TopologyConfig(seed=seed, pop_cities=EDGE_FABRIC_POPS)
+
+
+def cdn_topology(seed: int = 0) -> TopologyConfig:
+    """Topology for the anycast CDN setting (Figures 3-4)."""
+    return TopologyConfig(
+        seed=seed,
+        pop_cities=EDGE_FABRIC_POPS,
+        pni_fraction=0.30,
+        public_peering_fraction=0.40,
+        remote_peering_fraction=0.45,
+    )
+
+
+def cloud_topology(seed: int = 0) -> TopologyConfig:
+    """Topology for the cloud-tiers setting (Figure 5)."""
+    return TopologyConfig(seed=seed)

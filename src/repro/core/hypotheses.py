@@ -1,0 +1,176 @@
+"""Evaluators for the paper's hypotheses on why BGP is hard to beat.
+
+Each evaluator consumes the relevant analysis result and returns a
+:class:`HypothesisVerdict` with the evidence behind it.  The paper's
+Section 3 frames four of them:
+
+* §3.1.1 — *options degrade together*: when BGP's route is congested, so
+  are the alternates, so dynamic routing has nothing to switch to.
+* §3.1.2 — *direct peering does not fully explain BGP's success*: even
+  the less-preferred routes perform about as well as the PNIs.
+* §3.2   — *BGP's effectiveness is not limited to short paths*: anycast
+  performs well even though catchments span real distances.
+* §3.3.2 — *single-WAN routes*: the public Internet matches a private
+  WAN when one large network carries the traffic most of the way.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.edgefabric.analysis import Fig2Result, PersistenceResult
+from repro.cdn.analysis import Fig3Result
+from repro.cloudtiers.analysis import Fig5Result, IndiaCaseStudy
+
+
+class Verdict(str, enum.Enum):
+    """Outcome of testing a hypothesis against the simulated data."""
+
+    SUPPORTED = "supported"
+    REFUTED = "refuted"
+    INCONCLUSIVE = "inconclusive"
+
+
+@dataclass(frozen=True)
+class HypothesisVerdict:
+    """A hypothesis, its verdict, and the numbers behind it."""
+
+    hypothesis: str
+    verdict: Verdict
+    evidence: Dict[str, float]
+    explanation: str
+
+
+def evaluate_degrade_together(result: PersistenceResult) -> HypothesisVerdict:
+    """§3.1.1: all route options to a destination degrade together."""
+    co = result.degradation_co_occurrence
+    corr = result.median_route_correlation
+    if co >= 0.5 and corr >= 0.5:
+        verdict = Verdict.SUPPORTED
+        explanation = (
+            f"When the BGP route degrades, the best alternate is degraded "
+            f"too in {co:.0%} of windows, and route medians co-move "
+            f"(median correlation {corr:.2f}): the bottleneck is shared."
+        )
+    elif co < 0.3:
+        verdict = Verdict.REFUTED
+        explanation = (
+            f"Degradations rarely co-occur across routes ({co:.0%}); "
+            "alternates would usually offer an escape."
+        )
+    else:
+        verdict = Verdict.INCONCLUSIVE
+        explanation = "Co-degradation is present but not dominant."
+    return HypothesisVerdict(
+        hypothesis="degrade-together (§3.1.1)",
+        verdict=verdict,
+        evidence={
+            "degradation_co_occurrence": co,
+            "median_route_correlation": corr,
+            "frac_pairs_transient": result.frac_pairs_transient,
+        },
+        explanation=explanation,
+    )
+
+
+def evaluate_direct_peering(result: Fig2Result) -> HypothesisVerdict:
+    """§3.1.2: direct peering does not fully explain BGP's success."""
+    transit_close = result.frac_transit_within_5ms
+    public_close = result.frac_public_within_5ms
+    if transit_close >= 0.7:
+        verdict = Verdict.SUPPORTED
+        explanation = (
+            f"Transit routes are within 5 ms of peering routes for "
+            f"{transit_close:.0%} of traffic (public within 5 ms of "
+            f"private for {public_close:.0%}): BGP would perform roughly "
+            "as well even without the direct paths."
+        )
+    elif transit_close < 0.4:
+        verdict = Verdict.REFUTED
+        explanation = (
+            f"Transit is competitive for only {transit_close:.0%} of "
+            "traffic; the direct paths are doing the work."
+        )
+    else:
+        verdict = Verdict.INCONCLUSIVE
+        explanation = "Transit is competitive for some but not most traffic."
+    return HypothesisVerdict(
+        hypothesis="direct peering does not fully explain (§3.1.2)",
+        verdict=verdict,
+        evidence={
+            "frac_transit_within_5ms": transit_close,
+            "frac_public_within_5ms": public_close,
+            "peer_vs_transit_median_ms": result.peer_vs_transit.median,
+        },
+        explanation=explanation,
+    )
+
+
+def evaluate_short_paths(result: Fig3Result) -> HypothesisVerdict:
+    """§3.2: BGP's effectiveness is not limited to short-path settings."""
+    within = result.frac_within_10ms.get("world", 0.0)
+    tail = result.frac_beyond_100ms.get("world", 1.0)
+    if within >= 0.6:
+        verdict = Verdict.SUPPORTED
+        explanation = (
+            f"Anycast (pure BGP) lands within 10 ms of the best unicast "
+            f"front-end for {within:.0%} of requests even though "
+            "catchments span real distances; only the tail "
+            f"({tail:.0%} beyond 100 ms) is poor."
+        )
+    else:
+        verdict = Verdict.REFUTED
+        explanation = (
+            f"Anycast is close to optimal for only {within:.0%} of "
+            "requests; BGP's success does seem confined to easy cases."
+        )
+    return HypothesisVerdict(
+        hypothesis="not limited to short paths (§3.2)",
+        verdict=verdict,
+        evidence={
+            "frac_within_10ms_world": within,
+            "frac_beyond_100ms_world": tail,
+        },
+        explanation=explanation,
+    )
+
+
+def evaluate_single_wan(
+    fig5: Fig5Result, india: IndiaCaseStudy
+) -> HypothesisVerdict:
+    """§3.3.2: BGP matches a private WAN when one network carries it."""
+    india_wins = india.median_diff_ms < 0
+    structural = india.frac_standard_via_west >= 0.5
+    if india_wins and structural:
+        verdict = Verdict.SUPPORTED
+        explanation = (
+            f"India's public-Internet routes beat the WAN by "
+            f"{-india.median_diff_ms:.0f} ms: a Tier-1 carries the "
+            f"traffic west via Europe ({india.frac_standard_via_west:.0%} "
+            "of traceroutes) while the WAN hauls east across the Pacific "
+            f"({india.frac_premium_via_pacific:.0%}) — the single-WAN "
+            "route wins when its footprint is shorter."
+        )
+    elif not india_wins:
+        verdict = Verdict.REFUTED
+        explanation = "The WAN beats the public Internet even for India."
+    else:
+        verdict = Verdict.INCONCLUSIVE
+        explanation = (
+            "India favours the public Internet but the traceroutes do not "
+            "show the single-WAN structure."
+        )
+    return HypothesisVerdict(
+        hypothesis="single-WAN public routes (§3.3.2)",
+        verdict=verdict,
+        evidence={
+            "india_median_diff_ms": india.median_diff_ms,
+            "frac_standard_via_west": india.frac_standard_via_west,
+            "frac_premium_via_pacific": india.frac_premium_via_pacific,
+            "n_countries_premium_better": float(len(fig5.premium_better)),
+            "n_countries_standard_better": float(len(fig5.standard_better)),
+        },
+        explanation=explanation,
+    )

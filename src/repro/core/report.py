@@ -1,0 +1,35 @@
+"""Paper-style text reports over study results."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.study import StudyResult
+
+
+def render_report(results: Iterable[StudyResult]) -> str:
+    """Render study results as a readable text report.
+
+    One section per study: the headline summary numbers, then the
+    hypothesis verdicts with their evidence.
+    """
+    lines: List[str] = []
+    lines.append("Beating BGP is Harder than we Thought — reproduction report")
+    lines.append("=" * 62)
+    for result in results:
+        lines.append("")
+        lines.append(f"## Study: {result.name}")
+        lines.append("-" * (10 + len(result.name)))
+        for key in sorted(result.summary):
+            value = result.summary[key]
+            lines.append(f"  {key:40s} {value:>10.3f}")
+        for verdict in result.hypotheses:
+            lines.append("")
+            lines.append(
+                f"  [{verdict.verdict.value.upper():12s}] {verdict.hypothesis}"
+            )
+            lines.append(f"    {verdict.explanation}")
+            for key in sorted(verdict.evidence):
+                lines.append(f"      {key:38s} {verdict.evidence[key]:>10.3f}")
+    lines.append("")
+    return "\n".join(lines)

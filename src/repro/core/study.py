@@ -1,0 +1,241 @@
+"""One `Study` per setting, behind a common run() -> StudyResult API.
+
+A study owns everything from topology generation to figure-level
+analysis; examples and benchmarks call these rather than wiring the
+pipelines by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import AnalysisError
+from repro.topology import TopologyConfig, build_internet
+from repro.workloads import assign_ldns, generate_client_prefixes
+from repro.core.configs import cdn_topology, cloud_topology, edgefabric_topology
+from repro.core.hypotheses import (
+    HypothesisVerdict,
+    evaluate_degrade_together,
+    evaluate_direct_peering,
+    evaluate_short_paths,
+    evaluate_single_wan,
+)
+from repro.core.schemes import compare_schemes
+
+
+@dataclass
+class StudyResult:
+    """Outcome of one study run.
+
+    Attributes:
+        name: The study identifier.
+        summary: Headline statistics, flat and printable.
+        figures: Figure-level result objects keyed by figure id
+            (e.g. ``"fig1"``), for callers that want the full series.
+        hypotheses: Hypothesis verdicts evaluated from this study's data.
+    """
+
+    name: str
+    summary: Dict[str, float]
+    figures: Dict[str, object] = field(default_factory=dict)
+    hypotheses: List[HypothesisVerdict] = field(default_factory=list)
+
+
+@dataclass
+class PopRoutingStudy:
+    """Setting A: performance-aware egress routing at PoPs (Figs 1-2).
+
+    Args:
+        seed: Master seed for topology, workload, and measurement.
+        n_prefixes: Client prefix population size.
+        days: Measurement campaign length.
+        topology: Optional topology override (defaults to the Facebook-
+            style canonical config).
+    """
+
+    seed: int = 0
+    n_prefixes: int = 300
+    days: float = 10.0
+    topology: Optional[TopologyConfig] = None
+
+    def run(self) -> StudyResult:
+        """Run the full pipeline and analyses."""
+        from repro.edgefabric import (
+            MeasurementConfig,
+            bgp_vs_best_alternate,
+            persistence_decomposition,
+            route_class_comparison,
+            run_measurement,
+        )
+
+        internet = build_internet(self.topology or edgefabric_topology(self.seed))
+        prefixes = generate_client_prefixes(internet, self.n_prefixes, seed=self.seed + 1)
+        dataset = run_measurement(
+            internet, prefixes, MeasurementConfig(days=self.days, seed=self.seed + 2)
+        )
+        fig1 = bgp_vs_best_alternate(dataset)
+        fig2 = route_class_comparison(dataset)
+        persistence = persistence_decomposition(dataset)
+        schemes = compare_schemes(dataset)
+        hypotheses = [
+            evaluate_degrade_together(persistence),
+            evaluate_direct_peering(fig2),
+        ]
+        summary = {
+            "n_pairs": float(dataset.n_pairs),
+            "n_windows": float(dataset.n_windows),
+            "frac_alternate_better_5ms": fig1.frac_alternate_better_5ms,
+            "frac_bgp_within_1ms": fig1.frac_bgp_within_1ms,
+            "diff_p50_ms": fig1.cdf.median,
+            "diff_p98_ms": fig1.cdf.quantile(0.98),
+            "peer_vs_transit_median_ms": fig2.peer_vs_transit.median,
+            "frac_transit_within_5ms": fig2.frac_transit_within_5ms,
+            "omniscient_gain_ms": schemes["omniscient"][
+                "improvement_over_bgp_ms"
+            ],
+        }
+        return StudyResult(
+            name="pop-routing",
+            summary=summary,
+            figures={
+                "fig1": fig1,
+                "fig2": fig2,
+                "persistence": persistence,
+                "schemes": schemes,
+                "dataset": dataset,
+            },
+            hypotheses=hypotheses,
+        )
+
+
+@dataclass
+class AnycastCdnStudy:
+    """Setting B: anycast vs DNS redirection (Figs 3-4)."""
+
+    seed: int = 0
+    n_prefixes: int = 300
+    days: float = 6.0
+    requests_per_prefix: int = 80
+    public_ldns_fraction: float = 0.25
+    topology: Optional[TopologyConfig] = None
+
+    def run(self) -> StudyResult:
+        """Run the full pipeline and analyses."""
+        from repro.cdn import (
+            BeaconConfig,
+            CdnDeployment,
+            anycast_vs_best_unicast,
+            redirection_improvement,
+            run_beacon_campaign,
+            train_redirection_policy,
+        )
+
+        internet = build_internet(self.topology or cdn_topology(self.seed))
+        prefixes = generate_client_prefixes(internet, self.n_prefixes, seed=self.seed + 1)
+        prefixes, _resolvers = assign_ldns(
+            prefixes,
+            internet,
+            seed=self.seed + 2,
+            public_fraction=self.public_ldns_fraction,
+        )
+        deployment = CdnDeployment(internet)
+        dataset = run_beacon_campaign(
+            deployment,
+            prefixes,
+            BeaconConfig(
+                days=self.days,
+                requests_per_prefix=self.requests_per_prefix,
+                seed=self.seed + 3,
+            ),
+        )
+        fig3 = anycast_vs_best_unicast(dataset)
+        policy = train_redirection_policy(dataset, margin_ms=0.5, max_train_samples=4)
+        fig4 = redirection_improvement(dataset, policy)
+        hypotheses = [evaluate_short_paths(fig3)]
+        summary = {
+            "n_prefixes": float(dataset.n_prefixes),
+            "frac_within_10ms_world": fig3.frac_within_10ms.get("world", float("nan")),
+            "frac_beyond_100ms_world": fig3.frac_beyond_100ms.get("world", float("nan")),
+            "frac_improved": fig4.frac_improved,
+            "frac_hurt": fig4.frac_hurt,
+            "frac_redirected": fig4.frac_redirected,
+        }
+        return StudyResult(
+            name="anycast-cdn",
+            summary=summary,
+            figures={
+                "fig3": fig3,
+                "fig4": fig4,
+                "policy": policy,
+                "dataset": dataset,
+            },
+            hypotheses=hypotheses,
+        )
+
+
+@dataclass
+class CloudTiersStudy:
+    """Setting C: private WAN vs public Internet (Fig 5)."""
+
+    seed: int = 0
+    days: int = 10
+    vps_per_day: int = 120
+    topology: Optional[TopologyConfig] = None
+
+    def run(self) -> StudyResult:
+        """Run the full pipeline and analyses."""
+        from repro.cloudtiers import (
+            CampaignConfig,
+            CloudDeployment,
+            SpeedcheckerPlatform,
+            Tier,
+            country_medians,
+            goodput_comparison,
+            india_case_study,
+            ingress_distance_cdf,
+            run_campaign,
+        )
+
+        internet = build_internet(self.topology or cloud_topology(self.seed))
+        deployment = CloudDeployment(internet)
+        platform = SpeedcheckerPlatform(deployment, seed=self.seed + 1)
+        dataset = run_campaign(
+            platform,
+            CampaignConfig(
+                days=self.days, vps_per_day=self.vps_per_day, seed=self.seed + 2
+            ),
+        )
+        fig5 = country_medians(dataset)
+        ingress = ingress_distance_cdf(dataset, deployment)
+        try:
+            india = india_case_study(dataset, deployment)
+        except AnalysisError:
+            india = None
+        goodput = goodput_comparison(dataset)
+        hypotheses = []
+        if india is not None:
+            hypotheses.append(evaluate_single_wan(fig5, india))
+        summary = {
+            "n_countries": float(len(fig5.country_diff_ms)),
+            "frac_countries_within_10ms": fig5.frac_within_10ms,
+            "n_premium_better": float(len(fig5.premium_better)),
+            "n_standard_better": float(len(fig5.standard_better)),
+            "premium_ingress_within_400km": ingress.frac_within_400km[Tier.PREMIUM],
+            "standard_ingress_within_400km": ingress.frac_within_400km[Tier.STANDARD],
+            "goodput_ratio": goodput.median_ratio,
+        }
+        if india is not None:
+            summary["india_median_diff_ms"] = india.median_diff_ms
+        return StudyResult(
+            name="cloud-tiers",
+            summary=summary,
+            figures={
+                "fig5": fig5,
+                "ingress": ingress,
+                "india": india,
+                "goodput": goodput,
+                "dataset": dataset,
+            },
+            hypotheses=hypotheses,
+        )

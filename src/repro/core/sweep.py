@@ -1,0 +1,112 @@
+"""Seed-robustness sweeps: is a result a property of the model or a seed?
+
+The paper's claims are about the Internet, not one random draw; this
+utility re-runs a study across seeds and aggregates each headline
+statistic so users can report mean ± spread rather than a point value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.analysis import format_table
+from repro.core.study import StudyResult
+
+
+@dataclass(frozen=True)
+class StatSummary:
+    """Mean and spread of one summary statistic across seeds."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Aggregated outcome of a multi-seed sweep.
+
+    Attributes:
+        study_name: Name of the swept study.
+        seeds: The seeds run.
+        per_seed: One summary dict per seed, order-aligned.
+        stats: Per summary key, the cross-seed aggregate.
+    """
+
+    study_name: str
+    seeds: Tuple[int, ...]
+    per_seed: Tuple[Dict[str, float], ...]
+    stats: Dict[str, StatSummary]
+
+    def render(self) -> str:
+        """Mean ± sd table over all summary statistics."""
+        rows = []
+        for key in sorted(self.stats):
+            stat = self.stats[key]
+            rows.append(
+                [
+                    key,
+                    stat.mean,
+                    stat.std,
+                    stat.minimum,
+                    stat.maximum,
+                ]
+            )
+        header = (
+            f"{self.study_name}: {len(self.seeds)} seeds "
+            f"({', '.join(map(str, self.seeds))})"
+        )
+        return header + "\n" + format_table(
+            ["statistic", "mean", "sd", "min", "max"], rows, float_fmt="{:.3f}"
+        )
+
+
+def sweep_seeds(
+    study_factory: Callable[[int], "object"],
+    seeds: Sequence[int],
+) -> SweepResult:
+    """Run a study across seeds and aggregate its summary statistics.
+
+    Args:
+        study_factory: Maps a seed to a study object exposing
+            ``run() -> StudyResult`` (the three Study classes fit, as
+            does any user object with the same shape).
+        seeds: Seeds to run; at least two.
+
+    Returns:
+        Cross-seed aggregates; only keys present in *every* run are
+        aggregated (e.g. the India statistic can be absent at tiny
+        scales).
+    """
+    if len(seeds) < 2:
+        raise AnalysisError("a sweep needs at least two seeds")
+    results: List[StudyResult] = []
+    for seed in seeds:
+        result = study_factory(int(seed)).run()
+        results.append(result)
+    names = {r.name for r in results}
+    if len(names) != 1:
+        raise AnalysisError(f"factory produced mixed studies: {names}")
+    common = set(results[0].summary)
+    for result in results[1:]:
+        common &= set(result.summary)
+    stats: Dict[str, StatSummary] = {}
+    for key in common:
+        values = np.array([r.summary[key] for r in results], dtype=float)
+        stats[key] = StatSummary(
+            mean=float(values.mean()),
+            std=float(values.std(ddof=1)),
+            minimum=float(values.min()),
+            maximum=float(values.max()),
+        )
+    return SweepResult(
+        study_name=results[0].name,
+        seeds=tuple(int(s) for s in seeds),
+        per_seed=tuple(r.summary for r in results),
+        stats=stats,
+    )

@@ -1,0 +1,206 @@
+"""Reproduction self-check: verify every headline claim in one call.
+
+The benchmark suite asserts figure shapes at full scale; this module
+packages the same checks as a library API so a downstream user (or CI)
+can run ``validate_reproduction()`` and get a structured report of
+which of the paper's claims hold on their build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import AnalysisError
+from repro.core.study import AnycastCdnStudy, CloudTiersStudy, PopRoutingStudy
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One verified claim.
+
+    Attributes:
+        claim_id: Stable identifier (figure/section).
+        description: The paper's claim, paraphrased.
+        expected: What the paper reports.
+        measured: What this run produced (formatted).
+        passed: Whether the measured value satisfies the shape bound.
+    """
+
+    claim_id: str
+    description: str
+    expected: str
+    measured: str
+    passed: bool
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All claim checks from one validation run."""
+
+    checks: Tuple[ClaimCheck, ...]
+
+    @property
+    def passed(self) -> bool:
+        """Whether every claim check passed."""
+        return all(c.passed for c in self.checks)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for c in self.checks if not c.passed)
+
+    def render(self) -> str:
+        """Human-readable report."""
+        lines = ["Reproduction validation", "=" * 24]
+        for check in self.checks:
+            flag = "PASS" if check.passed else "FAIL"
+            lines.append(
+                f"[{flag}] {check.claim_id:12s} {check.description}"
+            )
+            lines.append(
+                f"       paper: {check.expected}   measured: {check.measured}"
+            )
+        lines.append("")
+        lines.append(
+            "all claims hold" if self.passed else f"{self.n_failed} claim(s) FAILED"
+        )
+        return "\n".join(lines)
+
+
+def validate_reproduction(
+    seed: int = 0,
+    scale: str = "small",
+    progress: Optional[Callable[[str], None]] = None,
+) -> ValidationReport:
+    """Run miniature versions of all three studies and check the claims.
+
+    Args:
+        seed: Randomness seed for all three studies.
+        scale: ``"small"`` (fast, looser bounds) or ``"full"`` (the
+            benchmark-scale populations and the tight bounds).
+        progress: Optional callback invoked with status strings.
+
+    Returns:
+        A :class:`ValidationReport`; inspect ``.passed`` or ``render()``.
+    """
+    if scale not in ("small", "full"):
+        raise AnalysisError(f"scale must be 'small' or 'full', got {scale!r}")
+    say = progress or (lambda message: None)
+    full = scale == "full"
+    checks: List[ClaimCheck] = []
+
+    say("running Setting A (PoP egress routing)...")
+    pop = PopRoutingStudy(
+        seed=seed,
+        n_prefixes=250 if full else 80,
+        days=10.0 if full else 1.0,
+    ).run()
+    improvable = pop.summary["frac_alternate_better_5ms"]
+    checks.append(
+        ClaimCheck(
+            claim_id="fig1",
+            description="alternate routes improve the median >= 5 ms for few",
+            expected="2-4% of traffic",
+            measured=f"{improvable:.1%}",
+            passed=(0.005 <= improvable <= 0.10) if full else improvable <= 0.15,
+        )
+    )
+    p50 = pop.summary["diff_p50_ms"]
+    checks.append(
+        ClaimCheck(
+            claim_id="fig1-p50",
+            description="BGP vs best alternate concentrated near zero",
+            expected="~0 ms at the median",
+            measured=f"{p50:+.1f} ms",
+            passed=abs(p50) < 5.0,
+        )
+    )
+    transit_close = pop.summary["frac_transit_within_5ms"]
+    checks.append(
+        ClaimCheck(
+            claim_id="fig2",
+            description="transit routes perform like peering routes",
+            expected="similar (most traffic)",
+            measured=f"{transit_close:.0%} within 5 ms",
+            passed=transit_close > (0.6 if full else 0.5),
+        )
+    )
+    gain = pop.summary["omniscient_gain_ms"]
+    checks.append(
+        ClaimCheck(
+            claim_id="s31-omniscient",
+            description="an omniscient controller barely beats BGP",
+            expected="small median gain",
+            measured=f"{gain:.2f} ms",
+            passed=0.0 <= gain < 5.0,
+        )
+    )
+
+    say("running Setting B (anycast CDN)...")
+    cdn = AnycastCdnStudy(
+        seed=seed,
+        n_prefixes=250 if full else 80,
+        days=6.0 if full else 1.5,
+        requests_per_prefix=80 if full else 24,
+    ).run()
+    within = cdn.summary["frac_within_10ms_world"]
+    checks.append(
+        ClaimCheck(
+            claim_id="fig3",
+            description="anycast within 10 ms of the best unicast for most",
+            expected="~70% of requests",
+            measured=f"{within:.0%}",
+            passed=(0.55 <= within <= 0.90) if full else within >= 0.5,
+        )
+    )
+    improved = cdn.summary["frac_improved"]
+    hurt = cdn.summary["frac_hurt"]
+    checks.append(
+        ClaimCheck(
+            claim_id="fig4",
+            description="DNS redirection helps a minority, hurts a slice",
+            expected="27% improved / 17% hurt",
+            measured=f"{improved:.0%} / {hurt:.0%}",
+            passed=improved <= 0.6 and hurt <= improved,
+        )
+    )
+
+    say("running Setting C (cloud tiers)...")
+    cloud = CloudTiersStudy(
+        seed=seed,
+        days=10 if full else 4,
+        vps_per_day=120 if full else 60,
+    ).run()
+    premium_near = cloud.summary["premium_ingress_within_400km"]
+    standard_near = cloud.summary["standard_ingress_within_400km"]
+    checks.append(
+        ClaimCheck(
+            claim_id="s33-ingress",
+            description="Premium enters the WAN near clients, Standard near the DC",
+            expected="80% vs 10% within 400 km",
+            measured=f"{premium_near:.0%} vs {standard_near:.0%}",
+            passed=premium_near > 3 * max(standard_near, 0.01),
+        )
+    )
+    india = cloud.summary.get("india_median_diff_ms")
+    checks.append(
+        ClaimCheck(
+            claim_id="s332-india",
+            description="the public Internet beats the WAN from India",
+            expected="Standard wins",
+            measured=(f"{india:+.0f} ms" if india is not None else "no Indian VPs"),
+            passed=(india is not None and india < 0),
+        )
+    )
+    goodput = cloud.summary["goodput_ratio"]
+    checks.append(
+        ClaimCheck(
+            claim_id="s4-goodput",
+            description="10 MB goodput is tier-insensitive",
+            expected="~1.0 ratio",
+            measured=f"{goodput:.3f}",
+            passed=0.8 <= goodput <= 1.25,
+        )
+    )
+    say("done.")
+    return ValidationReport(checks=tuple(checks))

@@ -1,0 +1,65 @@
+"""Setting A: performance-aware egress routing at a content provider's PoPs.
+
+Reproduces the Facebook / Edge Fabric measurement setting of Sections 2.3.1
+and 3.1: load balancers at every PoP spray a sampled subset of HTTP
+sessions across BGP's most-, second-, and third-most-preferred egress
+routes per client prefix; medians of TCP MinRTT per ⟨PoP, prefix, route⟩
+in 15-minute windows, weighted by traffic volume, compare BGP's choice
+against an omniscient performance-aware controller.
+"""
+
+from repro.edgefabric.routes import EgressRoute, egress_routes_at_pop, serving_pop
+from repro.edgefabric.dataset import EgressDataset, PairKey, window_times
+from repro.edgefabric.sampler import MeasurementConfig, run_measurement
+from repro.edgefabric.controller import (
+    achieved_medians,
+    bgp_policy_choice,
+    omniscient_choice,
+    static_best_choice,
+)
+from repro.edgefabric.analysis import (
+    Fig1Result,
+    Fig2Result,
+    PersistenceResult,
+    bgp_vs_best_alternate,
+    route_class_comparison,
+    persistence_decomposition,
+)
+from repro.edgefabric.peering_study import PeeringStudyResult, peering_reduction_study
+from repro.edgefabric.episodes import (
+    Episode,
+    EpisodeStudyResult,
+    extract_episodes,
+)
+from repro.edgefabric.capacity_controller import (
+    CapacityControllerResult,
+    replay_capacity_controller,
+)
+
+__all__ = [
+    "EgressRoute",
+    "egress_routes_at_pop",
+    "serving_pop",
+    "EgressDataset",
+    "PairKey",
+    "window_times",
+    "MeasurementConfig",
+    "run_measurement",
+    "achieved_medians",
+    "bgp_policy_choice",
+    "omniscient_choice",
+    "static_best_choice",
+    "Fig1Result",
+    "Fig2Result",
+    "PersistenceResult",
+    "bgp_vs_best_alternate",
+    "route_class_comparison",
+    "persistence_decomposition",
+    "PeeringStudyResult",
+    "peering_reduction_study",
+    "CapacityControllerResult",
+    "replay_capacity_controller",
+    "Episode",
+    "EpisodeStudyResult",
+    "extract_episodes",
+]

@@ -1,0 +1,163 @@
+"""Degradation-episode extraction (the §3.1.1 unit of analysis).
+
+The section reasons about *periods*: "periods of performance
+degradation on paths preferred by BGP (relative to a path's baseline
+performance) are more prevalent than opportunities to improve
+performance by routing over alternate paths".  This module extracts
+those periods from the windowed medians — consecutive windows where a
+route runs above its own campaign baseline — and compares degradation
+episodes against improvement opportunities episode by episode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.edgefabric.dataset import EgressDataset
+
+
+@dataclass(frozen=True)
+class Episode:
+    """A maximal run of windows satisfying a condition for one pair.
+
+    Attributes:
+        pair_index: Index into the dataset's pairs.
+        start: First window index of the run.
+        length: Number of consecutive windows.
+        peak_ms: Largest excess (over baseline / over BGP) during the run.
+    """
+
+    pair_index: int
+    start: int
+    length: int
+    peak_ms: float
+
+
+@dataclass(frozen=True)
+class EpisodeStudyResult:
+    """§3.1.1 episode-level comparison.
+
+    Attributes:
+        degradation_episodes: Runs where the BGP route exceeded its own
+            baseline by the threshold.
+        opportunity_episodes: Runs where the best alternate beat the BGP
+            route by the threshold.
+        degradation_window_share: Fraction of pair-windows inside a
+            degradation episode.
+        opportunity_window_share: Fraction inside an opportunity episode.
+        frac_degradations_with_escape: Degradation episodes during which
+            an alternate offered a threshold-sized improvement at least
+            half the time — low values mean options degrade together.
+        median_degradation_minutes: Median episode duration.
+        median_opportunity_minutes: Median opportunity duration.
+        threshold_ms: The excess threshold used.
+    """
+
+    degradation_episodes: Tuple[Episode, ...]
+    opportunity_episodes: Tuple[Episode, ...]
+    degradation_window_share: float
+    opportunity_window_share: float
+    frac_degradations_with_escape: float
+    median_degradation_minutes: float
+    median_opportunity_minutes: float
+    threshold_ms: float
+
+
+def _runs(mask: np.ndarray, excess: np.ndarray, pair_index: int) -> List[Episode]:
+    episodes = []
+    start: Optional[int] = None
+    for w, active in enumerate(mask):
+        if active and start is None:
+            start = w
+        elif not active and start is not None:
+            episodes.append(
+                Episode(
+                    pair_index=pair_index,
+                    start=start,
+                    length=w - start,
+                    peak_ms=float(np.nanmax(excess[start:w])),
+                )
+            )
+            start = None
+    if start is not None:
+        episodes.append(
+            Episode(
+                pair_index=pair_index,
+                start=start,
+                length=mask.size - start,
+                peak_ms=float(np.nanmax(excess[start:])),
+            )
+        )
+    return episodes
+
+
+def extract_episodes(
+    dataset: EgressDataset, threshold_ms: float = 5.0
+) -> EpisodeStudyResult:
+    """Extract degradation and opportunity episodes from a dataset.
+
+    A pair's *baseline* is the whole-campaign median of its BGP route;
+    degradation = BGP median above baseline + threshold; opportunity =
+    best alternate below BGP median − threshold.
+    """
+    if threshold_ms <= 0:
+        raise AnalysisError("threshold must be positive")
+    if dataset.n_windows < 2:
+        raise AnalysisError("need at least two windows")
+    window_minutes = float(
+        (dataset.times_h[1] - dataset.times_h[0]) * 60.0
+    )
+    bgp = dataset.medians[:, :, 0]
+    with np.errstate(invalid="ignore", all="ignore"):
+        best_alt = np.nanmin(dataset.medians[:, :, 1:], axis=2)
+
+    degradations: List[Episode] = []
+    opportunities: List[Episode] = []
+    degraded_windows = 0
+    opportunity_windows = 0
+    total_windows = 0
+    escapes = 0
+    for i in range(dataset.n_pairs):
+        series = bgp[i]
+        valid = ~np.isnan(series)
+        if valid.sum() < 8:
+            continue
+        baseline = float(np.nanmedian(series))
+        excess = series - baseline
+        degraded = valid & (excess > threshold_ms)
+        improvement = series - best_alt[i]
+        opportunity = valid & ~np.isnan(best_alt[i]) & (improvement > threshold_ms)
+        total_windows += int(valid.sum())
+        degraded_windows += int(degraded.sum())
+        opportunity_windows += int(opportunity.sum())
+        pair_degradations = _runs(degraded, excess, i)
+        degradations.extend(pair_degradations)
+        opportunities.extend(_runs(opportunity, improvement, i))
+        for episode in pair_degradations:
+            window = slice(episode.start, episode.start + episode.length)
+            if opportunity[window].mean() >= 0.5:
+                escapes += 1
+    if total_windows == 0:
+        raise AnalysisError("no pair has enough valid windows")
+
+    def median_minutes(episodes: Sequence[Episode]) -> float:
+        if not episodes:
+            return 0.0
+        return float(np.median([e.length for e in episodes]) * window_minutes)
+
+    return EpisodeStudyResult(
+        degradation_episodes=tuple(degradations),
+        opportunity_episodes=tuple(opportunities),
+        degradation_window_share=degraded_windows / total_windows,
+        opportunity_window_share=opportunity_windows / total_windows,
+        frac_degradations_with_escape=(
+            escapes / len(degradations) if degradations else 0.0
+        ),
+        median_degradation_minutes=median_minutes(degradations),
+        median_opportunity_minutes=median_minutes(opportunities),
+        threshold_ms=threshold_ms,
+    )

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without catching programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """Raised for invalid topology construction or queries.
+
+    Examples: adding a duplicate AS, linking an AS to itself, or asking for
+    an AS number that does not exist in the graph.
+    """
+
+
+class RoutingError(ReproError):
+    """Raised for BGP simulation failures.
+
+    Examples: originating a prefix from an unknown AS, querying routes
+    before propagation has run, or a policy rejecting every route when one
+    is required.
+    """
+
+
+class MeasurementError(ReproError):
+    """Raised for measurement-plane failures.
+
+    Examples: exhausting a Speedchecker credit budget, sampling a client
+    with no route to the service, or recording into a closed collector.
+    """
+
+
+class AnalysisError(ReproError):
+    """Raised for invalid analysis inputs.
+
+    Examples: computing a weighted quantile with no samples or mismatched
+    weight vectors, or requesting an unknown aggregation region.
+    """

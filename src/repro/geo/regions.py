@@ -1,0 +1,158 @@
+"""World regions used by the paper's per-region and per-country analyses.
+
+Figure 3 breaks results out for "World", "United States", and "Europe";
+Figure 5 reports per-country medians with discussion grouped by continent
+(North America, South America, Europe, Middle East, Asia, Oceania, Africa).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+from repro.errors import AnalysisError
+
+
+class Region(str, enum.Enum):
+    """Continental region of a country, following the paper's groupings.
+
+    The Middle East is carved out of Asia because Figure 5's discussion
+    treats it separately ("Some countries in the Middle East and South
+    America have better performance for Standard Tier").
+    """
+
+    NORTH_AMERICA = "north-america"
+    SOUTH_AMERICA = "south-america"
+    EUROPE = "europe"
+    MIDDLE_EAST = "middle-east"
+    ASIA = "asia"
+    OCEANIA = "oceania"
+    AFRICA = "africa"
+
+
+#: ISO 3166-1 alpha-2 country code -> Region, for every country that appears
+#: in the embedded cities dataset.
+COUNTRY_REGIONS: Dict[str, Region] = {
+    # North America
+    "US": Region.NORTH_AMERICA,
+    "CA": Region.NORTH_AMERICA,
+    "MX": Region.NORTH_AMERICA,
+    "GT": Region.NORTH_AMERICA,
+    "CR": Region.NORTH_AMERICA,
+    "PA": Region.NORTH_AMERICA,
+    "CU": Region.NORTH_AMERICA,
+    "DO": Region.NORTH_AMERICA,
+    # South America
+    "BR": Region.SOUTH_AMERICA,
+    "AR": Region.SOUTH_AMERICA,
+    "CL": Region.SOUTH_AMERICA,
+    "CO": Region.SOUTH_AMERICA,
+    "PE": Region.SOUTH_AMERICA,
+    "VE": Region.SOUTH_AMERICA,
+    "EC": Region.SOUTH_AMERICA,
+    "BO": Region.SOUTH_AMERICA,
+    "UY": Region.SOUTH_AMERICA,
+    "PY": Region.SOUTH_AMERICA,
+    # Europe
+    "GB": Region.EUROPE,
+    "FR": Region.EUROPE,
+    "DE": Region.EUROPE,
+    "NL": Region.EUROPE,
+    "BE": Region.EUROPE,
+    "ES": Region.EUROPE,
+    "PT": Region.EUROPE,
+    "IT": Region.EUROPE,
+    "CH": Region.EUROPE,
+    "AT": Region.EUROPE,
+    "PL": Region.EUROPE,
+    "CZ": Region.EUROPE,
+    "SE": Region.EUROPE,
+    "NO": Region.EUROPE,
+    "DK": Region.EUROPE,
+    "FI": Region.EUROPE,
+    "IE": Region.EUROPE,
+    "GR": Region.EUROPE,
+    "RO": Region.EUROPE,
+    "HU": Region.EUROPE,
+    "BG": Region.EUROPE,
+    "UA": Region.EUROPE,
+    "RU": Region.EUROPE,
+    "TR": Region.EUROPE,
+    "RS": Region.EUROPE,
+    "HR": Region.EUROPE,
+    "SK": Region.EUROPE,
+    "LT": Region.EUROPE,
+    "LV": Region.EUROPE,
+    "EE": Region.EUROPE,
+    # Middle East
+    "AE": Region.MIDDLE_EAST,
+    "SA": Region.MIDDLE_EAST,
+    "IL": Region.MIDDLE_EAST,
+    "IR": Region.MIDDLE_EAST,
+    "IQ": Region.MIDDLE_EAST,
+    "JO": Region.MIDDLE_EAST,
+    "KW": Region.MIDDLE_EAST,
+    "QA": Region.MIDDLE_EAST,
+    "OM": Region.MIDDLE_EAST,
+    "LB": Region.MIDDLE_EAST,
+    # Asia
+    "IN": Region.ASIA,
+    "CN": Region.ASIA,
+    "JP": Region.ASIA,
+    "KR": Region.ASIA,
+    "TW": Region.ASIA,
+    "HK": Region.ASIA,
+    "SG": Region.ASIA,
+    "MY": Region.ASIA,
+    "TH": Region.ASIA,
+    "VN": Region.ASIA,
+    "PH": Region.ASIA,
+    "ID": Region.ASIA,
+    "BD": Region.ASIA,
+    "PK": Region.ASIA,
+    "LK": Region.ASIA,
+    "NP": Region.ASIA,
+    "MM": Region.ASIA,
+    "KH": Region.ASIA,
+    "KZ": Region.ASIA,
+    "UZ": Region.ASIA,
+    "AZ": Region.ASIA,
+    # Oceania
+    "AU": Region.OCEANIA,
+    "NZ": Region.OCEANIA,
+    "FJ": Region.OCEANIA,
+    "PG": Region.OCEANIA,
+    # Africa
+    "ZA": Region.AFRICA,
+    "NG": Region.AFRICA,
+    "EG": Region.AFRICA,
+    "KE": Region.AFRICA,
+    "MA": Region.AFRICA,
+    "GH": Region.AFRICA,
+    "TZ": Region.AFRICA,
+    "ET": Region.AFRICA,
+    "DZ": Region.AFRICA,
+    "TN": Region.AFRICA,
+    "SN": Region.AFRICA,
+    "AO": Region.AFRICA,
+    "CI": Region.AFRICA,
+    "CM": Region.AFRICA,
+    "UG": Region.AFRICA,
+}
+
+
+def region_of_country(country: str) -> Region:
+    """Return the :class:`Region` for an ISO alpha-2 country code.
+
+    Raises:
+        AnalysisError: if the country code is unknown.
+    """
+    try:
+        return COUNTRY_REGIONS[country.upper()]
+    except KeyError:
+        raise AnalysisError(f"unknown country code: {country!r}") from None
+
+
+def countries_in_region(region: Region) -> List[str]:
+    """Return all country codes mapped to ``region``, sorted."""
+    return sorted(c for c, r in COUNTRY_REGIONS.items() if r is region)

@@ -1,0 +1,200 @@
+"""Time-varying congestion delay, deterministic per (seed, entity key).
+
+Two ingredients, matching the structure Section 3.1.1 of the paper
+infers from the Facebook data:
+
+* **Diurnal load** — a smooth daily cycle peaking in the local evening,
+  applied to last-mile and destination-network entities.  Because it is
+  keyed to the *destination*, every route to a client degrades together
+  during the client's evening peak — which is exactly why dynamic
+  performance-aware routing finds no better alternative then.
+* **Transient events** — Poisson-arriving episodes of extra queueing
+  delay with exponential durations and log-normal magnitudes, keyed to
+  individual entities.  Events keyed to an interdomain link hurt only
+  routes crossing that link; those are the opportunities an omniscient
+  controller can exploit.
+
+Every entity key gets its own deterministic random stream derived from
+``(seed, crc32(key))``, so adding entities never perturbs existing ones.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class CongestionConfig:
+    """Parameters of the congestion processes.
+
+    Attributes:
+        horizon_hours: Simulated horizon; events are generated over it.
+        diurnal_peak_ms: Added delay at the top of the daily cycle.
+        diurnal_peak_hour: Local hour of the daily maximum (evening).
+        event_rate_per_day: Expected transient events per entity per day.
+        event_mean_duration_hours: Mean event duration (exponential).
+        event_magnitude_median_ms: Median added delay during an event
+            (log-normal).
+        event_magnitude_sigma: Log-scale spread of event magnitudes.
+    """
+
+    horizon_hours: float
+    diurnal_peak_ms: float = 3.0
+    diurnal_peak_hour: float = 20.0
+    event_rate_per_day: float = 0.6
+    event_mean_duration_hours: float = 0.75
+    event_magnitude_median_ms: float = 8.0
+    event_magnitude_sigma: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.horizon_hours <= 0:
+            raise MeasurementError("horizon_hours must be positive")
+        if self.diurnal_peak_ms < 0 or self.event_magnitude_median_ms < 0:
+            raise MeasurementError("delays must be non-negative")
+        if self.event_rate_per_day < 0:
+            raise MeasurementError("event rate must be non-negative")
+        if self.event_mean_duration_hours <= 0:
+            raise MeasurementError("event duration must be positive")
+
+
+class CongestionModel:
+    """Deterministic congestion delay series for named entities.
+
+    Args:
+        seed: Master seed; combined with each entity key.
+        config: Process parameters.
+    """
+
+    def __init__(self, seed: int, config: CongestionConfig) -> None:
+        self.seed = seed
+        self.config = config
+        self._event_cache: Dict[str, List[Tuple[float, float, float]]] = {}
+
+    def _rng(self, key: str) -> np.random.Generator:
+        return np.random.default_rng(
+            [self.seed & 0xFFFFFFFF, zlib.crc32(key.encode("utf-8"))]
+        )
+
+    # --- transient events -------------------------------------------------
+
+    def events(self, key: str) -> List[Tuple[float, float, float]]:
+        """Transient events for an entity: (start_h, duration_h, extra_ms).
+
+        Generated lazily and cached; identical for identical (seed, key).
+        """
+        cached = self._event_cache.get(key)
+        if cached is not None:
+            return cached
+        cfg = self.config
+        rng = self._rng("events:" + key)
+        expected = cfg.event_rate_per_day * cfg.horizon_hours / 24.0
+        count = int(rng.poisson(expected))
+        events = []
+        for _ in range(count):
+            start = float(rng.uniform(0.0, cfg.horizon_hours))
+            duration = float(rng.exponential(cfg.event_mean_duration_hours))
+            magnitude = float(
+                cfg.event_magnitude_median_ms
+                * np.exp(rng.normal(0.0, cfg.event_magnitude_sigma))
+            )
+            events.append((start, duration, magnitude))
+        events.sort()
+        self._event_cache[key] = events
+        return events
+
+    def event_delay(self, key: str, times_h: np.ndarray) -> np.ndarray:
+        """Extra delay (ms) from transient events at each time, vectorized."""
+        times = np.asarray(times_h, dtype=float)
+        delay = np.zeros_like(times)
+        for start, duration, magnitude in self.events(key):
+            active = (times >= start) & (times < start + duration)
+            if active.any():
+                delay[active] += magnitude
+        return delay
+
+    # --- diurnal load -------------------------------------------------------
+
+    def diurnal_delay(
+        self, times_h: np.ndarray, lon: float, peak_ms: float = -1.0
+    ) -> np.ndarray:
+        """Daily-cycle delay (ms) at each time for a given longitude.
+
+        The cycle peaks at ``diurnal_peak_hour`` *local* time; longitude
+        sets the timezone (15° per hour).
+        """
+        cfg = self.config
+        if peak_ms < 0:
+            peak_ms = cfg.diurnal_peak_ms
+        times = np.asarray(times_h, dtype=float)
+        local = (times + lon / 15.0) % 24.0
+        phase = 2.0 * np.pi * (local - cfg.diurnal_peak_hour) / 24.0
+        # Raised-cosine bump, cubed to concentrate delay around the peak.
+        return peak_ms * ((1.0 + np.cos(phase)) / 2.0) ** 3
+
+    # --- composites ---------------------------------------------------------
+
+    def shared_delay(
+        self, key: str, lon: float, times_h: np.ndarray
+    ) -> np.ndarray:
+        """Destination-side delay shared by all routes to an entity.
+
+        Diurnal load at the entity's longitude plus the entity's own
+        transient events (e.g. a congested access network).
+        """
+        return self.diurnal_delay(times_h, lon) + self.event_delay(key, times_h)
+
+    def link_delay(self, key: str, times_h: np.ndarray) -> np.ndarray:
+        """Route-specific delay from one interdomain link's events."""
+        return self.event_delay(key, times_h)
+
+    # --- slow baseline shifts (interdomain path churn) ---------------------
+
+    def baseline_shifts(
+        self,
+        key: str,
+        shift_rate_per_day: float = 0.12,
+        mean_duration_hours: float = 48.0,
+        magnitude_median_ms: float = 8.0,
+        magnitude_sigma: float = 0.7,
+    ) -> List[Tuple[float, float, float]]:
+        """Slow level shifts for a path: (start_h, duration_h, extra_ms).
+
+        Models interdomain path churn: a route changes and stays changed
+        for days, unlike the transient queueing events above.  This is
+        what makes measurement-driven predictions go stale (the Figure 4
+        scheme measures first and redirects later).
+        """
+        cache_key = f"shiftseries:{key}"
+        cached = self._event_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        rng = self._rng("shifts:" + key)
+        expected = shift_rate_per_day * self.config.horizon_hours / 24.0
+        count = int(rng.poisson(expected))
+        shifts = []
+        for _ in range(count):
+            start = float(rng.uniform(0.0, self.config.horizon_hours))
+            duration = float(rng.exponential(mean_duration_hours))
+            magnitude = float(
+                magnitude_median_ms * np.exp(rng.normal(0.0, magnitude_sigma))
+            )
+            shifts.append((start, duration, magnitude))
+        shifts.sort()
+        self._event_cache[cache_key] = shifts
+        return shifts
+
+    def baseline_shift_delay(self, key: str, times_h: np.ndarray) -> np.ndarray:
+        """Extra delay (ms) from baseline shifts at each time."""
+        times = np.asarray(times_h, dtype=float)
+        delay = np.zeros_like(times)
+        for start, duration, magnitude in self.baseline_shifts(key):
+            active = (times >= start) & (times < start + duration)
+            if active.any():
+                delay[active] += magnitude
+        return delay

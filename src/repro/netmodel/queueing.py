@@ -1,0 +1,50 @@
+"""Utilization-dependent queueing delay.
+
+Shared by the capacity-aware studies (peering reduction, failure
+impact): an M/M/1-flavoured delay curve that grows hyperbolically with
+utilization and switches to a steep linear overload regime near
+saturation, so overloaded links hurt more the more overloaded they are
+(a pure M/M/1 curve would return infinity and wash out comparisons).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+#: Utilization beyond which the linear overload regime takes over.
+CLIP_UTILIZATION = 0.95
+
+#: Extra delay per unit of utilization beyond the clip point.
+OVERLOAD_SLOPE_MS = 200.0
+
+
+def queueing_delay_ms(
+    utilization: Union[float, np.ndarray], base_ms: float = 1.5
+) -> Union[float, np.ndarray]:
+    """Queueing delay for a link at the given utilization.
+
+    Args:
+        utilization: Offered load / capacity; values above 1 are allowed
+            and fall in the overload regime.
+        base_ms: Service-time scale: the delay at 50% utilization equals
+            ``base_ms`` (since u/(1-u) = 1 there).
+
+    Returns:
+        Delay in milliseconds, scalar or array matching the input.
+    """
+    if base_ms < 0:
+        raise AnalysisError(f"base_ms must be non-negative, got {base_ms}")
+    u = np.asarray(utilization, dtype=float)
+    if (u < 0).any():
+        raise AnalysisError("utilization must be non-negative")
+    clipped = np.clip(u, 0.0, CLIP_UTILIZATION)
+    delay = base_ms * clipped / (1.0 - clipped)
+    overload = np.maximum(u - CLIP_UTILIZATION, 0.0)
+    result = delay + OVERLOAD_SLOPE_MS * overload
+    if np.isscalar(utilization) or getattr(utilization, "ndim", 1) == 0:
+        return float(result)
+    return result

@@ -1,0 +1,48 @@
+"""AS-level topology substrate.
+
+Provides the building blocks every setting shares: autonomous systems with
+geographic presence, business relationships (customer-provider and
+peer-peer, private or public interconnection), a content/cloud provider
+with PoPs and a private WAN, and a synthetic Internet generator that wires
+them together into a realistic tiered graph.
+"""
+
+from repro.topology.asgraph import (
+    ASGraph,
+    ASRole,
+    AutonomousSystem,
+    ExitPolicy,
+    Link,
+    PeeringKind,
+    Relationship,
+)
+from repro.topology.wan import PointOfPresence, PrivateWan
+from repro.topology.generator import Internet, TopologyConfig, build_internet
+from repro.topology.metrics import TopologySummary, topology_summary
+from repro.topology.serialization import (
+    internet_from_dict,
+    internet_to_dict,
+    load_internet,
+    save_internet,
+)
+
+__all__ = [
+    "ASGraph",
+    "ASRole",
+    "AutonomousSystem",
+    "ExitPolicy",
+    "Link",
+    "PeeringKind",
+    "Relationship",
+    "PointOfPresence",
+    "PrivateWan",
+    "Internet",
+    "TopologyConfig",
+    "build_internet",
+    "TopologySummary",
+    "topology_summary",
+    "internet_from_dict",
+    "internet_to_dict",
+    "load_internet",
+    "save_internet",
+]

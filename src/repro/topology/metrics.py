@@ -1,0 +1,116 @@
+"""Topology metrics: the summary numbers measurement papers report.
+
+Degree distributions, peering density, customer-cone sizes, and
+interconnect redundancy, plus a one-call text summary — useful both for
+sanity-checking generated worlds against the real Internet's shape and
+for describing a hand-built topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.analysis import format_table
+from repro.topology.asgraph import ASRole, PeeringKind, Relationship
+from repro.topology.generator import Internet
+
+
+@dataclass(frozen=True)
+class TopologySummary:
+    """Structural summary of a generated Internet.
+
+    Attributes:
+        n_ases / n_links: Graph size.
+        n_customer_links / n_peer_links: Relationship mix.
+        n_private_peerings / n_public_peerings: Physical peering mix
+            (over peer links only).
+        mean_degree: Average adjacency degree.
+        max_degree: Largest degree (usually a Tier-1 or the provider).
+        provider_degree: The content/cloud provider's degree.
+        provider_peers / provider_transits: Provider adjacency mix.
+        median_cone_tier1 / median_cone_transit: Median customer-cone
+            sizes per role.
+        mean_interconnects_per_link: Average interconnect-city count.
+    """
+
+    n_ases: int
+    n_links: int
+    n_customer_links: int
+    n_peer_links: int
+    n_private_peerings: int
+    n_public_peerings: int
+    mean_degree: float
+    max_degree: int
+    provider_degree: int
+    provider_peers: int
+    provider_transits: int
+    median_cone_tier1: float
+    median_cone_transit: float
+    mean_interconnects_per_link: float
+
+    def render(self) -> str:
+        """The summary as an aligned table."""
+        rows = [
+            ["ASes", self.n_ases],
+            ["links", self.n_links],
+            ["customer links", self.n_customer_links],
+            ["peer links", self.n_peer_links],
+            ["  private (PNI)", self.n_private_peerings],
+            ["  public (IXP)", self.n_public_peerings],
+            ["mean degree", round(self.mean_degree, 2)],
+            ["max degree", self.max_degree],
+            ["provider degree", self.provider_degree],
+            ["  peers", self.provider_peers],
+            ["  transits", self.provider_transits],
+            ["median Tier-1 cone", self.median_cone_tier1],
+            ["median transit cone", self.median_cone_transit],
+            ["mean interconnects/link", round(self.mean_interconnects_per_link, 2)],
+        ]
+        return format_table(["metric", "value"], rows)
+
+
+def topology_summary(internet: Internet) -> TopologySummary:
+    """Compute the structural summary of an Internet."""
+    graph = internet.graph
+    if len(graph) == 0:
+        raise TopologyError("empty graph")
+    n_customer = n_peer = n_private = n_public = 0
+    interconnects = []
+    for link in graph.links():
+        interconnects.append(len(link.cities))
+        if link.relationship is Relationship.CUSTOMER:
+            n_customer += 1
+        else:
+            n_peer += 1
+            if link.kind is PeeringKind.PRIVATE:
+                n_private += 1
+            else:
+                n_public += 1
+    degrees = {a.asn: len(graph.neighbors(a.asn)) for a in graph.ases()}
+    provider = internet.provider_asn
+
+    def median_cone(asns: Tuple[int, ...]) -> float:
+        if not asns:
+            return 0.0
+        return float(np.median([len(graph.customer_cone(a)) for a in asns]))
+
+    return TopologySummary(
+        n_ases=len(graph),
+        n_links=n_customer + n_peer,
+        n_customer_links=n_customer,
+        n_peer_links=n_peer,
+        n_private_peerings=n_private,
+        n_public_peerings=n_public,
+        mean_degree=float(np.mean(list(degrees.values()))),
+        max_degree=int(max(degrees.values())),
+        provider_degree=degrees[provider],
+        provider_peers=len(graph.peers(provider)),
+        provider_transits=len(graph.providers(provider)),
+        median_cone_tier1=median_cone(internet.tier1_asns),
+        median_cone_transit=median_cone(internet.transit_asns),
+        mean_interconnects_per_link=float(np.mean(interconnects)),
+    )

@@ -1,0 +1,17 @@
+"""Workload generation: client prefixes, LDNS resolvers, traffic volumes."""
+
+from repro.workloads.clients import ClientPrefix, generate_client_prefixes
+from repro.workloads.ldns import LdnsResolver, assign_ldns
+from repro.workloads.traffic import diurnal_volume, traffic_matrix, sessions_matrix
+from repro.workloads.arrivals import sample_arrivals
+
+__all__ = [
+    "ClientPrefix",
+    "generate_client_prefixes",
+    "LdnsResolver",
+    "assign_ldns",
+    "diurnal_volume",
+    "traffic_matrix",
+    "sessions_matrix",
+    "sample_arrivals",
+]

@@ -1,0 +1,94 @@
+"""Client prefix population.
+
+The unit of routing in every study is a client prefix: the Facebook data
+groups measurements by ⟨PoP, prefix, route⟩, the Microsoft data weights
+/24s by query volume.  We attach prefixes to eyeball ASes proportionally
+to their user weight, place each at one of the AS's cities, and give it a
+heavy-tailed traffic weight — a few prefixes carry much of the traffic,
+as in production CDN workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.geo import City
+from repro.topology import Internet
+
+
+@dataclass(frozen=True)
+class ClientPrefix:
+    """A routable client prefix.
+
+    Attributes:
+        pid: Stable identifier, e.g. ``"p0042"``.
+        asn: The eyeball AS originating the prefix.
+        city: Where the prefix's users are.
+        weight: Relative traffic volume (bytes); heavy-tailed.
+        n_24s: Number of /24 networks aggregated under the prefix, used
+            by the Figure 4 weighting ("CDF of weighted /24s").
+        ldns: Identifier of the prefix's recursive resolver, or ``None``
+            before :func:`repro.workloads.ldns.assign_ldns` runs.
+    """
+
+    pid: str
+    asn: int
+    city: City
+    weight: float
+    n_24s: int
+    ldns: Optional[str] = None
+
+    def with_ldns(self, ldns: str) -> "ClientPrefix":
+        """A copy of the prefix with its resolver assigned."""
+        return replace(self, ldns=ldns)
+
+
+def generate_client_prefixes(
+    internet: Internet,
+    n_prefixes: int,
+    seed: int = 0,
+    weight_sigma: float = 1.2,
+) -> List[ClientPrefix]:
+    """Generate a client prefix population over an Internet's eyeballs.
+
+    Args:
+        internet: The topology to place prefixes in.
+        n_prefixes: Number of prefixes to create.
+        seed: Randomness seed; deterministic output for a given seed.
+        weight_sigma: Log-scale spread of prefix traffic weights; larger
+            values concentrate more traffic on fewer prefixes.
+
+    Returns:
+        Prefixes sorted by id.  Weights are normalized to sum to 1.
+    """
+    if n_prefixes <= 0:
+        raise MeasurementError("need at least one prefix")
+    rng = np.random.default_rng(seed)
+    eyeballs = [internet.graph.get(asn) for asn in internet.eyeball_asns]
+    if not eyeballs:
+        raise MeasurementError("internet has no eyeball ASes")
+    weights = np.array([max(e.user_weight, 1e-6) for e in eyeballs])
+    probabilities = weights / weights.sum()
+    assignments = rng.choice(len(eyeballs), size=n_prefixes, p=probabilities)
+
+    prefixes: List[ClientPrefix] = []
+    raw_weights = rng.lognormal(0.0, weight_sigma, size=n_prefixes)
+    raw_weights /= raw_weights.sum()
+    for i in range(n_prefixes):
+        eyeball = eyeballs[int(assignments[i])]
+        city: City = eyeball.cities[int(rng.integers(0, len(eyeball.cities)))]
+        n_24s = int(rng.integers(1, 65))
+        prefixes.append(
+            ClientPrefix(
+                pid=f"p{i:05d}",
+                asn=eyeball.asn,
+                city=city,
+                weight=float(raw_weights[i]),
+                n_24s=n_24s,
+            )
+        )
+    return prefixes

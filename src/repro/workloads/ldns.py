@@ -1,0 +1,122 @@
+"""LDNS resolver assignment.
+
+DNS-redirection systems decide per *resolver*, not per client: "DNS
+redirection systems cannot see the IP address of the requesting client,
+only of the client's local resolver (LDNS), limiting decisions to a
+per-LDNS granularity" (Section 3.2.1).  EDNS Client Subnet adoption is
+negligible outside public resolvers, so we model two resolver kinds:
+
+* the ISP's own resolver, colocated with the eyeball AS — clients behind
+  it are geographically close to it, so per-LDNS decisions are decent;
+* a public resolver at a handful of hub cities — clients scattered far
+  from the resolver, the aggregation-error case that makes redirection
+  lose to anycast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.geo import City, city_named, great_circle_km
+from repro.topology import Internet
+from repro.workloads.clients import ClientPrefix
+
+#: Hub cities hosting the public resolver's anycast instances.
+PUBLIC_RESOLVER_CITY_NAMES: Tuple[str, ...] = (
+    "Ashburn",
+    "San Francisco",
+    "Sao Paulo",
+    "London",
+    "Frankfurt",
+    "Singapore",
+    "Tokyo",
+    "Sydney",
+    "Mumbai",
+    "Johannesburg",
+)
+
+
+@dataclass(frozen=True)
+class LdnsResolver:
+    """A recursive resolver, the granularity of DNS redirection.
+
+    Attributes:
+        rid: Stable identifier.
+        city: Where the resolver (instance) is.
+        asn: Hosting AS; for public resolver instances this is the
+            eyeball's serving AS is unknown, so we attach them to the
+            provider-facing Internet via their own ASN of 0 (no routing
+            role — resolvers only matter as aggregation keys and
+            measurement sources).
+        public: Whether this is a public resolver instance.
+    """
+
+    rid: str
+    city: City
+    asn: int
+    public: bool
+
+
+def assign_ldns(
+    prefixes: Sequence[ClientPrefix],
+    internet: Internet,
+    seed: int = 0,
+    public_fraction: float = 0.15,
+) -> Tuple[List[ClientPrefix], Dict[str, LdnsResolver]]:
+    """Assign a resolver to every prefix.
+
+    Args:
+        prefixes: The client population (``ldns`` fields are replaced).
+        internet: Topology (for eyeball AS home cities).
+        seed: Randomness seed.
+        public_fraction: Fraction of prefixes using the public resolver.
+
+    Returns:
+        ``(prefixes_with_ldns, resolvers_by_id)``.
+    """
+    if not 0.0 <= public_fraction <= 1.0:
+        raise MeasurementError(f"public_fraction out of [0, 1]: {public_fraction}")
+    rng = np.random.default_rng(seed)
+    resolvers: Dict[str, LdnsResolver] = {}
+    public_cities = [city_named(n) for n in PUBLIC_RESOLVER_CITY_NAMES]
+    for i, city in enumerate(public_cities):
+        rid = f"ldns-public-{i}"
+        resolvers[rid] = LdnsResolver(rid=rid, city=city, asn=0, public=True)
+
+    assigned: List[ClientPrefix] = []
+    for prefix in prefixes:
+        if rng.random() < public_fraction:
+            # Public resolver: the CDN's authoritative DNS sees the
+            # *resolver egress*, not the client.  Half the time that
+            # egress is the instance nearest the AS's home; the other
+            # half it is effectively arbitrary (resolver backend routing,
+            # off-continent egress points) — the scattered pools this
+            # creates are what make per-LDNS predictions hurt some
+            # clients (Section 3.2.1).
+            if rng.random() < 0.5:
+                home = internet.graph.get(prefix.asn).home_city
+                instance = min(
+                    public_cities,
+                    key=lambda c: (
+                        great_circle_km(home.location, c.location),
+                        c.name,
+                    ),
+                )
+            else:
+                instance = public_cities[int(rng.integers(0, len(public_cities)))]
+            rid = f"ldns-public-{public_cities.index(instance)}"
+        else:
+            rid = f"ldns-as{prefix.asn}"
+            if rid not in resolvers:
+                home = internet.graph.get(prefix.asn).home_city
+                resolvers[rid] = LdnsResolver(
+                    rid=rid, city=home, asn=prefix.asn, public=False
+                )
+        assigned.append(prefix.with_ldns(rid))
+    used = {p.ldns for p in assigned}
+    resolvers = {rid: r for rid, r in resolvers.items() if rid in used}
+    return assigned, resolvers

@@ -1,0 +1,118 @@
+"""Tests for weighted distribution statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis import (
+    bootstrap_ci,
+    weighted_ccdf,
+    weighted_cdf,
+    weighted_fraction_below,
+    weighted_quantile,
+)
+
+
+class TestWeightedCdf:
+    def test_unweighted_simple(self):
+        cdf = weighted_cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.fraction_at_most(2.0) == pytest.approx(0.5)
+        assert cdf.fraction_at_most(0.5) == 0.0
+        assert cdf.fraction_at_most(4.0) == pytest.approx(1.0)
+
+    def test_weights_shift_mass(self):
+        cdf = weighted_cdf([1.0, 2.0], weights=[3.0, 1.0])
+        assert cdf.fraction_at_most(1.0) == pytest.approx(0.75)
+
+    def test_duplicate_values_merge(self):
+        cdf = weighted_cdf([2.0, 2.0, 5.0], weights=[1.0, 1.0, 2.0])
+        assert list(cdf.xs) == [2.0, 5.0]
+        assert cdf.fraction_at_most(2.0) == pytest.approx(0.5)
+
+    def test_quantiles(self):
+        cdf = weighted_cdf([10.0, 20.0, 30.0, 40.0])
+        assert cdf.quantile(0.25) == 10.0
+        assert cdf.quantile(0.5) == 20.0
+        assert cdf.median == 20.0
+        assert cdf.quantile(1.0) == 40.0
+
+    def test_quantile_bounds(self):
+        cdf = weighted_cdf([1.0])
+        with pytest.raises(AnalysisError):
+            cdf.quantile(1.5)
+
+    def test_fraction_above(self):
+        cdf = weighted_cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.fraction_above(2.0) == pytest.approx(0.5)
+
+    def test_series_copies(self):
+        cdf = weighted_cdf([1.0, 2.0])
+        xs, ps = cdf.series()
+        xs[0] = 99.0
+        assert cdf.xs[0] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            weighted_cdf([])
+
+    def test_mismatched_weights(self):
+        with pytest.raises(AnalysisError):
+            weighted_cdf([1.0, 2.0], weights=[1.0])
+
+    def test_negative_weights(self):
+        with pytest.raises(AnalysisError):
+            weighted_cdf([1.0], weights=[-1.0])
+
+    def test_zero_total_weight(self):
+        with pytest.raises(AnalysisError):
+            weighted_cdf([1.0, 2.0], weights=[0.0, 0.0])
+
+    def test_monotone_nondecreasing(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=500)
+        weights = rng.uniform(0.1, 2.0, size=500)
+        cdf = weighted_cdf(values, weights)
+        assert (np.diff(cdf.ps) >= -1e-12).all()
+        assert cdf.ps[-1] == pytest.approx(1.0)
+
+
+class TestCcdf:
+    def test_complement(self):
+        values = [1.0, 2.0, 3.0]
+        cdf = weighted_cdf(values)
+        ccdf = weighted_ccdf(values)
+        assert ccdf.ps == pytest.approx(1.0 - cdf.ps)
+
+
+class TestHelpers:
+    def test_weighted_quantile(self):
+        assert weighted_quantile([5.0, 1.0, 3.0], 0.5) == 3.0
+
+    def test_weighted_fraction_below(self):
+        assert weighted_fraction_below([1.0, 2.0, 3.0, 4.0], 2.5) == pytest.approx(0.5)
+
+
+class TestBootstrap:
+    def test_ci_brackets_statistic(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(10.0, 2.0, size=400)
+        lo, hi = bootstrap_ci(values, np.median, n_resamples=200, rng=rng)
+        assert lo <= np.median(values) <= hi
+        assert hi - lo < 1.0
+
+    def test_deterministic_default_rng(self):
+        values = list(range(50))
+        a = bootstrap_ci(values, np.mean, n_resamples=50)
+        b = bootstrap_ci(values, np.mean, n_resamples=50)
+        assert a == b
+
+    def test_alpha_validation(self):
+        with pytest.raises(AnalysisError):
+            bootstrap_ci([1.0, 2.0], np.mean, alpha=1.5)
+
+    def test_weighted_resampling(self):
+        # With all weight on one value, the CI collapses onto it.
+        lo, hi = bootstrap_ci(
+            [1.0, 100.0], np.mean, n_resamples=50, weights=[1.0, 0.0]
+        )
+        assert lo == hi == 1.0

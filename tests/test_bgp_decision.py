@@ -1,0 +1,98 @@
+"""Tests for the provider's egress decision process."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.bgp import (
+    EgressDecisionProcess,
+    RouteClass,
+    classify_route,
+    propagate,
+)
+from repro.bgp.decision import DEFAULT_LOCAL_PREF
+
+from conftest import E1, E2, PROVIDER, T1A, TR2
+
+
+class TestClassification:
+    def test_transit_candidate(self, toy_graph):
+        table = propagate(toy_graph, E1)
+        candidates = {c.neighbor: c for c in table.candidates_at(PROVIDER)}
+        assert (
+            classify_route(toy_graph, PROVIDER, candidates[T1A])
+            is RouteClass.TRANSIT
+        )
+
+    def test_private_peer_candidate(self, toy_graph):
+        table = propagate(toy_graph, E1)
+        candidates = {c.neighbor: c for c in table.candidates_at(PROVIDER)}
+        assert (
+            classify_route(toy_graph, PROVIDER, candidates[E1])
+            is RouteClass.PRIVATE_PEER
+        )
+
+    def test_public_peer_candidate(self, toy_graph):
+        table = propagate(toy_graph, E2)
+        candidates = {c.neighbor: c for c in table.candidates_at(PROVIDER)}
+        assert (
+            classify_route(toy_graph, PROVIDER, candidates[TR2])
+            is RouteClass.PUBLIC_PEER
+        )
+
+
+class TestRanking:
+    def test_facebook_policy_order(self, toy_graph):
+        # For E2: public peer (TR2) must beat transit (T1A) despite equal
+        # or longer paths.
+        table = propagate(toy_graph, E2)
+        process = EgressDecisionProcess(toy_graph, PROVIDER)
+        ranked = process.rank(table.candidates_at(PROVIDER))
+        assert ranked[0].candidate.neighbor == TR2
+        assert ranked[0].route_class is RouteClass.PUBLIC_PEER
+        assert ranked[1].candidate.neighbor == T1A
+        assert ranked[0].rank == 0
+        assert ranked[1].rank == 1
+
+    def test_private_beats_public(self, toy_graph):
+        # Give E1 a public peering candidate too by checking E1's dest:
+        # PNI (private) must rank above the transit.
+        table = propagate(toy_graph, E1)
+        process = EgressDecisionProcess(toy_graph, PROVIDER)
+        ranked = process.rank(table.candidates_at(PROVIDER))
+        assert ranked[0].route_class is RouteClass.PRIVATE_PEER
+
+    def test_custom_local_pref_flips_order(self, toy_graph):
+        # A transit-first policy inverts the ranking.
+        table = propagate(toy_graph, E2)
+        pref = dict(DEFAULT_LOCAL_PREF)
+        pref[RouteClass.TRANSIT] = 500
+        process = EgressDecisionProcess(toy_graph, PROVIDER, local_pref=pref)
+        ranked = process.rank(table.candidates_at(PROVIDER))
+        assert ranked[0].route_class is RouteClass.TRANSIT
+
+    def test_top_k_truncates(self, toy_graph):
+        table = propagate(toy_graph, E2)
+        process = EgressDecisionProcess(toy_graph, PROVIDER)
+        assert len(process.top(table.candidates_at(PROVIDER), 1)) == 1
+
+    def test_empty_candidates_rejected(self, toy_graph):
+        process = EgressDecisionProcess(toy_graph, PROVIDER)
+        with pytest.raises(RoutingError):
+            process.rank([])
+
+    def test_shorter_path_wins_within_class(self, small_internet):
+        """Within a preference class, ranking follows advertised length."""
+        from repro.bgp import propagate as run
+
+        graph = small_internet.graph
+        process = EgressDecisionProcess(graph, small_internet.provider_asn)
+        table = run(graph, small_internet.eyeball_asns[0])
+        ranked = process.rank(table.candidates_at(small_internet.provider_asn))
+        for earlier, later in zip(ranked[:-1], ranked[1:]):
+            if earlier.route_class is later.route_class:
+                assert (
+                    earlier.candidate.route.advertised_length
+                    <= later.candidate.route.advertised_length
+                )
+            else:
+                assert earlier.local_pref >= later.local_pref

@@ -1,0 +1,99 @@
+"""Tests for anycast grooming actions."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.geo import city_named
+from repro.bgp import Grooming, propagate
+
+from conftest import E1, PROVIDER
+
+LONDON = city_named("London")
+NY = city_named("New York")
+
+
+class TestGroomingState:
+    def test_ungroomed_compiles_to_noop(self):
+        grooming = Grooming.ungroomed([LONDON, NY])
+        origin_cities, prepends, suppressed = grooming.compile()
+        assert origin_cities is None
+        assert prepends == {}
+        assert suppressed == frozenset()
+        assert grooming.actions == 0
+
+    def test_withdraw_and_restore(self):
+        grooming = Grooming.ungroomed([LONDON, NY])
+        grooming.withdraw_city(LONDON)
+        assert grooming.announced_cities() == frozenset({NY})
+        assert grooming.actions == 1
+        grooming.restore_city(LONDON)
+        assert grooming.announced_cities() == frozenset({LONDON, NY})
+
+    def test_cannot_withdraw_unknown_city(self):
+        grooming = Grooming.ungroomed([LONDON])
+        with pytest.raises(RoutingError):
+            grooming.withdraw_city(NY)
+
+    def test_cannot_withdraw_last_city(self):
+        grooming = Grooming.ungroomed([LONDON, NY])
+        grooming.withdraw_city(LONDON)
+        with pytest.raises(RoutingError):
+            grooming.withdraw_city(NY)
+
+    def test_prepend_bookkeeping(self):
+        grooming = Grooming.ungroomed([LONDON])
+        grooming.prepend_to(10, 3)
+        assert grooming.compile()[1] == {10: 3}
+        grooming.prepend_to(10, 0)  # removes
+        assert grooming.compile()[1] == {}
+
+    def test_suppress_bookkeeping(self):
+        grooming = Grooming.ungroomed([LONDON])
+        grooming.suppress_neighbor(42)
+        assert grooming.compile()[2] == frozenset({42})
+        assert grooming.actions == 1
+        grooming.unsuppress_neighbor(42)
+        assert grooming.compile()[2] == frozenset()
+
+    def test_negative_prepend_rejected(self):
+        grooming = Grooming.ungroomed([LONDON])
+        with pytest.raises(RoutingError):
+            grooming.prepend_to(10, -1)
+
+    def test_needs_cities(self):
+        with pytest.raises(RoutingError):
+            Grooming(all_cities=frozenset())
+
+
+class TestGroomingEffect:
+    def test_withdrawal_steers_routing(self, toy_graph):
+        """Withdrawing the New York announcement moves E1 off the PNI."""
+        grooming = Grooming.ungroomed([NY, LONDON])
+        grooming.withdraw_city(NY)
+        origin_cities, prepends, suppressed = grooming.compile()
+        table = propagate(
+            toy_graph,
+            PROVIDER,
+            origin_cities=origin_cities,
+            prepends=prepends,
+            suppressed=suppressed,
+        )
+        # The PNI interconnects at New York only; with NY withdrawn E1
+        # must use transit.
+        assert table.best(E1).path != (E1, PROVIDER)
+
+    def test_suppression_steers_routing(self, toy_graph):
+        """A no-announce community moves the client off the direct peer
+        route, which prepending alone cannot do (local pref wins)."""
+        prepended = propagate(toy_graph, PROVIDER, prepends={E1: 10})
+        assert prepended.best(E1).path == (E1, PROVIDER)
+        grooming = Grooming.ungroomed([NY, LONDON]).suppress_neighbor(E1)
+        origin_cities, prepends, suppressed = grooming.compile()
+        table = propagate(
+            toy_graph,
+            PROVIDER,
+            origin_cities=origin_cities,
+            prepends=prepends,
+            suppressed=suppressed,
+        )
+        assert table.best(E1).path != (E1, PROVIDER)

@@ -1,0 +1,66 @@
+"""Tests for Route objects and their invariants."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.bgp import Route, RoutePref
+
+
+class TestRouteInvariants:
+    def test_origin_route(self):
+        route = Route(path=(7,), pref=RoutePref.ORIGIN, advertised_length=0)
+        assert route.holder == 7
+        assert route.origin == 7
+        assert route.as_hops == 0
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(RoutingError):
+            Route(path=(), pref=RoutePref.ORIGIN, advertised_length=0)
+
+    def test_loop_rejected(self):
+        with pytest.raises(RoutingError):
+            Route(path=(1, 2, 1), pref=RoutePref.CUSTOMER, advertised_length=2)
+
+    def test_advertised_length_cannot_undershoot(self):
+        with pytest.raises(RoutingError):
+            Route(path=(1, 2, 3), pref=RoutePref.PEER, advertised_length=1)
+
+    def test_origin_route_must_be_single_as(self):
+        with pytest.raises(RoutingError):
+            Route(path=(1, 2), pref=RoutePref.ORIGIN, advertised_length=1)
+
+    def test_next_hop(self):
+        route = Route(path=(1, 2, 3), pref=RoutePref.PEER, advertised_length=2)
+        assert route.holder == 1
+        assert route.next_hop == 2
+        assert route.origin == 3
+
+    def test_origin_has_no_next_hop(self):
+        route = Route(path=(7,), pref=RoutePref.ORIGIN, advertised_length=0)
+        with pytest.raises(RoutingError):
+            route.next_hop
+
+
+class TestExtension:
+    def test_extend_prepends_learner(self):
+        route = Route(path=(2, 3), pref=RoutePref.CUSTOMER, advertised_length=1)
+        extended = route.extended_to(1, RoutePref.PEER)
+        assert extended.path == (1, 2, 3)
+        assert extended.pref is RoutePref.PEER
+        assert extended.advertised_length == 2
+
+    def test_extend_with_prepending(self):
+        route = Route(path=(3,), pref=RoutePref.ORIGIN, advertised_length=0)
+        extended = route.extended_to(1, RoutePref.CUSTOMER, extra_length=3)
+        assert extended.advertised_length == 4
+        assert extended.as_hops == 1
+
+    def test_extend_to_as_on_path_rejected(self):
+        route = Route(path=(2, 3), pref=RoutePref.CUSTOMER, advertised_length=1)
+        with pytest.raises(RoutingError):
+            route.extended_to(3, RoutePref.PEER)
+
+
+class TestRoutePrefOrdering:
+    def test_economics_ordering(self):
+        assert RoutePref.ORIGIN > RoutePref.CUSTOMER > RoutePref.PEER > RoutePref.PROVIDER

@@ -1,0 +1,88 @@
+"""Tests for the Figure 3/4 analyses."""
+
+import numpy as np
+import pytest
+
+from repro.cdn import (
+    BeaconConfig,
+    CdnDeployment,
+    anycast_vs_best_unicast,
+    redirection_improvement,
+    run_beacon_campaign,
+    train_redirection_policy,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset(small_internet, small_prefixes):
+    deployment = CdnDeployment(small_internet)
+    return run_beacon_campaign(
+        deployment,
+        small_prefixes,
+        BeaconConfig(days=2.0, requests_per_prefix=32, seed=6),
+    )
+
+
+class TestFig3:
+    def test_world_group_always_present(self, dataset):
+        result = anycast_vs_best_unicast(dataset)
+        assert "world" in result.ccdfs
+        assert 0.0 <= result.frac_within_10ms["world"] <= 1.0
+        assert 0.0 <= result.frac_beyond_100ms["world"] <= 1.0
+
+    def test_ccdf_monotone_decreasing(self, dataset):
+        result = anycast_vs_best_unicast(dataset)
+        for ccdf in result.ccdfs.values():
+            assert (np.diff(ccdf.ps) <= 1e-12).all()
+
+    def test_tail_consistency(self, dataset):
+        """within-10ms + beyond-100ms cannot exceed 1."""
+        result = anycast_vs_best_unicast(dataset)
+        for group in result.frac_within_10ms:
+            assert (
+                result.frac_within_10ms[group]
+                + result.frac_beyond_100ms.get(group, 0.0)
+                <= 1.0 + 1e-9
+            )
+
+    def test_anycast_mostly_good(self, dataset):
+        """The paper's takeaway: anycast is within 10 ms of the best
+        unicast for most requests."""
+        result = anycast_vs_best_unicast(dataset)
+        assert result.frac_within_10ms["world"] > 0.5
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self, dataset):
+        policy = train_redirection_policy(dataset, margin_ms=0.5, max_train_samples=4)
+        return redirection_improvement(dataset, policy)
+
+    def test_fractions_bounded(self, result):
+        assert 0.0 <= result.frac_improved <= 1.0
+        assert 0.0 <= result.frac_hurt <= 1.0
+        assert result.frac_improved + result.frac_hurt <= 1.0
+
+    def test_p75_dominates_median(self, result):
+        """Per prefix, the p75 improvement >= the median improvement, so
+        the p75 CDF sits to the right (stochastically dominates)."""
+        for q in (0.25, 0.5, 0.75):
+            assert result.p75_cdf.quantile(q) >= result.median_cdf.quantile(q) - 1e-9
+
+    def test_anycast_policy_changes_nothing(self, dataset):
+        """A policy that never redirects yields zero improvement."""
+        from repro.cdn.dns_redirection import RedirectionPolicy
+
+        null_policy = RedirectionPolicy(choices={}, margin_ms=1.0)
+        result = redirection_improvement(dataset, null_policy)
+        assert result.frac_improved == 0.0
+        assert result.frac_hurt == 0.0
+        assert result.median_cdf.median == pytest.approx(0.0, abs=1e-9)
+
+    def test_redirection_helps_some_hurts_some(self, dataset):
+        """The Figure 4 shape: redirection wins for a minority and is not
+        free of regressions."""
+        policy = train_redirection_policy(dataset, margin_ms=0.5, max_train_samples=4)
+        result = redirection_improvement(dataset, policy)
+        if policy.frac_redirected > 0:
+            assert result.frac_improved > 0.0

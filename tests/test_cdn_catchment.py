@@ -1,0 +1,56 @@
+"""Tests for the catchment-map operator view."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.cdn import CdnDeployment, catchment_map
+from repro.workloads import generate_client_prefixes
+
+
+@pytest.fixture(scope="module")
+def cmap(small_internet):
+    deployment = CdnDeployment(small_internet)
+    prefixes = generate_client_prefixes(small_internet, 60, seed=23)
+    return catchment_map(deployment, prefixes)
+
+
+class TestCatchmentMap:
+    def test_shares_partition(self, cmap):
+        total = sum(e.traffic_share for e in cmap.entries)
+        assert total + cmap.frac_unreachable == pytest.approx(1.0, abs=1e-9)
+
+    def test_sorted_by_share(self, cmap):
+        shares = [e.traffic_share for e in cmap.entries]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_entries_reference_front_ends(self, cmap, small_internet):
+        codes = set(small_internet.wan.pop_codes)
+        for entry in cmap.entries:
+            assert entry.pop_code in codes
+            assert entry.n_prefixes >= 1
+            assert entry.median_client_km <= entry.p90_client_km + 1e-9
+            assert 0.0 <= entry.frac_misdirected <= 1.0
+
+    def test_global_stats(self, cmap):
+        assert cmap.global_median_km >= 0
+        assert 0.0 <= cmap.global_frac_misdirected <= 1.0
+
+    def test_entry_lookup(self, cmap):
+        first = cmap.entries[0]
+        assert cmap.entry(first.pop_code) is first
+        with pytest.raises(AnalysisError):
+            cmap.entry("zzz")
+
+    def test_render(self, cmap):
+        text = cmap.render(top=3)
+        assert "front-end" in text
+        assert cmap.entries[0].pop_code in text
+
+    def test_requires_prefixes(self, small_internet):
+        with pytest.raises(AnalysisError):
+            catchment_map(CdnDeployment(small_internet), [])
+
+    def test_misdirection_matches_pathologies(self, cmap):
+        """Misdirected traffic exists iff some entry reports it."""
+        any_misdirected = any(e.frac_misdirected > 0 for e in cmap.entries)
+        assert (cmap.global_frac_misdirected > 0) == any_misdirected

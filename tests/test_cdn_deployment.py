@@ -1,0 +1,100 @@
+"""Tests for the CDN deployment: anycast and unicast routing state."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.geo import great_circle_km
+from repro.bgp import Grooming
+from repro.cdn import CdnDeployment
+from repro.workloads import generate_client_prefixes
+
+
+@pytest.fixture(scope="module")
+def deployment(small_internet):
+    return CdnDeployment(small_internet)
+
+
+@pytest.fixture(scope="module")
+def prefixes(small_internet):
+    return generate_client_prefixes(small_internet, 30, seed=6)
+
+
+class TestTables:
+    def test_unicast_table_per_front_end(self, deployment, small_internet):
+        assert set(deployment.unicast_tables) == set(
+            small_internet.wan.pop_codes
+        )
+
+    def test_unicast_scoped_to_site(self, deployment, small_internet):
+        for code, table in deployment.unicast_tables.items():
+            assert table.origin_cities == frozenset(
+                {small_internet.wan.pop(code).city}
+            )
+
+    def test_anycast_unscoped(self, deployment):
+        assert deployment.anycast_table.origin_cities is None
+
+
+class TestCatchment:
+    def test_catchment_is_a_front_end(self, deployment, prefixes):
+        codes = {p.code for p in deployment.front_ends}
+        for prefix in prefixes:
+            assert deployment.catchment(prefix).code in codes
+
+    def test_anycast_path_ends_at_provider(self, deployment, prefixes):
+        for prefix in prefixes[:10]:
+            path = deployment.anycast_path(prefix)
+            assert path.as_path[0] == prefix.asn
+            assert path.as_path[-1] == deployment.internet.provider_asn
+
+    def test_unicast_path_reaches_site(self, deployment, prefixes):
+        target = deployment.front_ends[0]
+        for prefix in prefixes[:10]:
+            path = deployment.unicast_path(prefix, target.code)
+            if path is None:
+                continue
+            assert path.as_path[-1] == deployment.internet.provider_asn
+
+    def test_unknown_front_end_rejected(self, deployment, prefixes):
+        with pytest.raises(RoutingError):
+            deployment.unicast_path(prefixes[0], "zzz")
+
+
+class TestNearbyFrontEnds:
+    def test_sorted_by_distance(self, deployment, prefixes):
+        prefix = prefixes[0]
+        nearby = deployment.nearby_front_ends(prefix, 5)
+        assert len(nearby) == 5
+        distances = [
+            great_circle_km(prefix.city.location, p.city.location)
+            for p in nearby
+        ]
+        assert distances == sorted(distances)
+
+    def test_k_larger_than_inventory(self, deployment, prefixes):
+        nearby = deployment.nearby_front_ends(prefixes[0], 10_000)
+        assert len(nearby) == len(deployment.front_ends)
+
+
+class TestGroomedDeployment:
+    def test_withdrawal_changes_catchments(self, small_internet, prefixes):
+        plain = CdnDeployment(small_internet)
+        # Withdraw the busiest catchment city and verify its clients move.
+        from collections import Counter
+
+        catchments = Counter(plain.catchment(p).code for p in prefixes)
+        busiest, count = catchments.most_common(1)[0]
+        assert count > 0
+        grooming = Grooming.ungroomed(
+            [p.city for p in small_internet.wan.pops]
+        )
+        grooming.withdraw_city(small_internet.wan.pop(busiest).city)
+        groomed = CdnDeployment(small_internet, grooming=grooming)
+        for prefix in prefixes:
+            assert groomed.catchment(prefix).code != busiest or (
+                # The nearest-pop mapping may still name the withdrawn
+                # PoP if ingress lands nearby; the ingress city itself
+                # must not be the withdrawn city.
+                groomed.anycast_path(prefix).ingress_city
+                != small_internet.wan.pop(busiest).city
+            )

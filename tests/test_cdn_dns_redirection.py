@@ -1,0 +1,147 @@
+"""Tests for the per-LDNS DNS redirection policy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.cdn import BeaconConfig, CdnDeployment, run_beacon_campaign, train_redirection_policy
+from repro.cdn.dns_redirection import ANYCAST, RedirectionPolicy, evaluation_slice
+from repro.workloads import generate_client_prefixes
+
+
+@pytest.fixture(scope="module")
+def dataset(small_internet, small_prefixes):
+    deployment = CdnDeployment(small_internet)
+    return run_beacon_campaign(
+        deployment,
+        small_prefixes,
+        BeaconConfig(days=2.0, requests_per_prefix=32, seed=6),
+    )
+
+
+class TestTraining:
+    def test_choices_cover_all_resolvers(self, dataset):
+        policy = train_redirection_policy(dataset)
+        resolvers = {p.ldns for p in dataset.prefixes}
+        assert set(policy.choices) == resolvers
+
+    def test_choices_are_valid_targets(self, dataset):
+        policy = train_redirection_policy(dataset)
+        fe_codes = set(dataset.fe_codes[0])
+        for choice in policy.choices.values():
+            assert choice == ANYCAST or choice in fe_codes
+
+    def test_large_margin_means_no_redirects(self, dataset):
+        policy = train_redirection_policy(dataset, margin_ms=10_000.0)
+        assert policy.frac_redirected == 0.0
+
+    def test_margin_monotonicity(self, dataset):
+        loose = train_redirection_policy(dataset, margin_ms=0.0)
+        strict = train_redirection_policy(dataset, margin_ms=20.0)
+        assert strict.frac_redirected <= loose.frac_redirected
+
+    def test_requires_ldns(self, small_internet, dataset):
+        from dataclasses import replace
+
+        stripped = replace(dataset.prefixes[0], ldns=None)
+        broken = type(dataset)(
+            prefixes=[stripped] + dataset.prefixes[1:],
+            catchments=dataset.catchments,
+            fe_codes=dataset.fe_codes,
+            times_h=dataset.times_h,
+            anycast_rtt=dataset.anycast_rtt,
+            unicast_rtt=dataset.unicast_rtt,
+            n_nearby=dataset.n_nearby,
+        )
+        with pytest.raises(AnalysisError):
+            train_redirection_policy(broken)
+
+    def test_train_fraction_bounds(self, dataset):
+        with pytest.raises(AnalysisError):
+            train_redirection_policy(dataset, train_fraction=0.0)
+
+    def test_sample_budget_positive(self, dataset):
+        with pytest.raises(AnalysisError):
+            train_redirection_policy(dataset, max_train_samples=0)
+
+    def test_deterministic(self, dataset):
+        a = train_redirection_policy(dataset)
+        b = train_redirection_policy(dataset)
+        assert a.choices == b.choices
+
+    def test_redirects_broken_catchments(self, dataset):
+        """Resolvers whose clients suffer a clearly bad catchment must be
+        redirected to something better."""
+        policy = train_redirection_policy(dataset, margin_ms=1.0)
+        window = evaluation_slice(dataset)
+        for i, prefix in enumerate(dataset.prefixes):
+            anycast = np.median(dataset.anycast_rtt[i, window])
+            best = np.nanmin(
+                np.nanmedian(dataset.unicast_rtt[i, window, :], axis=0)
+            )
+            if anycast - best > 100.0:
+                # Badly-served client: training should have moved its
+                # resolver off anycast (its pool-mates share the AS and
+                # thus the broken catchment).
+                assert policy.choice_for(prefix.ldns) != ANYCAST
+
+
+class TestEcs:
+    def test_ecs_adds_prefix_choices(self, dataset):
+        resolvers = {p.ldns for p in dataset.prefixes}
+        policy = train_redirection_policy(dataset, ecs_resolvers=resolvers)
+        plain = train_redirection_policy(dataset)
+        assert plain.prefix_choices == {}
+        # Per-prefix decisions exist for at least the pathological clients.
+        assert isinstance(policy.prefix_choices, dict)
+
+    def test_prefix_choice_takes_precedence(self):
+        from repro.cdn.dns_redirection import RedirectionPolicy
+
+        policy = RedirectionPolicy(
+            choices={"ldns-x": "lhr"},
+            margin_ms=1.0,
+            prefix_choices={"p00001": "nrt"},
+        )
+        assert policy.choice_for("ldns-x", pid="p00001") == "nrt"
+        assert policy.choice_for("ldns-x", pid="p00002") == "lhr"
+        assert policy.choice_for("ldns-x") == "lhr"
+
+    def test_ecs_never_increases_eval_gap_much(self, dataset):
+        """Per-client granularity should not make things meaningfully
+        worse than pooled decisions."""
+        from repro.cdn import redirection_improvement
+
+        resolvers = {p.ldns for p in dataset.prefixes}
+        pooled = redirection_improvement(
+            dataset, train_redirection_policy(dataset)
+        )
+        ecs = redirection_improvement(
+            dataset, train_redirection_policy(dataset, ecs_resolvers=resolvers)
+        )
+        assert ecs.frac_improved >= pooled.frac_improved - 0.05
+
+
+class TestPolicyApi:
+    def test_unknown_resolver_stays_anycast(self):
+        policy = RedirectionPolicy(choices={"x": "lhr"}, margin_ms=1.0)
+        assert policy.choice_for("unknown") == ANYCAST
+        assert policy.choice_for(None) == ANYCAST
+
+    def test_frac_redirected(self):
+        policy = RedirectionPolicy(
+            choices={"a": "lhr", "b": ANYCAST}, margin_ms=1.0
+        )
+        assert policy.frac_redirected == pytest.approx(0.5)
+        assert RedirectionPolicy(choices={}, margin_ms=1.0).frac_redirected == 0.0
+
+
+class TestEvaluationSlice:
+    def test_slices_complement_training(self, dataset):
+        window = evaluation_slice(dataset, 0.5)
+        assert window.start == dataset.n_requests // 2
+        assert window.stop == dataset.n_requests
+
+    def test_bounds(self, dataset):
+        with pytest.raises(AnalysisError):
+            evaluation_slice(dataset, 1.0)

@@ -1,0 +1,50 @@
+"""Tests for the grooming-transfer study (§3.2.2)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.cdn import grooming_transfer_study
+from repro.workloads import generate_client_prefixes
+
+
+@pytest.fixture(scope="module")
+def populations(small_internet):
+    train = generate_client_prefixes(small_internet, 60, seed=31)
+    fresh = generate_client_prefixes(small_internet, 60, seed=32)
+    return train, fresh
+
+
+class TestGroomingTransfer:
+    @pytest.fixture(scope="class")
+    def result(self, small_internet, populations):
+        train, fresh = populations
+        return grooming_transfer_study(
+            small_internet, train, fresh, max_actions=10
+        )
+
+    def test_efficiency_bounded(self, result):
+        assert 0.0 <= result.transfer_efficiency <= 1.0
+
+    def test_own_grooming_at_least_transferred(self, result):
+        assert result.eval_own_groomed >= result.eval_transferred - 0.05
+
+    def test_transfer_does_not_hurt_much(self, result):
+        """Suppressions learned elsewhere are topology properties; they
+        should not noticeably hurt a fresh population."""
+        assert result.eval_transferred >= result.eval_ungroomed - 0.05
+
+    def test_same_population_transfers_perfectly(self, small_internet, populations):
+        """A re-announced prefix serving the same clients inherits the
+        grooming wholesale."""
+        train, _ = populations
+        result = grooming_transfer_study(
+            small_internet, train, train, max_actions=10
+        )
+        assert result.transfer_efficiency == pytest.approx(1.0, abs=0.05)
+
+    def test_validation(self, small_internet, populations):
+        train, fresh = populations
+        with pytest.raises(AnalysisError):
+            grooming_transfer_study(small_internet, [], fresh)
+        with pytest.raises(AnalysisError):
+            grooming_transfer_study(small_internet, train, [])

@@ -1,0 +1,70 @@
+"""Tests for the hybrid (confidence-gated) redirection policy."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.cdn import (
+    BeaconConfig,
+    CdnDeployment,
+    redirection_improvement,
+    run_beacon_campaign,
+    train_hybrid_policy,
+    train_redirection_policy,
+)
+from repro.cdn.dns_redirection import ANYCAST
+
+
+@pytest.fixture(scope="module")
+def dataset(small_internet, small_prefixes):
+    deployment = CdnDeployment(small_internet)
+    return run_beacon_campaign(
+        deployment,
+        small_prefixes,
+        BeaconConfig(days=2.0, requests_per_prefix=32, seed=6),
+    )
+
+
+class TestHybridPolicy:
+    def test_covers_all_resolvers(self, dataset):
+        policy = train_hybrid_policy(dataset)
+        assert set(policy.choices) == {p.ldns for p in dataset.prefixes}
+
+    def test_more_conservative_than_plain(self, dataset):
+        plain = train_redirection_policy(dataset, margin_ms=0.5, max_train_samples=4)
+        hybrid = train_hybrid_policy(dataset)
+        assert hybrid.frac_redirected <= plain.frac_redirected
+
+    def test_hurts_less_than_plain(self, dataset):
+        """The §4 design goal: keep the improvement, drop the regressions."""
+        plain = train_redirection_policy(dataset, margin_ms=0.5, max_train_samples=4)
+        hybrid = train_hybrid_policy(dataset)
+        plain_result = redirection_improvement(dataset, plain)
+        hybrid_result = redirection_improvement(dataset, hybrid)
+        assert hybrid_result.frac_hurt <= plain_result.frac_hurt + 1e-9
+
+    def test_still_fixes_broken_catchments(self, dataset):
+        """Confidence gating must not give up the big, consistent wins."""
+        import numpy as np
+
+        policy = train_hybrid_policy(dataset)
+        any_redirect = any(c != ANYCAST for c in policy.choices.values())
+        # There are pathological catchments in this dataset (gap > 100 ms);
+        # the hybrid should catch at least some.
+        gaps = np.nanmedian(
+            dataset.anycast_rtt - dataset.best_nearby_unicast(), axis=1
+        )
+        if (gaps > 100.0).any():
+            assert any_redirect
+
+    def test_perfect_consistency_requirement(self, dataset):
+        strict = train_hybrid_policy(dataset, consistency=1.0, margin_ms=50.0)
+        loose = train_hybrid_policy(dataset, consistency=0.5, margin_ms=1.0)
+        assert strict.frac_redirected <= loose.frac_redirected
+
+    def test_validation(self, dataset):
+        with pytest.raises(AnalysisError):
+            train_hybrid_policy(dataset, train_fraction=1.5)
+        with pytest.raises(AnalysisError):
+            train_hybrid_policy(dataset, consistency=0.0)
+        with pytest.raises(AnalysisError):
+            train_hybrid_policy(dataset, max_train_samples=0)

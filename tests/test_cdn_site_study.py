@@ -1,0 +1,44 @@
+"""Tests for the anycast site-count sweep."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.core import cdn_topology
+from repro.cdn import site_count_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return site_count_study(
+        cdn_topology(1), site_counts=(4, 10, 20), n_prefixes=60, seed=5
+    )
+
+
+class TestSiteStudy:
+    def test_points_ascending(self, study):
+        assert [p.n_sites for p in study.points] == [4, 10, 20]
+
+    def test_more_sites_lower_latency(self, study):
+        """The headline: adding sites reduces median latency."""
+        medians = [p.median_rtt_ms for p in study.points]
+        assert medians[-1] < medians[0]
+
+    def test_diminishing_returns(self, study):
+        """Per-site marginal benefit shrinks as the deployment grows."""
+        marginal = study.marginal_benefit_ms()
+        assert marginal[0][2] >= marginal[-1][2] - 1.0
+
+    def test_metrics_bounded(self, study):
+        for point in study.points:
+            assert point.median_rtt_ms > 0
+            assert point.p90_rtt_ms >= point.median_rtt_ms
+            assert 0.0 <= point.frac_suboptimal_catchment <= 1.0
+            assert point.p90_gap_ms >= point.median_gap_ms
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            site_count_study(cdn_topology(0), site_counts=())
+        with pytest.raises(AnalysisError):
+            site_count_study(cdn_topology(0), site_counts=(1,))
+        with pytest.raises(AnalysisError):
+            site_count_study(cdn_topology(0), site_counts=(10_000,))

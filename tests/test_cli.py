@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig1"])
+        assert args.handler is not None
+        assert args.seed == 0
+
+    def test_options_parsed(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig3", "--seed", "7", "--scale", "40", "--days", "1.5"])
+        assert args.seed == 7
+        assert args.scale == 40
+        assert args.days == 1.5
+
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 2
+        out = capsys.readouterr().out
+        assert "repro-bgp" in out
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1", "fig5", "grooming"):
+            assert name in out
+
+    @pytest.mark.parametrize("command", ["fig1", "fig2"])
+    def test_pop_commands_run(self, capsys, command):
+        assert main([command, "--scale", "30", "--days", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "ms" in out or "%" in out
+
+    def test_fig4_runs(self, capsys):
+        assert main(["fig4", "--scale", "30", "--days", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "improved" in out
+
+    def test_fig5_runs(self, capsys):
+        assert main(["fig5", "--scale", "40", "--days", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "within +/- 10 ms" in out
+
+    def test_sites_runs(self, capsys):
+        assert main(["sites", "--scale", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "sites" in out
+
+    def test_fig1_csv_export(self, capsys, tmp_path):
+        target = tmp_path / "fig1.csv"
+        assert main(
+            ["fig1", "--scale", "30", "--days", "0.25", "--csv", str(target)]
+        ) == 0
+        text = target.read_text()
+        assert text.startswith("bgp_minus_alternate_ms,cum_fraction")
+        assert len(text.splitlines()) > 10

@@ -1,0 +1,73 @@
+"""Tests for the split-TCP study over the tier dataset."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.cloudtiers import (
+    CampaignConfig,
+    CloudDeployment,
+    SpeedcheckerPlatform,
+    run_campaign,
+    split_tcp_study,
+)
+
+
+@pytest.fixture(scope="module")
+def setup(small_internet):
+    deployment = CloudDeployment(small_internet)
+    platform = SpeedcheckerPlatform(deployment, seed=4)
+    dataset = run_campaign(
+        platform, CampaignConfig(days=3, vps_per_day=50, rounds_per_day=3, seed=4)
+    )
+    return deployment, dataset
+
+
+class TestSplitTcpStudy:
+    def test_points_sorted_by_size(self, setup):
+        deployment, dataset = setup
+        result = split_tcp_study(dataset, deployment)
+        sizes = [p.transfer_mb for p in result.points]
+        assert sizes == sorted(sizes)
+        assert result.n_vps > 0
+
+    def test_split_beats_direct(self, setup):
+        """§4: splitting helps over long distances — and the eligible
+        panel is made of exactly the far-from-DC clients."""
+        deployment, dataset = setup
+        result = split_tcp_study(dataset, deployment)
+        for point in result.points:
+            assert point.split_benefit_ms > 0
+
+    def test_backend_choice_matters_little(self, setup):
+        """The §4 question answered: WAN vs public backend is a small
+        effect next to the split itself."""
+        deployment, dataset = setup
+        result = split_tcp_study(dataset, deployment)
+        for point in result.points:
+            assert abs(point.wan_backend_advantage_ms) < point.split_benefit_ms
+
+    def test_benefit_grows_then_saturates(self, setup):
+        deployment, dataset = setup
+        result = split_tcp_study(
+            dataset, deployment, transfer_sizes_mb=(0.064, 1.0, 50.0)
+        )
+        benefits = [p.split_benefit_ms for p in result.points]
+        # Mid-size transfers gain at least as much as tiny ones, and the
+        # relative benefit shrinks for bottleneck-dominated transfers.
+        assert benefits[1] >= benefits[0] * 0.5
+        rel = [
+            p.split_benefit_ms / p.direct_ms for p in result.points
+        ]
+        assert rel[-1] < rel[0] + 0.25
+
+    def test_point_lookup(self, setup):
+        deployment, dataset = setup
+        result = split_tcp_study(dataset, deployment, transfer_sizes_mb=(1.0,))
+        assert result.point(1.0).transfer_mb == 1.0
+        with pytest.raises(AnalysisError):
+            result.point(2.0)
+
+    def test_empty_sizes_rejected(self, setup):
+        deployment, dataset = setup
+        with pytest.raises(AnalysisError):
+            split_tcp_study(dataset, deployment, transfer_sizes_mb=())

@@ -1,0 +1,98 @@
+"""Tests for Premium/Standard tier routing state."""
+
+import pytest
+
+from repro.cloudtiers import CloudDeployment, Tier
+
+
+@pytest.fixture(scope="module")
+def deployment(small_internet):
+    return CloudDeployment(small_internet)
+
+
+class TestTables:
+    def test_premium_announced_everywhere(self, deployment):
+        assert deployment.premium_table.origin_cities is None
+
+    def test_standard_scoped_to_dc(self, deployment, small_internet):
+        assert deployment.standard_table.origin_cities == frozenset(
+            {small_internet.dc_pop.city}
+        )
+
+    def test_table_selector(self, deployment):
+        assert deployment.table(Tier.PREMIUM) is deployment.premium_table
+        assert deployment.table(Tier.STANDARD) is deployment.standard_table
+
+
+class TestPaths:
+    def test_both_tiers_reach_dc(self, deployment, small_internet):
+        eyeball = small_internet.graph.get(small_internet.eyeball_asns[0])
+        for tier in Tier:
+            path = deployment.path(tier, eyeball.asn, eyeball.home_city)
+            assert path.as_path[-1] == small_internet.provider_asn
+
+    def test_standard_enters_at_dc(self, deployment, small_internet):
+        """Standard-tier traffic can only enter the provider at the DC."""
+        dc_city = small_internet.dc_pop.city
+        for asn in small_internet.eyeball_asns[:15]:
+            eyeball = small_internet.graph.get(asn)
+            path = deployment.path(Tier.STANDARD, asn, eyeball.home_city)
+            assert path.ingress_city == dc_city
+
+    def test_premium_ingress_nearer_than_standard(self, deployment, small_internet):
+        """On (weighted) average, Premium enters near the client."""
+        from repro.geo import great_circle_km
+
+        premium_near = 0
+        total = 0
+        dc_city = small_internet.dc_pop.city
+        for asn in small_internet.eyeball_asns[:30]:
+            eyeball = small_internet.graph.get(asn)
+            if great_circle_km(eyeball.home_city.location, dc_city.location) < 2000:
+                continue  # near the DC both tiers enter locally
+            premium = deployment.path(Tier.PREMIUM, asn, eyeball.home_city)
+            d_premium = great_circle_km(
+                eyeball.home_city.location, premium.ingress_city.location
+            )
+            d_standard = great_circle_km(
+                eyeball.home_city.location, dc_city.location
+            )
+            total += 1
+            if d_premium < d_standard:
+                premium_near += 1
+        assert total > 0
+        assert premium_near / total > 0.8
+
+
+class TestDirectnessFilter:
+    def test_peered_eyeball_direct_on_premium(self, deployment, small_internet):
+        peers = [
+            asn
+            for asn in small_internet.graph.peers(small_internet.provider_asn)
+            if asn in set(small_internet.eyeball_asns)
+        ]
+        assert peers, "small internet should have provider-eyeball peerings"
+        direct = [deployment.enters_directly(Tier.PREMIUM, asn) for asn in peers]
+        assert any(direct)
+
+    def test_standard_rarely_direct(self, deployment, small_internet):
+        """Standard announcements are DC-scoped; only ASes interconnecting
+        at the DC city can be direct."""
+        direct = [
+            deployment.enters_directly(Tier.STANDARD, asn)
+            for asn in small_internet.eyeball_asns
+        ]
+        assert sum(bool(d) for d in direct) <= len(direct) * 0.2
+
+    def test_none_for_unreachable(self, small_config):
+        """An eyeball cut off from the graph has no route on either tier."""
+        from repro.topology import build_internet
+        from repro.cloudtiers import CloudDeployment as Deployment
+
+        internet = build_internet(small_config)
+        victim = internet.eyeball_asns[0]
+        for neighbor in list(internet.graph.neighbors(victim)):
+            internet.graph.remove_link(victim, neighbor)
+        deployment = Deployment(internet)
+        assert deployment.enters_directly(Tier.PREMIUM, victim) is None
+        assert deployment.enters_directly(Tier.STANDARD, victim) is None

@@ -1,0 +1,121 @@
+"""Tests for the hypothesis evaluators."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import weighted_cdf
+from repro.core import (
+    Verdict,
+    evaluate_degrade_together,
+    evaluate_direct_peering,
+    evaluate_short_paths,
+    evaluate_single_wan,
+)
+from repro.edgefabric.analysis import Fig2Result, PersistenceResult
+from repro.cdn.analysis import Fig3Result
+from repro.cloudtiers.analysis import Fig5Result, IndiaCaseStudy
+from repro.geo import Region
+
+
+def make_persistence(co, corr):
+    return PersistenceResult(
+        frac_pairs_never=0.8,
+        frac_pairs_persistent=0.05,
+        frac_pairs_transient=0.15,
+        degradation_co_occurrence=co,
+        median_route_correlation=corr,
+        threshold_ms=5.0,
+    )
+
+
+def make_fig2(transit_close, public_close=0.9):
+    cdf = weighted_cdf([0.0, 1.0])
+    return Fig2Result(
+        peer_vs_transit=cdf,
+        private_vs_public=cdf,
+        frac_transit_within_5ms=transit_close,
+        frac_public_within_5ms=public_close,
+    )
+
+
+def make_fig3(within, beyond):
+    cdf = weighted_cdf([1.0])
+    return Fig3Result(
+        ccdfs={"world": cdf},
+        frac_within_10ms={"world": within},
+        frac_beyond_100ms={"world": beyond},
+    )
+
+
+def make_fig5():
+    return Fig5Result(
+        country_diff_ms={"IN": -30.0, "JP": 20.0},
+        country_vp_count={"IN": 5, "JP": 5},
+        frac_within_10ms=0.0,
+        premium_better=("JP",),
+        standard_better=("IN",),
+        region_medians={Region.ASIA: -5.0},
+    )
+
+
+def make_india(diff, west, pacific=1.0):
+    return IndiaCaseStudy(
+        n_vps=10,
+        median_diff_ms=diff,
+        frac_premium_via_pacific=pacific,
+        frac_standard_via_west=west,
+    )
+
+
+class TestDegradeTogether:
+    def test_supported(self):
+        verdict = evaluate_degrade_together(make_persistence(0.7, 0.8))
+        assert verdict.verdict is Verdict.SUPPORTED
+        assert "degradation_co_occurrence" in verdict.evidence
+
+    def test_refuted(self):
+        assert (
+            evaluate_degrade_together(make_persistence(0.1, 0.1)).verdict
+            is Verdict.REFUTED
+        )
+
+    def test_inconclusive(self):
+        assert (
+            evaluate_degrade_together(make_persistence(0.4, 0.2)).verdict
+            is Verdict.INCONCLUSIVE
+        )
+
+
+class TestDirectPeering:
+    def test_supported(self):
+        assert evaluate_direct_peering(make_fig2(0.9)).verdict is Verdict.SUPPORTED
+
+    def test_refuted(self):
+        assert evaluate_direct_peering(make_fig2(0.2)).verdict is Verdict.REFUTED
+
+    def test_inconclusive(self):
+        assert (
+            evaluate_direct_peering(make_fig2(0.5)).verdict is Verdict.INCONCLUSIVE
+        )
+
+
+class TestShortPaths:
+    def test_supported(self):
+        assert evaluate_short_paths(make_fig3(0.8, 0.05)).verdict is Verdict.SUPPORTED
+
+    def test_refuted(self):
+        assert evaluate_short_paths(make_fig3(0.3, 0.4)).verdict is Verdict.REFUTED
+
+
+class TestSingleWan:
+    def test_supported(self):
+        verdict = evaluate_single_wan(make_fig5(), make_india(-30.0, 0.9))
+        assert verdict.verdict is Verdict.SUPPORTED
+
+    def test_refuted_when_wan_wins(self):
+        verdict = evaluate_single_wan(make_fig5(), make_india(+20.0, 0.9))
+        assert verdict.verdict is Verdict.REFUTED
+
+    def test_inconclusive_without_structure(self):
+        verdict = evaluate_single_wan(make_fig5(), make_india(-20.0, 0.1))
+        assert verdict.verdict is Verdict.INCONCLUSIVE

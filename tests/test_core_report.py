@@ -1,0 +1,45 @@
+"""Tests for paper-style report rendering."""
+
+from repro.core import StudyResult, Verdict, render_report
+from repro.core.hypotheses import HypothesisVerdict
+
+
+def make_result(name="demo"):
+    return StudyResult(
+        name=name,
+        summary={"alpha": 1.2345, "beta": 0.5},
+        figures={},
+        hypotheses=[
+            HypothesisVerdict(
+                hypothesis="test hypothesis",
+                verdict=Verdict.SUPPORTED,
+                evidence={"metric": 0.9},
+                explanation="because the metric is high.",
+            )
+        ],
+    )
+
+
+class TestRenderReport:
+    def test_summary_rows_sorted(self):
+        report = render_report([make_result()])
+        alpha_pos = report.index("alpha")
+        beta_pos = report.index("beta")
+        assert alpha_pos < beta_pos
+        assert "1.234" in report or "1.235" in report
+
+    def test_hypotheses_with_evidence(self):
+        report = render_report([make_result()])
+        assert "[SUPPORTED" in report
+        assert "test hypothesis" in report
+        assert "because the metric is high." in report
+        assert "metric" in report
+
+    def test_multiple_studies(self):
+        report = render_report([make_result("a"), make_result("b")])
+        assert "## Study: a" in report
+        assert "## Study: b" in report
+
+    def test_header_always_present(self):
+        report = render_report([])
+        assert report.startswith("Beating BGP is Harder than we Thought")

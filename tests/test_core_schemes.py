@@ -1,0 +1,53 @@
+"""Tests for the routing-scheme comparison framework."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.core import SCHEME_BGP, SCHEME_OMNISCIENT, SCHEME_STATIC_BEST
+from repro.core.schemes import compare_schemes
+from repro.edgefabric import MeasurementConfig, run_measurement
+from repro.workloads import generate_client_prefixes
+
+
+@pytest.fixture(scope="module")
+def dataset(small_internet):
+    prefixes = generate_client_prefixes(small_internet, 40, seed=3)
+    return run_measurement(
+        small_internet, prefixes, MeasurementConfig(days=0.5, seed=3)
+    )
+
+
+class TestCompareSchemes:
+    def test_all_schemes_reported(self, dataset):
+        result = compare_schemes(dataset)
+        assert set(result) == {"bgp-policy", "static-best", "omniscient"}
+        for stats in result.values():
+            assert stats["median_ms"] > 0
+            assert stats["p95_ms"] >= stats["median_ms"]
+
+    def test_bgp_improvement_is_zero(self, dataset):
+        result = compare_schemes(dataset)
+        assert result["bgp-policy"]["improvement_over_bgp_ms"] == pytest.approx(0.0)
+
+    def test_omniscient_never_worse(self, dataset):
+        result = compare_schemes(dataset)
+        assert result["omniscient"]["improvement_over_bgp_ms"] >= -1e-9
+
+    def test_paper_headline_small_gain(self, dataset):
+        """The performance-aware upper bound beats BGP only marginally."""
+        result = compare_schemes(dataset)
+        assert result["omniscient"]["improvement_over_bgp_ms"] < 5.0
+
+    def test_empty_schemes_rejected(self, dataset):
+        with pytest.raises(AnalysisError):
+            compare_schemes(dataset, schemes=())
+
+    def test_works_without_bgp_in_list(self, dataset):
+        result = compare_schemes(dataset, schemes=(SCHEME_OMNISCIENT,))
+        assert "omniscient" in result
+        assert "improvement_over_bgp_ms" in result["omniscient"]
+
+    def test_scheme_achieved_shapes(self, dataset):
+        for scheme in (SCHEME_BGP, SCHEME_OMNISCIENT, SCHEME_STATIC_BEST):
+            achieved = scheme.achieved(dataset)
+            assert achieved.shape == (dataset.n_pairs, dataset.n_windows)

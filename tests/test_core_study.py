@@ -1,0 +1,92 @@
+"""Tests for the unified Study API (small, fast configurations)."""
+
+import pytest
+
+from repro.core import (
+    AnycastCdnStudy,
+    CloudTiersStudy,
+    PopRoutingStudy,
+    StudyResult,
+    render_report,
+)
+
+
+@pytest.fixture(scope="module")
+def pop_result(small_config):
+    return PopRoutingStudy(
+        seed=7, n_prefixes=40, days=0.5, topology=small_config
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def cdn_result(small_config):
+    return AnycastCdnStudy(
+        seed=7,
+        n_prefixes=40,
+        days=1.0,
+        requests_per_prefix=24,
+        topology=small_config,
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def cloud_result(small_config):
+    return CloudTiersStudy(
+        seed=7, days=3, vps_per_day=50, topology=small_config
+    ).run()
+
+
+class TestPopRoutingStudy:
+    def test_result_shape(self, pop_result):
+        assert isinstance(pop_result, StudyResult)
+        assert pop_result.name == "pop-routing"
+        assert {"fig1", "fig2", "persistence", "schemes"} <= set(pop_result.figures)
+        assert len(pop_result.hypotheses) == 2
+
+    def test_headline_statistics(self, pop_result):
+        summary = pop_result.summary
+        assert 0.0 <= summary["frac_alternate_better_5ms"] <= 0.25
+        assert summary["omniscient_gain_ms"] >= 0.0
+        assert summary["omniscient_gain_ms"] < 10.0
+
+
+class TestAnycastCdnStudy:
+    def test_result_shape(self, cdn_result):
+        assert cdn_result.name == "anycast-cdn"
+        assert {"fig3", "fig4", "policy"} <= set(cdn_result.figures)
+        assert len(cdn_result.hypotheses) == 1
+
+    def test_headline_statistics(self, cdn_result):
+        summary = cdn_result.summary
+        assert summary["frac_within_10ms_world"] > 0.4
+        assert 0.0 <= summary["frac_improved"] <= 1.0
+        assert 0.0 <= summary["frac_hurt"] <= 1.0
+
+
+class TestCloudTiersStudy:
+    def test_result_shape(self, cloud_result):
+        assert cloud_result.name == "cloud-tiers"
+        assert {"fig5", "ingress", "goodput"} <= set(cloud_result.figures)
+
+    def test_headline_statistics(self, cloud_result):
+        summary = cloud_result.summary
+        assert summary["n_countries"] > 0
+        assert (
+            summary["premium_ingress_within_400km"]
+            > summary["standard_ingress_within_400km"]
+        )
+        assert 0.5 <= summary["goodput_ratio"] <= 2.0
+
+
+class TestReport:
+    def test_render_covers_all_studies(self, pop_result, cdn_result, cloud_result):
+        report = render_report([pop_result, cdn_result, cloud_result])
+        assert "pop-routing" in report
+        assert "anycast-cdn" in report
+        assert "cloud-tiers" in report
+        for verdict in pop_result.hypotheses:
+            assert verdict.hypothesis in report
+
+    def test_render_empty(self):
+        report = render_report([])
+        assert "reproduction report" in report

@@ -1,0 +1,51 @@
+"""Tests for the reproduction self-check."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.core import ClaimCheck, ValidationReport, validate_reproduction
+
+
+class TestReportRendering:
+    def make_report(self, passed_flags):
+        checks = tuple(
+            ClaimCheck(
+                claim_id=f"c{i}",
+                description=f"claim {i}",
+                expected="x",
+                measured="y",
+                passed=flag,
+            )
+            for i, flag in enumerate(passed_flags)
+        )
+        return ValidationReport(checks=checks)
+
+    def test_all_pass(self):
+        report = self.make_report([True, True])
+        assert report.passed
+        assert report.n_failed == 0
+        assert "all claims hold" in report.render()
+
+    def test_failures_counted(self):
+        report = self.make_report([True, False, False])
+        assert not report.passed
+        assert report.n_failed == 2
+        assert "2 claim(s) FAILED" in report.render()
+        assert "[FAIL]" in report.render()
+
+
+class TestValidateReproduction:
+    def test_invalid_scale(self):
+        with pytest.raises(AnalysisError):
+            validate_reproduction(scale="huge")
+
+    @pytest.mark.slow
+    def test_small_scale_passes(self):
+        messages = []
+        report = validate_reproduction(
+            seed=0, scale="small", progress=messages.append
+        )
+        assert report.passed, report.render()
+        claim_ids = {c.claim_id for c in report.checks}
+        assert {"fig1", "fig2", "fig3", "fig4", "s332-india", "s4-goodput"} <= claim_ids
+        assert any("Setting A" in m for m in messages)

@@ -1,0 +1,110 @@
+"""Tests for the Figure 1/2 analyses and the §3.1.1 decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.edgefabric import (
+    MeasurementConfig,
+    bgp_vs_best_alternate,
+    persistence_decomposition,
+    route_class_comparison,
+    run_measurement,
+)
+from repro.workloads import generate_client_prefixes
+
+
+@pytest.fixture(scope="module")
+def dataset(small_internet):
+    prefixes = generate_client_prefixes(small_internet, 50, seed=3)
+    return run_measurement(
+        small_internet, prefixes, MeasurementConfig(days=1.0, seed=3)
+    )
+
+
+class TestFig1:
+    def test_cdf_fields_consistent(self, dataset):
+        result = bgp_vs_best_alternate(dataset)
+        assert 0.0 <= result.frac_alternate_better_5ms <= 1.0
+        assert 0.0 <= result.frac_bgp_within_1ms <= 1.0
+        assert result.frac_bgp_strictly_better <= result.frac_bgp_within_1ms
+
+    def test_band_brackets_central_cdf(self, dataset):
+        """At any x, lower-bound CDF >= central >= upper-bound CDF."""
+        result = bgp_vs_best_alternate(dataset)
+        for x in (-5.0, 0.0, 5.0):
+            assert (
+                result.cdf_lower.fraction_at_most(x)
+                >= result.cdf.fraction_at_most(x)
+                >= result.cdf_upper.fraction_at_most(x)
+            )
+
+    def test_mass_concentrated_near_zero(self, dataset):
+        """The paper's Figure 1 shape: most traffic within ±10 ms."""
+        result = bgp_vs_best_alternate(dataset)
+        central = result.cdf.fraction_at_most(10.0) - result.cdf.fraction_at_most(
+            -10.0
+        )
+        assert central > 0.6
+
+    def test_alternate_improvement_is_minority(self, dataset):
+        result = bgp_vs_best_alternate(dataset)
+        assert result.frac_alternate_better_5ms < 0.2
+
+    def test_requires_alternates(self, dataset):
+        from dataclasses import replace
+
+        import repro.edgefabric.dataset as ds_mod
+
+        narrow = ds_mod.EgressDataset(
+            pairs=dataset.pairs,
+            times_h=dataset.times_h,
+            medians=dataset.medians[:, :, :1],
+            ci_half=dataset.ci_half[:, :, :1],
+            volumes=dataset.volumes,
+            max_routes=1,
+        )
+        with pytest.raises(AnalysisError):
+            bgp_vs_best_alternate(narrow)
+
+
+class TestFig2:
+    def test_both_comparisons_present(self, dataset):
+        result = route_class_comparison(dataset)
+        assert result.peer_vs_transit.xs.size > 0
+        assert result.private_vs_public.xs.size > 0
+
+    def test_classes_perform_similarly(self, dataset):
+        """Figure 2's takeaway: transit ≈ peer, public ≈ private."""
+        result = route_class_comparison(dataset)
+        assert abs(result.peer_vs_transit.median) < 10.0
+        assert abs(result.private_vs_public.median) < 10.0
+        assert result.frac_transit_within_5ms > 0.5
+        assert result.frac_public_within_5ms > 0.5
+
+
+class TestPersistence:
+    def test_fractions_partition(self, dataset):
+        result = persistence_decomposition(dataset)
+        total = (
+            result.frac_pairs_never
+            + result.frac_pairs_persistent
+            + result.frac_pairs_transient
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_degrade_together_signal(self, dataset):
+        """Most pairs never beat BGP, and degradations co-occur."""
+        result = persistence_decomposition(dataset)
+        assert result.frac_pairs_never > 0.5
+        assert result.degradation_co_occurrence > 0.3
+        assert result.median_route_correlation > 0.3
+
+    def test_threshold_validation(self, dataset):
+        with pytest.raises(AnalysisError):
+            persistence_decomposition(dataset, threshold_ms=0.0)
+
+    def test_higher_threshold_fewer_winners(self, dataset):
+        strict = persistence_decomposition(dataset, threshold_ms=20.0)
+        loose = persistence_decomposition(dataset, threshold_ms=2.0)
+        assert strict.frac_pairs_never >= loose.frac_pairs_never

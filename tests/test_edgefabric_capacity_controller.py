@@ -1,0 +1,78 @@
+"""Tests for the capacity-driven egress override controller."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.edgefabric import (
+    MeasurementConfig,
+    replay_capacity_controller,
+    run_measurement,
+)
+from repro.workloads import generate_client_prefixes
+
+
+@pytest.fixture(scope="module")
+def dataset(small_internet):
+    prefixes = generate_client_prefixes(small_internet, 40, seed=3)
+    return run_measurement(
+        small_internet, prefixes, MeasurementConfig(days=0.5, seed=3)
+    )
+
+
+class TestCapacityController:
+    def test_low_traffic_few_overrides(self, small_internet, dataset):
+        result = replay_capacity_controller(
+            small_internet, dataset, total_traffic_gbps=100.0
+        )
+        assert result.frac_windows_with_override < 0.1
+        assert result.frac_drops == 0.0
+
+    def test_overrides_grow_with_traffic(self, small_internet, dataset):
+        light = replay_capacity_controller(
+            small_internet, dataset, total_traffic_gbps=500.0
+        )
+        heavy = replay_capacity_controller(
+            small_internet, dataset, total_traffic_gbps=8000.0
+        )
+        assert (
+            heavy.frac_windows_with_override
+            >= light.frac_windows_with_override
+        )
+
+    def test_detour_cost_is_small(self, small_internet, dataset):
+        """The paper's enabling fact: overriding BGP for capacity is
+        cheap because alternates perform like preferred routes."""
+        result = replay_capacity_controller(
+            small_internet, dataset, total_traffic_gbps=4000.0
+        )
+        assert abs(result.median_detour_cost_ms) < 5.0
+
+    def test_fractions_bounded(self, small_internet, dataset):
+        result = replay_capacity_controller(
+            small_internet, dataset, total_traffic_gbps=4000.0
+        )
+        assert 0.0 <= result.frac_windows_with_override <= 1.0
+        assert 0.0 <= result.frac_traffic_detoured <= 1.0
+        assert 0.0 <= result.frac_drops <= 1.0
+
+    def test_tighter_target_more_overrides(self, small_internet, dataset):
+        loose = replay_capacity_controller(
+            small_internet, dataset, total_traffic_gbps=3000.0, utilization_target=0.95
+        )
+        tight = replay_capacity_controller(
+            small_internet, dataset, total_traffic_gbps=3000.0, utilization_target=0.3
+        )
+        assert (
+            tight.frac_windows_with_override
+            >= loose.frac_windows_with_override
+        )
+
+    def test_validation(self, small_internet, dataset):
+        with pytest.raises(AnalysisError):
+            replay_capacity_controller(
+                small_internet, dataset, utilization_target=0.0
+            )
+        with pytest.raises(AnalysisError):
+            replay_capacity_controller(
+                small_internet, dataset, total_traffic_gbps=0.0
+            )

@@ -1,0 +1,69 @@
+"""Tests for route-selection strategies over the egress dataset."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.edgefabric import (
+    MeasurementConfig,
+    achieved_medians,
+    bgp_policy_choice,
+    omniscient_choice,
+    run_measurement,
+    static_best_choice,
+)
+from repro.workloads import generate_client_prefixes
+
+
+@pytest.fixture(scope="module")
+def dataset(small_internet):
+    prefixes = generate_client_prefixes(small_internet, 40, seed=3)
+    return run_measurement(
+        small_internet, prefixes, MeasurementConfig(days=0.5, seed=3)
+    )
+
+
+class TestChoices:
+    def test_bgp_always_rank_zero(self, dataset):
+        choice = bgp_policy_choice(dataset)
+        assert (choice == 0).all()
+
+    def test_omniscient_is_argmin(self, dataset):
+        choice = omniscient_choice(dataset)
+        achieved = achieved_medians(dataset, choice)
+        assert achieved == pytest.approx(
+            np.nanmin(dataset.medians, axis=2), nan_ok=True
+        )
+
+    def test_static_best_constant_per_pair(self, dataset):
+        choice = static_best_choice(dataset)
+        assert (choice == choice[:, :1]).all()
+
+    def test_choice_indices_valid(self, dataset):
+        for chooser in (bgp_policy_choice, omniscient_choice, static_best_choice):
+            choice = chooser(dataset)
+            assert choice.min() >= 0
+            assert choice.max() < dataset.max_routes
+
+
+class TestAchieved:
+    def test_shape_check(self, dataset):
+        with pytest.raises(AnalysisError):
+            achieved_medians(dataset, np.zeros((1, 1), dtype=int))
+
+    def test_ordering_invariant(self, dataset):
+        """Omniscient <= static-best and omniscient <= BGP, everywhere."""
+        omni = achieved_medians(dataset, omniscient_choice(dataset))
+        bgp = achieved_medians(dataset, bgp_policy_choice(dataset))
+        static = achieved_medians(dataset, static_best_choice(dataset))
+        assert (omni <= bgp + 1e-9).all()
+        assert (omni <= static + 1e-9).all()
+
+    def test_omniscient_gain_is_small(self, dataset):
+        """The paper's headline: the omniscient controller barely beats
+        BGP in the volume-weighted median."""
+        omni = achieved_medians(dataset, omniscient_choice(dataset))
+        bgp = achieved_medians(dataset, bgp_policy_choice(dataset))
+        weights = dataset.volumes
+        gain = np.average(bgp - omni, weights=weights)
+        assert 0.0 <= gain < 5.0

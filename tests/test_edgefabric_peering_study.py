@@ -1,0 +1,104 @@
+"""Tests for the §3.1.3 peering-reduction emulation."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.topology import Relationship, TopologyConfig, build_internet
+from repro.edgefabric import peering_reduction_study
+from repro.edgefabric.peering_study import _depeer
+from repro.workloads import generate_client_prefixes
+
+
+@pytest.fixture(scope="module")
+def study(small_config):
+    internet = build_internet(small_config)
+    prefixes = generate_client_prefixes(internet, 40, seed=5)
+
+    def factory():
+        return build_internet(small_config)
+
+    return peering_reduction_study(
+        factory, prefixes, retentions=(1.0, 0.5, 0.0), total_traffic_gbps=3000.0
+    )
+
+
+class TestSweep:
+    def test_point_per_retention(self, study):
+        assert [p.retention for p in study.points] == [1.0, 0.5, 0.0]
+
+    def test_peer_links_decrease(self, study):
+        counts = [p.n_peer_links for p in study.points]
+        assert counts[0] > counts[1] > counts[2] == 0
+
+    def test_transit_share_grows(self, study):
+        shares = [p.frac_traffic_on_transit for p in study.points]
+        assert shares[0] < shares[-1]
+        assert shares[-1] == pytest.approx(1.0)
+
+    def test_baseline_has_no_degradation(self, study):
+        assert study.points[0].frac_traffic_degraded_5ms == 0.0
+
+    def test_utilization_reported_and_sane(self, study):
+        for point in study.points:
+            assert 0.0 < point.max_link_utilization < 10.0
+            assert 0.0 <= point.frac_links_saturated <= 1.0
+        # Baseline is provisioned to at most 60% on every loaded link.
+        assert study.points[0].max_link_utilization <= 0.6 + 1e-9
+
+    def test_degradation_at(self, study):
+        assert study.degradation_at(1.0) == 0.0
+        # Full de-peering shifts load onto transit and costs latency.
+        assert study.degradation_at(0.0) >= 0.0
+        with pytest.raises(AnalysisError):
+            study.degradation_at(0.31)
+
+    def test_latency_cost_of_depeering_is_modest(self, study):
+        """The paper's conjecture: losing peers costs little latency as
+        long as capacity holds (transit performs like peering)."""
+        assert study.degradation_at(0.5) < 10.0
+
+
+class TestDepeer:
+    def test_removes_smallest_first(self, small_config):
+        internet = build_internet(small_config)
+        provider = internet.provider_asn
+        before = [
+            link
+            for link in internet.graph.links()
+            if link.relationship is Relationship.PEER
+            and provider in (link.a, link.b)
+        ]
+        capacities = sorted(l.capacity_gbps for l in before)
+        _depeer(internet, 0.5)
+        after = [
+            link
+            for link in internet.graph.links()
+            if link.relationship is Relationship.PEER
+            and provider in (link.a, link.b)
+        ]
+        kept = sorted(l.capacity_gbps for l in after)
+        # Kept links are the largest ones.
+        assert kept == capacities[len(before) - len(after):]
+
+    def test_retention_bounds(self, small_config):
+        internet = build_internet(small_config)
+        with pytest.raises(AnalysisError):
+            _depeer(internet, 1.5)
+
+
+class TestValidation:
+    def test_sweep_must_start_at_one(self, small_config):
+        internet = build_internet(small_config)
+        prefixes = generate_client_prefixes(internet, 10, seed=5)
+        with pytest.raises(AnalysisError):
+            peering_reduction_study(
+                lambda: build_internet(small_config), prefixes, retentions=(0.5,)
+            )
+
+    def test_requires_prefixes(self, small_config):
+        from repro.errors import MeasurementError
+
+        with pytest.raises(MeasurementError):
+            peering_reduction_study(lambda: build_internet(small_config), [])

@@ -1,0 +1,112 @@
+"""Tests for per-PoP egress route computation."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.bgp import RouteClass, propagate
+from repro.edgefabric import egress_routes_at_pop, serving_pop
+from repro.edgefabric.routes import tables_for_destinations
+from repro.workloads import generate_client_prefixes
+
+
+@pytest.fixture(scope="module")
+def setup(small_internet):
+    prefixes = generate_client_prefixes(small_internet, 40, seed=3)
+    tables = tables_for_destinations(small_internet, [p.asn for p in prefixes])
+    return prefixes, tables
+
+
+class TestServingPop:
+    def test_nearest_pop(self, small_internet, setup):
+        prefixes, _ = setup
+        for prefix in prefixes[:10]:
+            pop = serving_pop(small_internet, prefix)
+            best = min(
+                small_internet.wan.pops,
+                key=lambda p: prefix.city.distance_km(p.city),
+            )
+            assert prefix.city.distance_km(pop.city) == pytest.approx(
+                prefix.city.distance_km(best.city)
+            )
+
+
+class TestEgressRoutes:
+    def test_routes_ranked_and_annotated(self, small_internet, setup):
+        prefixes, tables = setup
+        found_any = False
+        for prefix in prefixes:
+            pop = serving_pop(small_internet, prefix)
+            routes = egress_routes_at_pop(
+                small_internet, tables[prefix.asn], pop, prefix, k=3
+            )
+            if not routes:
+                continue
+            found_any = True
+            assert [r.bgp_rank for r in routes] == list(range(len(routes)))
+            for route in routes:
+                assert route.pop_code == pop.code
+                assert route.dest_asn == prefix.asn
+                assert route.as_path[0] == small_internet.provider_asn
+                assert route.as_path[1] == route.neighbor
+                assert route.as_path[-1] == prefix.asn
+                assert route.base_one_way_ms > 0
+                assert route.route_class in RouteClass
+        assert found_any
+
+    def test_candidates_limited_to_pop(self, small_internet, setup):
+        """Every returned route's egress link interconnects at the PoP."""
+        prefixes, tables = setup
+        for prefix in prefixes[:15]:
+            pop = serving_pop(small_internet, prefix)
+            for route in egress_routes_at_pop(
+                small_internet, tables[prefix.asn], pop, prefix
+            ):
+                link = small_internet.graph.link(
+                    small_internet.provider_asn, route.neighbor
+                )
+                assert pop.city in link.cities
+
+    def test_rank_zero_is_most_preferred_class(self, small_internet, setup):
+        """The BGP-preferred route has the highest local-pref class."""
+        order = {
+            RouteClass.CUSTOMER: 0,
+            RouteClass.PRIVATE_PEER: 1,
+            RouteClass.PUBLIC_PEER: 2,
+            RouteClass.TRANSIT: 3,
+        }
+        prefixes, tables = setup
+        for prefix in prefixes:
+            pop = serving_pop(small_internet, prefix)
+            routes = egress_routes_at_pop(
+                small_internet, tables[prefix.asn], pop, prefix
+            )
+            for earlier, later in zip(routes[:-1], routes[1:]):
+                assert order[earlier.route_class] <= order[later.route_class]
+
+    def test_k_limits_output(self, small_internet, setup):
+        prefixes, tables = setup
+        for prefix in prefixes[:10]:
+            pop = serving_pop(small_internet, prefix)
+            routes = egress_routes_at_pop(
+                small_internet, tables[prefix.asn], pop, prefix, k=2
+            )
+            assert len(routes) <= 2
+
+    def test_wrong_table_rejected(self, small_internet, setup):
+        prefixes, tables = setup
+        a, b = prefixes[0], next(p for p in prefixes if p.asn != prefixes[0].asn)
+        pop = serving_pop(small_internet, a)
+        with pytest.raises(RoutingError):
+            egress_routes_at_pop(small_internet, tables[b.asn], pop, a)
+
+
+class TestTablesForDestinations:
+    def test_deduplicates(self, small_internet):
+        asns = [small_internet.eyeball_asns[0]] * 3
+        tables = tables_for_destinations(small_internet, asns)
+        assert len(tables) == 1
+
+    def test_origin_correct(self, small_internet):
+        asn = small_internet.eyeball_asns[0]
+        tables = tables_for_destinations(small_internet, [asn])
+        assert tables[asn].origin == asn

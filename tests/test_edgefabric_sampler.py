@@ -1,0 +1,96 @@
+"""Tests for the spray-and-measure campaign driver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.edgefabric import MeasurementConfig, run_measurement
+from repro.workloads import generate_client_prefixes
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        MeasurementConfig()
+
+    def test_positive_days(self):
+        with pytest.raises(MeasurementError):
+            MeasurementConfig(days=0)
+
+    def test_positive_routes(self):
+        with pytest.raises(MeasurementError):
+            MeasurementConfig(max_routes=0)
+
+    def test_last_mile_range(self):
+        with pytest.raises(MeasurementError):
+            MeasurementConfig(last_mile_ms_range=(5.0, 1.0))
+
+    def test_congestion_defaults_sized_to_horizon(self):
+        cfg = MeasurementConfig(days=3.0)
+        assert cfg.congestion_config().horizon_hours == pytest.approx(72.0)
+        assert cfg.dest_congestion_config().horizon_hours == pytest.approx(72.0)
+
+    def test_dest_congestion_heavier_than_route(self):
+        """The §3.1.1 structure: shared events dominate route events."""
+        cfg = MeasurementConfig()
+        assert (
+            cfg.dest_congestion_config().event_rate_per_day
+            > cfg.congestion_config().event_rate_per_day
+        )
+
+
+class TestRunMeasurement:
+    @pytest.fixture(scope="class")
+    def dataset(self, small_internet):
+        prefixes = generate_client_prefixes(small_internet, 40, seed=3)
+        return run_measurement(
+            small_internet, prefixes, MeasurementConfig(days=0.5, seed=3)
+        )
+
+    def test_window_count(self, dataset):
+        assert dataset.n_windows == 48  # half a day of 15-minute windows
+
+    def test_medians_physical(self, dataset):
+        medians = dataset.medians[~np.isnan(dataset.medians)]
+        assert (medians > 0).all()
+        assert medians.max() < 1500.0  # below any plausible RTT ceiling
+
+    def test_volumes_positive(self, dataset):
+        assert (dataset.volumes > 0).all()
+
+    def test_ci_positive(self, dataset):
+        ci = dataset.ci_half[~np.isnan(dataset.ci_half)]
+        assert (ci > 0).all()
+
+    def test_deterministic(self, small_internet):
+        prefixes = generate_client_prefixes(small_internet, 20, seed=4)
+        cfg = MeasurementConfig(days=0.25, seed=4)
+        a = run_measurement(small_internet, prefixes, cfg)
+        b = run_measurement(small_internet, prefixes, cfg)
+        assert np.array_equal(a.medians, b.medians, equal_nan=True)
+        assert np.array_equal(a.volumes, b.volumes)
+
+    def test_requires_prefixes(self, small_internet):
+        with pytest.raises(MeasurementError):
+            run_measurement(small_internet, [])
+
+    def test_shared_congestion_moves_routes_together(self, dataset):
+        """Route medians of the same pair must be positively correlated:
+        last-mile and destination congestion hit every route."""
+        correlations = []
+        for i, pair in enumerate(dataset.pairs):
+            if pair.n_routes < 2:
+                continue
+            a = dataset.medians[i, :, 0]
+            b = dataset.medians[i, :, 1]
+            if np.std(a) > 0 and np.std(b) > 0:
+                correlations.append(np.corrcoef(a, b)[0, 1])
+        assert np.median(correlations) > 0.3
+
+    def test_base_latency_tracks_geography(self, dataset):
+        """Windowed medians sit above twice the route's propagation."""
+        for i, pair in enumerate(dataset.pairs):
+            for j, route in enumerate(pair.routes):
+                assert (
+                    np.nanmin(dataset.medians[i, :, j])
+                    >= 2.0 * route.base_one_way_ms - 1.0
+                )

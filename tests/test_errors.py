@@ -1,0 +1,45 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    MeasurementError,
+    ReproError,
+    RoutingError,
+    TopologyError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [TopologyError, RoutingError, MeasurementError, AnalysisError]
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise RoutingError("boom")
+
+    def test_distinct_categories(self):
+        with pytest.raises(TopologyError):
+            raise TopologyError("t")
+        assert not issubclass(TopologyError, RoutingError)
+
+    def test_library_raises_repro_errors_only(self):
+        """A representative sample of failure paths all surface as
+        ReproError subclasses, so callers can catch one base type."""
+        from repro.geo import city_named
+        from repro.topology import ASGraph
+        from repro.analysis import weighted_cdf
+
+        graph = ASGraph()
+        for trigger in (
+            lambda: city_named("Atlantis"),
+            lambda: graph.get(42),
+            lambda: weighted_cdf([]),
+        ):
+            with pytest.raises(ReproError):
+                trigger()

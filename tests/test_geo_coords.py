@@ -1,0 +1,103 @@
+"""Tests for great-circle distance and propagation delay."""
+
+import math
+
+import pytest
+
+from repro.geo import (
+    EARTH_RADIUS_KM,
+    GeoPoint,
+    great_circle_km,
+    propagation_one_way_ms,
+    propagation_rtt_ms,
+)
+
+
+class TestGeoPoint:
+    def test_valid_construction(self):
+        point = GeoPoint(40.7, -74.0)
+        assert point.lat == 40.7
+        assert point.lon == -74.0
+
+    @pytest.mark.parametrize("lat", [-90.1, 91.0, 180.0])
+    def test_latitude_out_of_range(self, lat):
+        with pytest.raises(ValueError):
+            GeoPoint(lat, 0.0)
+
+    @pytest.mark.parametrize("lon", [-180.5, 181.0, 360.0])
+    def test_longitude_out_of_range(self, lon):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, lon)
+
+    def test_boundary_values_allowed(self):
+        GeoPoint(90.0, 180.0)
+        GeoPoint(-90.0, -180.0)
+
+    def test_distance_method_matches_function(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(10.0, 10.0)
+        assert a.distance_km(b) == great_circle_km(a, b)
+
+
+class TestGreatCircle:
+    def test_zero_distance(self):
+        p = GeoPoint(51.5, -0.1)
+        assert great_circle_km(p, p) == 0.0
+
+    def test_symmetry(self):
+        a = GeoPoint(40.7, -74.0)
+        b = GeoPoint(35.7, 139.7)
+        assert great_circle_km(a, b) == pytest.approx(great_circle_km(b, a))
+
+    def test_quarter_circumference(self):
+        # Pole to equator is a quarter of the circumference.
+        pole = GeoPoint(90.0, 0.0)
+        equator = GeoPoint(0.0, 0.0)
+        expected = math.pi * EARTH_RADIUS_KM / 2.0
+        assert great_circle_km(pole, equator) == pytest.approx(expected, rel=1e-9)
+
+    def test_antipodal_is_half_circumference(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 180.0)
+        expected = math.pi * EARTH_RADIUS_KM
+        assert great_circle_km(a, b) == pytest.approx(expected, rel=1e-9)
+
+    def test_known_city_pair(self):
+        # New York <-> London is roughly 5570 km.
+        ny = GeoPoint(40.71, -74.01)
+        lon = GeoPoint(51.51, -0.13)
+        assert great_circle_km(ny, lon) == pytest.approx(5570, rel=0.02)
+
+    def test_dateline_wrap(self):
+        # Points just either side of the antimeridian are close.
+        a = GeoPoint(0.0, 179.9)
+        b = GeoPoint(0.0, -179.9)
+        assert great_circle_km(a, b) < 25.0
+
+
+class TestPropagation:
+    def test_speed_of_light_rule(self):
+        # 200 km per ms one way; 100 km per ms of RTT.
+        assert propagation_one_way_ms(200.0) == pytest.approx(1.0)
+        assert propagation_rtt_ms(100.0) == pytest.approx(1.0)
+
+    def test_inflation_scales_linearly(self):
+        assert propagation_one_way_ms(1000.0, inflation=1.5) == pytest.approx(
+            1.5 * propagation_one_way_ms(1000.0)
+        )
+
+    def test_zero_distance(self):
+        assert propagation_one_way_ms(0.0) == 0.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            propagation_one_way_ms(-1.0)
+
+    def test_sub_unit_inflation_rejected(self):
+        with pytest.raises(ValueError):
+            propagation_one_way_ms(100.0, inflation=0.9)
+
+    def test_rtt_is_twice_one_way(self):
+        assert propagation_rtt_ms(750.0, 1.2) == pytest.approx(
+            2.0 * propagation_one_way_ms(750.0, 1.2)
+        )

@@ -1,0 +1,50 @@
+"""Tests for country-to-region mapping."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.geo import Region, countries_in_region, region_of_country
+
+
+class TestRegionOfCountry:
+    @pytest.mark.parametrize(
+        "country,region",
+        [
+            ("US", Region.NORTH_AMERICA),
+            ("BR", Region.SOUTH_AMERICA),
+            ("DE", Region.EUROPE),
+            ("AE", Region.MIDDLE_EAST),
+            ("IN", Region.ASIA),
+            ("AU", Region.OCEANIA),
+            ("NG", Region.AFRICA),
+        ],
+    )
+    def test_known_mappings(self, country, region):
+        assert region_of_country(country) is region
+
+    def test_case_insensitive(self):
+        assert region_of_country("jp") is Region.ASIA
+
+    def test_unknown_country(self):
+        with pytest.raises(AnalysisError):
+            region_of_country("XX")
+
+    def test_middle_east_carved_out_of_asia(self):
+        # Figure 5's discussion treats the Middle East separately.
+        assert region_of_country("SA") is Region.MIDDLE_EAST
+        assert region_of_country("SA") is not Region.ASIA
+
+
+class TestCountriesInRegion:
+    def test_sorted_and_consistent(self):
+        for region in Region:
+            countries = countries_in_region(region)
+            assert countries == sorted(countries)
+            assert all(region_of_country(c) is region for c in countries)
+
+    def test_partition(self):
+        # Every country belongs to exactly one region.
+        seen = []
+        for region in Region:
+            seen.extend(countries_in_region(region))
+        assert len(seen) == len(set(seen))

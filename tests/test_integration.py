@@ -1,0 +1,96 @@
+"""End-to-end integration tests across modules.
+
+These run miniature versions of the three studies and check the
+cross-setting claims the paper builds its argument on, plus bit-for-bit
+determinism of every pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnycastCdnStudy,
+    CloudTiersStudy,
+    PopRoutingStudy,
+    Verdict,
+    render_report,
+)
+
+
+@pytest.fixture(scope="module")
+def results(small_config):
+    pop = PopRoutingStudy(seed=7, n_prefixes=50, days=1.0, topology=small_config).run()
+    cdn = AnycastCdnStudy(
+        seed=7, n_prefixes=50, days=1.0, requests_per_prefix=24, topology=small_config
+    ).run()
+    cloud = CloudTiersStudy(
+        seed=7, days=3, vps_per_day=50, topology=small_config
+    ).run()
+    return pop, cdn, cloud
+
+
+class TestPaperNarrative:
+    """The paper's overarching observation, end to end: in all three
+    settings performance-aware routing provides little benefit over BGP."""
+
+    def test_setting_a_little_benefit(self, results):
+        pop, _, _ = results
+        assert pop.summary["frac_alternate_better_5ms"] < 0.15
+        assert pop.summary["omniscient_gain_ms"] < 5.0
+
+    def test_setting_b_anycast_good_enough(self, results):
+        _, cdn, _ = results
+        assert cdn.summary["frac_within_10ms_world"] > 0.5
+        # Redirection is not a free win.
+        assert cdn.summary["frac_improved"] < 0.6
+
+    def test_setting_c_tiers_comparable(self, results):
+        _, _, cloud = results
+        # Figure 5: a real mix — neither tier dominates everywhere.
+        assert cloud.summary["n_countries"] >= 5
+        assert cloud.summary["goodput_ratio"] == pytest.approx(1.0, abs=0.5)
+
+    def test_hypotheses_supported(self, results):
+        pop, cdn, cloud = results
+        verdicts = {
+            h.hypothesis: h.verdict
+            for result in results
+            for h in result.hypotheses
+        }
+        # The central §3.1.1 mechanism must be visible in the simulation.
+        assert verdicts["degrade-together (§3.1.1)"] is Verdict.SUPPORTED
+        assert verdicts["direct peering does not fully explain (§3.1.2)"] in (
+            Verdict.SUPPORTED,
+            Verdict.INCONCLUSIVE,
+        )
+
+    def test_full_report_renders(self, results):
+        report = render_report(list(results))
+        assert "SUPPORTED" in report
+        assert report.count("## Study") == 3
+
+
+class TestDeterminism:
+    def test_pop_study_deterministic(self, small_config):
+        a = PopRoutingStudy(seed=9, n_prefixes=25, days=0.25, topology=small_config).run()
+        b = PopRoutingStudy(seed=9, n_prefixes=25, days=0.25, topology=small_config).run()
+        assert a.summary == b.summary
+
+    def test_cdn_study_deterministic(self, small_config):
+        a = AnycastCdnStudy(
+            seed=9, n_prefixes=25, days=0.5, requests_per_prefix=12, topology=small_config
+        ).run()
+        b = AnycastCdnStudy(
+            seed=9, n_prefixes=25, days=0.5, requests_per_prefix=12, topology=small_config
+        ).run()
+        assert a.summary == b.summary
+
+    def test_cloud_study_deterministic(self, small_config):
+        a = CloudTiersStudy(seed=9, days=2, vps_per_day=30, topology=small_config).run()
+        b = CloudTiersStudy(seed=9, days=2, vps_per_day=30, topology=small_config).run()
+        assert a.summary == b.summary
+
+    def test_seed_changes_results(self, small_config):
+        a = PopRoutingStudy(seed=1, n_prefixes=25, days=0.25, topology=small_config).run()
+        b = PopRoutingStudy(seed=2, n_prefixes=25, days=0.25, topology=small_config).run()
+        assert a.summary != b.summary

@@ -1,0 +1,122 @@
+"""Tests for the congestion model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.netmodel import CongestionConfig, CongestionModel
+
+
+@pytest.fixture
+def model():
+    return CongestionModel(seed=3, config=CongestionConfig(horizon_hours=240.0))
+
+
+class TestConfigValidation:
+    def test_positive_horizon_required(self):
+        with pytest.raises(MeasurementError):
+            CongestionConfig(horizon_hours=0.0)
+
+    def test_negative_delays_rejected(self):
+        with pytest.raises(MeasurementError):
+            CongestionConfig(horizon_hours=24.0, diurnal_peak_ms=-1.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(MeasurementError):
+            CongestionConfig(horizon_hours=24.0, event_rate_per_day=-0.1)
+
+
+class TestEvents:
+    def test_deterministic_per_key(self, model):
+        assert model.events("link:a") == model.events("link:a")
+
+    def test_different_keys_differ(self, model):
+        # With a 10-day horizon the event lists almost surely differ.
+        keys = [f"link:{i}" for i in range(20)]
+        lists = [tuple(model.events(k)) for k in keys]
+        assert len(set(lists)) > 1
+
+    def test_same_seed_same_events_across_instances(self):
+        cfg = CongestionConfig(horizon_hours=240.0)
+        a = CongestionModel(5, cfg).events("x")
+        b = CongestionModel(5, cfg).events("x")
+        assert a == b
+
+    def test_different_seed_differs(self):
+        cfg = CongestionConfig(horizon_hours=2400.0, event_rate_per_day=2.0)
+        a = CongestionModel(1, cfg).events("x")
+        b = CongestionModel(2, cfg).events("x")
+        assert a != b
+
+    def test_events_within_horizon(self, model):
+        for start, duration, magnitude in model.events("link:z"):
+            assert 0.0 <= start <= 240.0
+            assert duration > 0
+            assert magnitude > 0
+
+    def test_event_delay_matches_events(self, model):
+        events = model.events("link:y")
+        if not events:
+            pytest.skip("no events drawn for this key")
+        start, duration, magnitude = events[0]
+        inside = model.event_delay("link:y", np.array([start + duration / 2]))
+        outside = model.event_delay("link:y", np.array([start - 1e-6]))
+        assert inside[0] >= magnitude - 1e-9
+        assert outside[0] < inside[0]
+
+    def test_zero_rate_no_events(self):
+        cfg = CongestionConfig(horizon_hours=240.0, event_rate_per_day=0.0)
+        model = CongestionModel(0, cfg)
+        assert model.events("anything") == []
+        times = np.linspace(0, 240, 100)
+        assert np.all(model.event_delay("anything", times) == 0.0)
+
+
+class TestDiurnal:
+    def test_peaks_at_local_evening(self, model):
+        times = np.linspace(0.0, 24.0, 24 * 60, endpoint=False)
+        delay = model.diurnal_delay(times, lon=0.0)
+        peak_time = times[np.argmax(delay)]
+        assert peak_time == pytest.approx(20.0, abs=0.1)
+
+    def test_longitude_shifts_peak(self, model):
+        times = np.linspace(0.0, 24.0, 24 * 60, endpoint=False)
+        # 90 degrees east = 6 hours ahead: local 20:00 is 14:00 UTC.
+        delay = model.diurnal_delay(times, lon=90.0)
+        peak_time = times[np.argmax(delay)]
+        assert peak_time == pytest.approx(14.0, abs=0.1)
+
+    def test_bounded_by_peak(self, model):
+        times = np.linspace(0.0, 48.0, 1000)
+        delay = model.diurnal_delay(times, lon=30.0)
+        assert delay.max() <= model.config.diurnal_peak_ms + 1e-9
+        assert delay.min() >= 0.0
+
+    def test_explicit_peak_override(self, model):
+        times = np.array([20.0])
+        assert model.diurnal_delay(times, lon=0.0, peak_ms=7.0)[0] == pytest.approx(7.0)
+
+
+class TestBaselineShifts:
+    def test_deterministic(self, model):
+        assert model.baseline_shifts("p") == model.baseline_shifts("p")
+
+    def test_delay_nonnegative(self, model):
+        times = np.linspace(0, 240, 500)
+        assert (model.baseline_shift_delay("p", times) >= 0).all()
+
+
+class TestComposites:
+    def test_shared_delay_is_sum(self, model):
+        times = np.linspace(0, 48, 200)
+        shared = model.shared_delay("dest:p1", lon=10.0, times_h=times)
+        expected = model.diurnal_delay(times, 10.0) + model.event_delay(
+            "dest:p1", times
+        )
+        assert shared == pytest.approx(expected)
+
+    def test_link_delay_no_diurnal(self, model):
+        times = np.linspace(0, 48, 200)
+        assert model.link_delay("l1", times) == pytest.approx(
+            model.event_delay("l1", times)
+        )

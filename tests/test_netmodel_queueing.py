@@ -1,0 +1,41 @@
+"""Tests for the utilization-dependent queueing model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.netmodel import queueing_delay_ms
+
+
+class TestQueueingDelay:
+    def test_zero_at_idle(self):
+        assert queueing_delay_ms(0.0) == 0.0
+
+    def test_base_at_half(self):
+        assert queueing_delay_ms(0.5, base_ms=1.5) == pytest.approx(1.5)
+
+    def test_monotone(self):
+        us = np.linspace(0.0, 2.0, 100)
+        delays = queueing_delay_ms(us)
+        assert (np.diff(delays) >= -1e-12).all()
+
+    def test_overload_regime_linear(self):
+        a = queueing_delay_ms(1.2)
+        b = queueing_delay_ms(1.3)
+        assert b - a == pytest.approx(0.1 * 200.0, rel=1e-6)
+
+    def test_scalar_and_array(self):
+        scalar = queueing_delay_ms(0.7)
+        array = queueing_delay_ms(np.array([0.7, 0.7]))
+        assert isinstance(scalar, float)
+        assert array.shape == (2,)
+        assert array[0] == pytest.approx(scalar)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(AnalysisError):
+            queueing_delay_ms(-0.1)
+        with pytest.raises(AnalysisError):
+            queueing_delay_ms(0.5, base_ms=-1.0)
+
+    def test_finite_everywhere(self):
+        assert np.isfinite(queueing_delay_ms(np.array([0.95, 1.0, 5.0]))).all()

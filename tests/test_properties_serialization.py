@@ -1,0 +1,65 @@
+"""Property-based round-trip tests for topology serialization.
+
+Random valley-free worlds (the generator strategy from the BGP property
+tests) must survive ``internet_to_dict``/``internet_from_dict`` with
+routing-equivalent results.
+"""
+
+from hypothesis import given, settings
+
+from repro.bgp import propagate
+from repro.topology import internet_from_dict, internet_to_dict
+from repro.topology.generator import Internet, TopologyConfig
+from repro.topology.wan import PointOfPresence, PrivateWan
+from repro.geo import city_named
+
+from test_properties_bgp import random_world
+
+
+def _wrap_as_internet(graph, origin) -> Internet:
+    """Wrap a bare graph in an Internet so serialization applies."""
+    pops = [
+        PointOfPresence("aaa", city_named("New York")),
+        PointOfPresence("bbb", city_named("London")),
+    ]
+    wan = PrivateWan(pops, [("aaa", "bbb")])
+    tier1s = tuple(a.asn for a in graph.ases() if 10 <= a.asn < 100)
+    transits = tuple(a.asn for a in graph.ases() if 100 <= a.asn < 1000)
+    eyeballs = tuple(a.asn for a in graph.ases() if a.asn >= 1000)
+    return Internet(
+        graph=graph,
+        provider_asn=tier1s[0] if tier1s else origin,
+        wan=wan,
+        tier1_asns=tier1s,
+        transit_asns=transits,
+        eyeball_asns=eyeballs,
+        ixp_cities=(),
+        dc_pop_code="aaa",
+        config=TopologyConfig(
+            pop_cities=(("aaa", "New York"), ("bbb", "London")),
+            wan_backbone=(("aaa", "bbb"),),
+            dc_pop_code="aaa",
+        ),
+    )
+
+
+@given(random_world())
+@settings(max_examples=25, deadline=None)
+def test_serialization_roundtrip_preserves_routing(world):
+    graph, origin = world
+    internet = _wrap_as_internet(graph, origin)
+    loaded = internet_from_dict(internet_to_dict(internet))
+
+    assert len(loaded.graph) == len(graph)
+    assert {l.key() for l in loaded.graph.links()} == {
+        l.key() for l in graph.links()
+    }
+    original = propagate(graph, origin)
+    rebuilt = propagate(loaded.graph, origin)
+    for asys in graph.ases():
+        a = original.best(asys.asn)
+        b = rebuilt.best(asys.asn)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.path == b.path
+            assert a.pref is b.pref

@@ -1,0 +1,159 @@
+"""Tests for the AS graph: ASes, links, relationships, invariants."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.geo import city_named
+from repro.topology import (
+    ASGraph,
+    ASRole,
+    AutonomousSystem,
+    PeeringKind,
+    Relationship,
+)
+from repro.topology.asgraph import Link, link_between
+
+from conftest import E1, E2, PROVIDER, T1A, T1B, TR1, TR2
+
+
+NY = city_named("New York")
+CHI = city_named("Chicago")
+
+
+def make_as(asn, role=ASRole.TRANSIT, cities=(NY,)):
+    return AutonomousSystem(asn, f"as{asn}", role, tuple(cities))
+
+
+class TestAutonomousSystem:
+    def test_home_city_is_first(self):
+        asys = make_as(5, cities=(CHI, NY))
+        assert asys.home_city == CHI
+
+    def test_rejects_nonpositive_asn(self):
+        with pytest.raises(TopologyError):
+            make_as(0)
+
+    def test_rejects_empty_footprint(self):
+        with pytest.raises(TopologyError):
+            AutonomousSystem(5, "x", ASRole.STUB, ())
+
+    def test_rejects_subunit_inflation(self):
+        with pytest.raises(TopologyError):
+            AutonomousSystem(5, "x", ASRole.STUB, (NY,), backbone_inflation=0.5)
+
+    def test_rejects_negative_user_weight(self):
+        with pytest.raises(TopologyError):
+            AutonomousSystem(5, "x", ASRole.STUB, (NY,), user_weight=-1.0)
+
+
+class TestLink:
+    def test_self_link_rejected(self):
+        with pytest.raises(TopologyError):
+            Link(5, 5, Relationship.PEER, (NY,))
+
+    def test_unordered_endpoints_rejected(self):
+        with pytest.raises(TopologyError):
+            Link(9, 5, Relationship.PEER, (NY,))
+
+    def test_customer_must_be_endpoint(self):
+        with pytest.raises(TopologyError):
+            Link(5, 9, Relationship.CUSTOMER, (NY,), customer_asn=7)
+
+    def test_peer_cannot_have_customer(self):
+        with pytest.raises(TopologyError):
+            Link(5, 9, Relationship.PEER, (NY,), customer_asn=5)
+
+    def test_needs_city(self):
+        with pytest.raises(TopologyError):
+            Link(5, 9, Relationship.PEER, ())
+
+    def test_provider_asn(self):
+        link = Link(5, 9, Relationship.CUSTOMER, (NY,), customer_asn=5)
+        assert link.provider_asn == 9
+        peer = Link(5, 9, Relationship.PEER, (NY,))
+        assert peer.provider_asn is None
+
+    def test_other_endpoint(self):
+        link = Link(5, 9, Relationship.PEER, (NY,))
+        assert link.other(5) == 9
+        assert link.other(9) == 5
+        with pytest.raises(TopologyError):
+            link.other(7)
+
+    def test_link_between_normalizes_order(self):
+        link = link_between(9, 5, Relationship.CUSTOMER, [NY], customer_asn=9)
+        assert (link.a, link.b) == (5, 9)
+        assert link.customer_asn == 9
+        assert link.provider_asn == 5
+
+
+class TestASGraph:
+    def test_duplicate_asn_rejected(self):
+        graph = ASGraph()
+        graph.add_as(make_as(5))
+        with pytest.raises(TopologyError):
+            graph.add_as(make_as(5))
+
+    def test_link_requires_both_endpoints(self):
+        graph = ASGraph()
+        graph.add_as(make_as(5))
+        with pytest.raises(TopologyError):
+            graph.add_link(link_between(5, 9, Relationship.PEER, [NY]))
+
+    def test_duplicate_link_rejected(self):
+        graph = ASGraph()
+        graph.add_as(make_as(5))
+        graph.add_as(make_as(9))
+        graph.add_link(link_between(5, 9, Relationship.PEER, [NY]))
+        with pytest.raises(TopologyError):
+            graph.add_link(link_between(9, 5, Relationship.PEER, [NY]))
+
+    def test_unknown_as_lookup(self):
+        graph = ASGraph()
+        with pytest.raises(TopologyError):
+            graph.get(42)
+        with pytest.raises(TopologyError):
+            graph.neighbors(42)
+
+    def test_relationship_accessors(self, toy_graph):
+        assert set(toy_graph.providers(E1)) == {TR1}
+        assert set(toy_graph.customers(T1A)) == {TR1, PROVIDER}
+        assert set(toy_graph.peers(PROVIDER)) == {E1, TR2}
+        assert set(toy_graph.peers(T1A)) == {T1B}
+
+    def test_customer_cone(self, toy_graph):
+        assert toy_graph.customer_cone(TR1) == frozenset({TR1, E1})
+        assert toy_graph.customer_cone(T1A) == frozenset(
+            {T1A, TR1, E1, PROVIDER}
+        )
+        assert toy_graph.customer_cone(E2) == frozenset({E2})
+
+    def test_remove_link(self, toy_graph):
+        removed = toy_graph.remove_link(PROVIDER, E1)
+        assert removed.relationship is Relationship.PEER
+        assert not toy_graph.has_link(PROVIDER, E1)
+        assert E1 not in toy_graph.neighbors(PROVIDER)
+        with pytest.raises(TopologyError):
+            toy_graph.remove_link(PROVIDER, E1)
+
+    def test_validate_accepts_dag(self, toy_graph):
+        toy_graph.validate()
+
+    def test_validate_rejects_provider_cycle(self):
+        graph = ASGraph()
+        for asn in (5, 6, 7):
+            graph.add_as(make_as(asn))
+        graph.add_link(link_between(5, 6, Relationship.CUSTOMER, [NY], customer_asn=5))
+        graph.add_link(link_between(6, 7, Relationship.CUSTOMER, [NY], customer_asn=6))
+        graph.add_link(link_between(5, 7, Relationship.CUSTOMER, [NY], customer_asn=7))
+        with pytest.raises(TopologyError):
+            graph.validate()
+
+    def test_len_and_contains(self, toy_graph):
+        assert len(toy_graph) == 7
+        assert PROVIDER in toy_graph
+        assert 999 not in toy_graph
+
+    def test_peering_kind_recorded(self, toy_graph):
+        assert toy_graph.link(PROVIDER, E1).kind is PeeringKind.PRIVATE
+        assert toy_graph.link(PROVIDER, TR2).kind is PeeringKind.PUBLIC

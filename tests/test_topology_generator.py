@@ -1,0 +1,176 @@
+"""Tests for the synthetic Internet generator."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    ASRole,
+    PeeringKind,
+    Relationship,
+    TopologyConfig,
+    build_internet,
+)
+from repro.topology.generator import (
+    DEFAULT_POP_CITIES,
+    DEFAULT_WAN_BACKBONE,
+    EYEBALL_ASN_BASE,
+    PROVIDER_ASN,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        TopologyConfig()
+
+    def test_duplicate_pop_codes(self):
+        with pytest.raises(TopologyError):
+            TopologyConfig(pop_cities=(("aaa", "London"), ("aaa", "Paris")))
+
+    def test_dc_must_be_a_pop(self):
+        with pytest.raises(TopologyError):
+            TopologyConfig(
+                pop_cities=(("lhr", "London"),), dc_pop_code="xxx"
+            )
+
+    def test_fraction_bounds(self):
+        with pytest.raises(TopologyError):
+            TopologyConfig(pni_fraction=1.5)
+
+    def test_positive_counts(self):
+        with pytest.raises(TopologyError):
+            TopologyConfig(n_eyeball=0)
+
+
+class TestGeneratedStructure:
+    def test_role_partition(self, small_internet):
+        graph = small_internet.graph
+        assert graph.get(small_internet.provider_asn).role is ASRole.CONTENT
+        for asn in small_internet.tier1_asns:
+            assert graph.get(asn).role is ASRole.TIER1
+        for asn in small_internet.transit_asns:
+            assert graph.get(asn).role is ASRole.TRANSIT
+        for asn in small_internet.eyeball_asns:
+            assert graph.get(asn).role is ASRole.EYEBALL
+
+    def test_counts_match_config(self, small_internet, small_config):
+        assert len(small_internet.tier1_asns) == small_config.n_tier1
+        assert len(small_internet.transit_asns) == small_config.n_transit
+        # Eyeball allocation rounds per-country with a minimum of one per
+        # country, so the realised count can exceed a small target by up
+        # to the number of countries.
+        from repro.geo import COUNTRY_REGIONS
+
+        n = len(small_internet.eyeball_asns)
+        assert n >= min(small_config.n_eyeball, len(COUNTRY_REGIONS))
+        assert n <= small_config.n_eyeball + len(COUNTRY_REGIONS)
+
+    def test_tier1_clique(self, small_internet):
+        graph = small_internet.graph
+        tier1s = small_internet.tier1_asns
+        for i, x in enumerate(tier1s):
+            for y in tier1s[i + 1 :]:
+                link = graph.link(x, y)
+                assert link.relationship is Relationship.PEER
+
+    def test_tier1s_are_transit_free(self, small_internet):
+        graph = small_internet.graph
+        for asn in small_internet.tier1_asns:
+            assert graph.providers(asn) == []
+
+    def test_every_transit_has_tier1_provider(self, small_internet):
+        graph = small_internet.graph
+        for asn in small_internet.transit_asns:
+            providers = graph.providers(asn)
+            assert providers
+            assert all(p in small_internet.tier1_asns for p in providers)
+
+    def test_every_eyeball_has_a_provider(self, small_internet):
+        graph = small_internet.graph
+        for asn in small_internet.eyeball_asns:
+            assert graph.providers(asn)
+
+    def test_acyclic_economics(self, small_internet):
+        small_internet.graph.validate()
+
+    def test_provider_buys_transit_from_tier1s(self, small_internet, small_config):
+        graph = small_internet.graph
+        providers = graph.providers(small_internet.provider_asn)
+        assert len(providers) == small_config.provider_transit_count
+        assert all(p in small_internet.tier1_asns for p in providers)
+
+    def test_provider_transit_covers_all_pops(self, small_internet):
+        graph = small_internet.graph
+        pop_cities = {p.city for p in small_internet.wan.pops}
+        for t1 in graph.providers(small_internet.provider_asn):
+            link = graph.link(small_internet.provider_asn, t1)
+            assert pop_cities <= set(link.cities)
+
+    def test_provider_has_both_peering_kinds(self, small_internet):
+        graph = small_internet.graph
+        kinds = {
+            graph.link(small_internet.provider_asn, p).kind
+            for p in graph.peers(small_internet.provider_asn)
+        }
+        assert PeeringKind.PRIVATE in kinds
+        assert PeeringKind.PUBLIC in kinds
+
+    def test_eyeball_user_weights_positive(self, small_internet):
+        for asn in small_internet.eyeball_asns:
+            assert small_internet.graph.get(asn).user_weight > 0
+
+    def test_asn_blocks(self, small_internet):
+        assert small_internet.provider_asn == PROVIDER_ASN
+        assert all(a >= EYEBALL_ASN_BASE for a in small_internet.eyeball_asns)
+
+
+class TestDeterminism:
+    def test_same_seed_same_topology(self, small_config):
+        a = build_internet(small_config)
+        b = build_internet(small_config)
+        assert [x.asn for x in a.graph.ases()] == [x.asn for x in b.graph.ases()]
+        links_a = [(l.a, l.b, l.relationship, tuple(c.name for c in l.cities)) for l in a.graph.links()]
+        links_b = [(l.a, l.b, l.relationship, tuple(c.name for c in l.cities)) for l in b.graph.links()]
+        assert links_a == links_b
+
+    def test_different_seed_different_topology(self, small_config):
+        import dataclasses
+
+        a = build_internet(small_config)
+        b = build_internet(dataclasses.replace(small_config, seed=small_config.seed + 1))
+        links_a = [(l.a, l.b) for l in a.graph.links()]
+        links_b = [(l.a, l.b) for l in b.graph.links()]
+        assert links_a != links_b
+
+
+class TestWanDefaults:
+    def test_default_backbone_used_for_default_pops(self):
+        internet = build_internet(TopologyConfig(n_eyeball=10, n_transit=7, n_tier1=2))
+        # One default edge spot-checked through the WAN distances.
+        assert internet.wan.one_way_ms("iad", "lga") > 0
+
+    def test_india_attaches_eastward_only(self):
+        """The curated backbone must not shortcut India to Europe."""
+        internet = build_internet(TopologyConfig(n_eyeball=10, n_transit=7, n_tier1=2))
+        path = internet.wan.path("bom", "cbf")
+        codes = [p.code for p in path]
+        # The WAN route from Mumbai to the US data center goes via
+        # Singapore and the Pacific, never via Europe.
+        assert "sin" in codes
+        assert not {"lhr", "cdg", "fra", "ams", "mad"} & set(codes)
+
+    def test_custom_pops_get_mesh_backbone(self):
+        config = TopologyConfig(
+            n_eyeball=10,
+            n_transit=7,
+            n_tier1=2,
+            pop_cities=(("lhr", "London"), ("cdg", "Paris"), ("nrt", "Tokyo")),
+            dc_pop_code="lhr",
+        )
+        internet = build_internet(config)
+        # Connectivity is guaranteed by construction.
+        assert internet.wan.one_way_ms("lhr", "nrt") > 0
+
+    def test_pops_with_link_to(self, small_internet):
+        t1 = small_internet.graph.providers(small_internet.provider_asn)[0]
+        pops = small_internet.pops_with_link_to(t1)
+        assert len(pops) == len(small_internet.wan.pops)

@@ -1,0 +1,41 @@
+"""Tests for topology summary metrics."""
+
+import pytest
+
+from repro.topology import topology_summary
+
+
+@pytest.fixture(scope="module")
+def summary(small_internet):
+    return topology_summary(small_internet)
+
+
+class TestTopologySummary:
+    def test_counts_consistent(self, summary, small_internet):
+        assert summary.n_ases == len(small_internet.graph)
+        assert summary.n_links == sum(1 for _ in small_internet.graph.links())
+        assert summary.n_links == summary.n_customer_links + summary.n_peer_links
+        assert summary.n_peer_links == (
+            summary.n_private_peerings + summary.n_public_peerings
+        )
+
+    def test_degrees(self, summary):
+        assert 0 < summary.mean_degree <= summary.max_degree
+        assert summary.provider_degree <= summary.max_degree
+        assert summary.provider_degree == (
+            summary.provider_peers + summary.provider_transits
+        )
+
+    def test_hierarchy_shape(self, summary):
+        """Tier-1 cones dominate transit cones, as on the real Internet."""
+        assert summary.median_cone_tier1 > summary.median_cone_transit
+        assert summary.median_cone_transit >= 1.0
+
+    def test_interconnect_density(self, summary):
+        assert summary.mean_interconnects_per_link >= 1.0
+
+    def test_render(self, summary):
+        text = summary.render()
+        assert "ASes" in text
+        assert "provider degree" in text
+        assert str(summary.n_ases) in text

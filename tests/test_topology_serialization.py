@@ -1,0 +1,104 @@
+"""Tests for topology JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    build_internet,
+    internet_from_dict,
+    internet_to_dict,
+    load_internet,
+    save_internet,
+)
+
+
+@pytest.fixture(scope="module")
+def roundtripped(small_internet, tmp_path_factory):
+    path = tmp_path_factory.mktemp("topo") / "internet.json"
+    save_internet(small_internet, path)
+    return load_internet(path)
+
+
+class TestRoundtrip:
+    def test_as_inventory_preserved(self, small_internet, roundtripped):
+        original = {a.asn: a for a in small_internet.graph.ases()}
+        loaded = {a.asn: a for a in roundtripped.graph.ases()}
+        assert set(original) == set(loaded)
+        for asn, asys in original.items():
+            other = loaded[asn]
+            assert other.name == asys.name
+            assert other.role is asys.role
+            assert other.cities == asys.cities
+            assert other.exit_policy is asys.exit_policy
+            assert other.backbone_inflation == asys.backbone_inflation
+            assert other.user_weight == asys.user_weight
+
+    def test_links_preserved(self, small_internet, roundtripped):
+        original = {l.key(): l for l in small_internet.graph.links()}
+        loaded = {l.key(): l for l in roundtripped.graph.links()}
+        assert set(original) == set(loaded)
+        for key, link in original.items():
+            other = loaded[key]
+            assert other.relationship is link.relationship
+            assert other.kind is link.kind
+            assert other.customer_asn == link.customer_asn
+            assert other.cities == link.cities
+            assert other.capacity_gbps == link.capacity_gbps
+
+    def test_wan_preserved(self, small_internet, roundtripped):
+        assert roundtripped.wan.pop_codes == small_internet.wan.pop_codes
+        for a in small_internet.wan.pop_codes:
+            for b in small_internet.wan.pop_codes:
+                assert roundtripped.wan.one_way_ms(a, b) == pytest.approx(
+                    small_internet.wan.one_way_ms(a, b)
+                )
+
+    def test_bookkeeping_preserved(self, small_internet, roundtripped):
+        assert roundtripped.provider_asn == small_internet.provider_asn
+        assert roundtripped.tier1_asns == small_internet.tier1_asns
+        assert roundtripped.eyeball_asns == small_internet.eyeball_asns
+        assert roundtripped.dc_pop_code == small_internet.dc_pop_code
+
+    def test_routing_identical_after_roundtrip(self, small_internet, roundtripped):
+        from repro.bgp import propagate
+
+        origin = small_internet.eyeball_asns[0]
+        a = propagate(small_internet.graph, origin)
+        b = propagate(roundtripped.graph, origin)
+        for asys in small_internet.graph.ases():
+            ra, rb = a.best(asys.asn), b.best(asys.asn)
+            assert (ra is None) == (rb is None)
+            if ra is not None:
+                assert ra.path == rb.path
+
+
+class TestValidation:
+    def test_wrong_schema_rejected(self, small_internet):
+        data = internet_to_dict(small_internet)
+        data["schema"] = 999
+        with pytest.raises(TopologyError):
+            internet_from_dict(data)
+
+    def test_file_is_json(self, small_internet, tmp_path):
+        path = tmp_path / "net.json"
+        save_internet(small_internet, path)
+        data = json.loads(path.read_text())
+        assert data["schema"] == 1
+        assert data["provider_asn"] == small_internet.provider_asn
+
+    def test_hand_edit_survives(self, small_internet, tmp_path):
+        """A user can edit the JSON (e.g. drop a peer) and reload."""
+        data = internet_to_dict(small_internet)
+        provider = data["provider_asn"]
+        peer_links = [
+            l
+            for l in data["links"]
+            if l["relationship"] == "peer" and provider in (l["a"], l["b"])
+        ]
+        removed = peer_links[0]
+        data["links"] = [l for l in data["links"] if l is not removed]
+        loaded = internet_from_dict(data)
+        other = removed["b"] if removed["a"] == provider else removed["a"]
+        assert not loaded.graph.has_link(provider, other)

@@ -1,0 +1,47 @@
+"""Tests for diurnal request-arrival sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.workloads import sample_arrivals
+
+
+class TestSampleArrivals:
+    def test_sorted_within_horizon(self):
+        rng = np.random.default_rng(0)
+        times = sample_arrivals(rng, 500, horizon_hours=48.0, lon=0.0)
+        assert times.shape == (500,)
+        assert (np.diff(times) >= 0).all()
+        assert times[0] >= 0.0
+        assert times[-1] <= 48.0
+
+    def test_follows_diurnal_cycle(self):
+        """More arrivals land near the local evening peak than the trough."""
+        rng = np.random.default_rng(1)
+        times = sample_arrivals(rng, 20_000, horizon_hours=240.0, lon=0.0)
+        local = times % 24.0
+        near_peak = ((local >= 18.0) & (local <= 22.0)).mean()
+        near_trough = ((local >= 6.0) & (local <= 10.0)).mean()
+        assert near_peak > near_trough * 1.3
+
+    def test_longitude_shifts_peak(self):
+        rng = np.random.default_rng(2)
+        east = sample_arrivals(rng, 20_000, horizon_hours=240.0, lon=90.0)
+        local_utc = east % 24.0
+        # Local 20:00 at lon 90E is 14:00 UTC.
+        near_shifted_peak = ((local_utc >= 12.0) & (local_utc <= 16.0)).mean()
+        near_old_peak = ((local_utc >= 18.0) & (local_utc <= 22.0)).mean()
+        assert near_shifted_peak > near_old_peak
+
+    def test_deterministic(self):
+        a = sample_arrivals(np.random.default_rng(5), 100, 24.0, 10.0)
+        b = sample_arrivals(np.random.default_rng(5), 100, 24.0, 10.0)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(MeasurementError):
+            sample_arrivals(rng, 0, 24.0, 0.0)
+        with pytest.raises(MeasurementError):
+            sample_arrivals(rng, 10, 0.0, 0.0)

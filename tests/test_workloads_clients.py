@@ -1,0 +1,69 @@
+"""Tests for client prefix generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.workloads import generate_client_prefixes
+
+
+class TestGeneration:
+    def test_count_and_ids(self, small_internet):
+        prefixes = generate_client_prefixes(small_internet, 40, seed=0)
+        assert len(prefixes) == 40
+        assert [p.pid for p in prefixes] == [f"p{i:05d}" for i in range(40)]
+
+    def test_weights_normalized(self, small_internet):
+        prefixes = generate_client_prefixes(small_internet, 50, seed=0)
+        assert sum(p.weight for p in prefixes) == pytest.approx(1.0)
+        assert all(p.weight > 0 for p in prefixes)
+
+    def test_prefixes_live_in_eyeballs(self, small_internet):
+        eyeballs = set(small_internet.eyeball_asns)
+        for prefix in generate_client_prefixes(small_internet, 50, seed=0):
+            assert prefix.asn in eyeballs
+
+    def test_city_within_as_footprint(self, small_internet):
+        for prefix in generate_client_prefixes(small_internet, 50, seed=0):
+            footprint = small_internet.graph.get(prefix.asn).cities
+            assert prefix.city in footprint
+
+    def test_n24s_in_range(self, small_internet):
+        for prefix in generate_client_prefixes(small_internet, 80, seed=1):
+            assert 1 <= prefix.n_24s <= 64
+
+    def test_deterministic(self, small_internet):
+        a = generate_client_prefixes(small_internet, 30, seed=5)
+        b = generate_client_prefixes(small_internet, 30, seed=5)
+        assert a == b
+
+    def test_seed_changes_assignment(self, small_internet):
+        a = generate_client_prefixes(small_internet, 30, seed=5)
+        b = generate_client_prefixes(small_internet, 30, seed=6)
+        assert a != b
+
+    def test_needs_positive_count(self, small_internet):
+        with pytest.raises(MeasurementError):
+            generate_client_prefixes(small_internet, 0)
+
+    def test_weight_sigma_concentration(self, small_internet):
+        """Larger sigma concentrates more weight on fewer prefixes."""
+        flat = generate_client_prefixes(small_internet, 200, seed=2, weight_sigma=0.1)
+        skewed = generate_client_prefixes(small_internet, 200, seed=2, weight_sigma=2.0)
+
+        def top10_share(prefixes):
+            weights = sorted((p.weight for p in prefixes), reverse=True)
+            return sum(weights[:10])
+
+        assert top10_share(skewed) > top10_share(flat)
+
+    def test_ldns_initially_unset(self, small_internet):
+        prefixes = generate_client_prefixes(small_internet, 10, seed=0)
+        assert all(p.ldns is None for p in prefixes)
+
+    def test_with_ldns_copy(self, small_internet):
+        prefix = generate_client_prefixes(small_internet, 1, seed=0)[0]
+        tagged = prefix.with_ldns("ldns-x")
+        assert tagged.ldns == "ldns-x"
+        assert prefix.ldns is None
+        assert tagged.pid == prefix.pid

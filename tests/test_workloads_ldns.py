@@ -1,0 +1,73 @@
+"""Tests for LDNS resolver assignment."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.workloads import assign_ldns, generate_client_prefixes
+
+
+class TestAssignment:
+    def test_every_prefix_gets_resolver(self, small_internet):
+        prefixes = generate_client_prefixes(small_internet, 50, seed=0)
+        assigned, resolvers = assign_ldns(prefixes, small_internet, seed=0)
+        assert len(assigned) == len(prefixes)
+        for prefix in assigned:
+            assert prefix.ldns is not None
+            assert prefix.ldns in resolvers
+
+    def test_resolver_map_covers_only_used(self, small_internet):
+        prefixes = generate_client_prefixes(small_internet, 50, seed=0)
+        assigned, resolvers = assign_ldns(prefixes, small_internet, seed=0)
+        used = {p.ldns for p in assigned}
+        assert set(resolvers) == used
+
+    def test_isp_resolver_colocated_with_as(self, small_internet):
+        prefixes = generate_client_prefixes(small_internet, 80, seed=1)
+        assigned, resolvers = assign_ldns(
+            prefixes, small_internet, seed=1, public_fraction=0.0
+        )
+        for prefix in assigned:
+            resolver = resolvers[prefix.ldns]
+            assert not resolver.public
+            assert resolver.asn == prefix.asn
+            assert (
+                resolver.city
+                == small_internet.graph.get(prefix.asn).home_city
+            )
+
+    def test_all_public(self, small_internet):
+        prefixes = generate_client_prefixes(small_internet, 40, seed=1)
+        assigned, resolvers = assign_ldns(
+            prefixes, small_internet, seed=1, public_fraction=1.0
+        )
+        assert all(resolvers[p.ldns].public for p in assigned)
+
+    def test_public_fraction_roughly_respected(self, small_internet):
+        prefixes = generate_client_prefixes(small_internet, 300, seed=2)
+        assigned, resolvers = assign_ldns(
+            prefixes, small_internet, seed=2, public_fraction=0.3
+        )
+        frac = sum(1 for p in assigned if resolvers[p.ldns].public) / len(assigned)
+        assert 0.15 <= frac <= 0.45
+
+    def test_deterministic(self, small_internet):
+        prefixes = generate_client_prefixes(small_internet, 50, seed=3)
+        a, _ = assign_ldns(prefixes, small_internet, seed=9)
+        b, _ = assign_ldns(prefixes, small_internet, seed=9)
+        assert a == b
+
+    def test_invalid_fraction(self, small_internet):
+        prefixes = generate_client_prefixes(small_internet, 5, seed=0)
+        with pytest.raises(MeasurementError):
+            assign_ldns(prefixes, small_internet, public_fraction=1.5)
+
+    def test_same_as_shares_isp_resolver(self, small_internet):
+        prefixes = generate_client_prefixes(small_internet, 200, seed=4)
+        assigned, _ = assign_ldns(
+            prefixes, small_internet, seed=4, public_fraction=0.0
+        )
+        by_asn = {}
+        for prefix in assigned:
+            by_asn.setdefault(prefix.asn, set()).add(prefix.ldns)
+        for asn, resolvers in by_asn.items():
+            assert len(resolvers) == 1, f"AS{asn} has several ISP resolvers"

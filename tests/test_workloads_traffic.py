@@ -1,0 +1,69 @@
+"""Tests for traffic volume and session-count time series."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.workloads import (
+    diurnal_volume,
+    generate_client_prefixes,
+    sessions_matrix,
+    traffic_matrix,
+)
+
+
+class TestDiurnalVolume:
+    def test_bounds(self):
+        times = np.linspace(0, 48, 1000)
+        volume = diurnal_volume(times, lon=0.0)
+        assert volume.min() >= 0.35 - 1e-9
+        assert volume.max() <= 1.0 + 1e-9
+
+    def test_peak_at_evening(self):
+        times = np.linspace(0, 24, 24 * 60, endpoint=False)
+        volume = diurnal_volume(times, lon=0.0)
+        assert times[np.argmax(volume)] == pytest.approx(20.0, abs=0.1)
+
+    def test_longitude_shift(self):
+        times = np.linspace(0, 24, 24 * 60, endpoint=False)
+        east = diurnal_volume(times, lon=90.0)
+        assert times[np.argmax(east)] == pytest.approx(14.0, abs=0.1)
+
+    def test_24h_periodic(self):
+        t = np.array([3.0, 11.0, 19.0])
+        assert diurnal_volume(t, 10.0) == pytest.approx(diurnal_volume(t + 24.0, 10.0))
+
+
+class TestTrafficMatrix:
+    def test_shape_and_scaling(self, small_internet):
+        prefixes = generate_client_prefixes(small_internet, 10, seed=0)
+        times = np.linspace(0, 24, 96)
+        matrix = traffic_matrix(prefixes, times)
+        assert matrix.shape == (10, 96)
+        # Row magnitude tracks the prefix weight.
+        row_means = matrix.mean(axis=1)
+        weights = np.array([p.weight for p in prefixes])
+        ratio = row_means / weights
+        assert ratio.std() / ratio.mean() < 0.25  # same cycle, same scale
+
+    def test_empty_prefixes_rejected(self):
+        with pytest.raises(MeasurementError):
+            traffic_matrix([], np.linspace(0, 24, 10))
+
+
+class TestSessionsMatrix:
+    def test_bounds(self, small_internet):
+        prefixes = generate_client_prefixes(small_internet, 10, seed=0)
+        times = np.linspace(0, 24, 96)
+        sessions = sessions_matrix(prefixes, times, sessions_at_peak=40, minimum=4)
+        assert sessions.dtype.kind == "i"
+        assert sessions.min() >= 4
+        assert sessions.max() <= 40
+
+    def test_invalid_parameters(self, small_internet):
+        prefixes = generate_client_prefixes(small_internet, 2, seed=0)
+        times = np.linspace(0, 24, 8)
+        with pytest.raises(MeasurementError):
+            sessions_matrix(prefixes, times, sessions_at_peak=0)
+        with pytest.raises(MeasurementError):
+            sessions_matrix(prefixes, times, sessions_at_peak=5, minimum=10)
