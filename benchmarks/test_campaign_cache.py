@@ -1,0 +1,76 @@
+"""Campaign orchestration at acceptance scale.
+
+The ISSUE's acceptance criterion, verbatim: a 5-seed
+``PopRoutingStudy`` sweep run twice through :class:`CampaignRunner`
+with a cache dir performs **zero** simulations on the second run (all
+cache hits, verified by the metrics), and ``jobs=4`` produces
+summaries identical to ``jobs=1``.
+"""
+
+import pytest
+
+from repro.core import PopRoutingStudy
+from repro.runner import CampaignRunner, JobSpec, ResultStore
+
+from conftest import print_comparison
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def _specs():
+    return [
+        JobSpec.from_study(PopRoutingStudy(seed=seed, n_prefixes=80, days=1.0))
+        for seed in SEEDS
+    ]
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("campaign-cache")
+
+
+def test_second_campaign_is_all_cache_hits(benchmark, cache_dir):
+    store = ResultStore(cache_dir)
+    cold = CampaignRunner(jobs=1, store=store).run(_specs())
+    assert cold.n_ran == len(SEEDS)
+
+    warm = benchmark.pedantic(
+        lambda: CampaignRunner(jobs=1, store=store).run(_specs()),
+        rounds=1,
+        iterations=1,
+    )
+    assert warm.n_hits == len(SEEDS)
+    assert warm.n_ran == 0
+    assert [r.summary for r in warm.results] == [r.summary for r in cold.results]
+    print()
+    print(warm.render())
+    print_comparison(
+        "Campaign cache — 5-seed PopRoutingStudy sweep",
+        [
+            ["simulations on warm run", 0, warm.n_ran],
+            ["cache hits on warm run", len(SEEDS), warm.n_hits],
+            ["simulation seconds saved", "> 0", f"{warm.saved_s:.1f}"],
+        ],
+    )
+
+
+def test_parallel_campaign_matches_serial(benchmark):
+    serial = CampaignRunner(jobs=1).run(_specs())
+    parallel = benchmark.pedantic(
+        lambda: CampaignRunner(jobs=4).run(_specs()),
+        rounds=1,
+        iterations=1,
+    )
+    assert [r.summary for r in parallel.results] == [
+        r.summary for r in serial.results
+    ]
+    assert [r.hypotheses for r in parallel.results] == [
+        r.hypotheses for r in serial.results
+    ]
+    print_comparison(
+        "Campaign parallelism — jobs=4 vs jobs=1, 5 seeds",
+        [
+            ["summaries identical", "yes", "yes"],
+            ["jobs simulated", len(SEEDS), parallel.n_ran],
+        ],
+    )

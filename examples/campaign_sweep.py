@@ -1,0 +1,49 @@
+"""Managed campaigns: parallel multi-seed sweeps with result caching.
+
+Runs a 5-seed ``PopRoutingStudy`` sweep through the campaign runner
+twice against the same cache directory.  The first pass simulates; the
+second is served entirely from the content-addressed cache — change
+any config value (or the seed list) and only the changed jobs re-run.
+
+Run with::
+
+    PYTHONPATH=src python examples/campaign_sweep.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.core import PopRoutingStudy
+from repro.core.sweep import aggregate_results
+from repro.runner import CampaignRunner, JobSpec, ResultStore
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def main(cache_dir: str | None = None, jobs: int = 4) -> None:
+    if cache_dir is None:
+        cache_dir = tempfile.mkdtemp(prefix="repro-campaign-")
+    specs = [
+        JobSpec.from_study(PopRoutingStudy(seed=seed, n_prefixes=80, days=1.0))
+        for seed in SEEDS
+    ]
+    store = ResultStore(cache_dir)
+
+    print(f"# cold pass — {jobs} worker processes, cache at {cache_dir}")
+    runner = CampaignRunner(jobs=jobs, store=store)
+    cold = runner.run(specs)
+    print(cold.render())
+    print()
+
+    print("# warm pass — same specs, so every job is a cache hit")
+    warm = CampaignRunner(jobs=jobs, store=store).run(specs)
+    print(warm.render())
+    print()
+
+    assert warm.n_ran == 0, "unchanged specs must never re-simulate"
+    print(aggregate_results(warm.results, SEEDS).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,8 @@ Examples::
     repro-bgp fig1                # Figure 1 rows
     repro-bgp fig5 --seed 3       # Figure 5 at another seed
     repro-bgp report              # all three studies + hypothesis verdicts
+    repro-bgp report --jobs 3 --cache-dir .repro-cache   # parallel + cached
+    repro-bgp campaign --study pop --seeds 0,1,2,3,4 --jobs 4
     repro-bgp list                # everything available
 """
 
@@ -21,28 +23,56 @@ from repro.analysis import format_table, text_choropleth
 from repro.geo import COUNTRY_REGIONS
 
 
-def _pop_study(args):
-    from repro.core import PopRoutingStudy
+def _build_study(kind: str, args, seed=None):
+    """Instantiate one of the named studies from CLI arguments."""
+    from repro.core import (
+        AnycastCdnStudy,
+        CloudTiersStudy,
+        PeeringReductionStudy,
+        PopRoutingStudy,
+    )
 
-    return PopRoutingStudy(
-        seed=args.seed, n_prefixes=args.scale, days=args.days
-    ).run()
+    seed = args.seed if seed is None else seed
+    if kind == "pop":
+        return PopRoutingStudy(seed=seed, n_prefixes=args.scale, days=args.days)
+    if kind == "cdn":
+        return AnycastCdnStudy(seed=seed, n_prefixes=args.scale, days=args.days)
+    if kind == "cloud":
+        return CloudTiersStudy(
+            seed=seed, days=max(2, int(args.days)), vps_per_day=args.scale
+        )
+    if kind == "peering":
+        return PeeringReductionStudy(seed=seed, n_prefixes=args.scale)
+    raise ValueError(f"unknown study kind {kind!r}")
+
+
+def _run_campaign(args, studies, **runner_kwargs):
+    """Run study instances through a campaign with the CLI's flags."""
+    from repro.runner import CampaignRunner, JobSpec, ResultStore
+
+    store = None
+    if getattr(args, "cache_dir", None):
+        store = ResultStore(args.cache_dir)
+    runner = CampaignRunner(
+        jobs=getattr(args, "jobs", 1), store=store, **runner_kwargs
+    )
+    return runner.run([JobSpec.from_study(study) for study in studies])
+
+
+def _campaign_flags_used(args) -> bool:
+    return getattr(args, "jobs", 1) > 1 or bool(getattr(args, "cache_dir", None))
+
+
+def _pop_study(args):
+    return _build_study("pop", args).run()
 
 
 def _cdn_study(args):
-    from repro.core import AnycastCdnStudy
-
-    return AnycastCdnStudy(
-        seed=args.seed, n_prefixes=args.scale, days=args.days
-    ).run()
+    return _build_study("cdn", args).run()
 
 
 def _cloud_study(args):
-    from repro.core import CloudTiersStudy
-
-    return CloudTiersStudy(
-        seed=args.seed, days=max(2, int(args.days)), vps_per_day=args.scale
-    ).run()
+    return _build_study("cloud", args).run()
 
 
 def cmd_fig1(args) -> None:
@@ -171,39 +201,70 @@ def cmd_fig5(args) -> None:
 def cmd_report(args) -> None:
     from repro.core import render_report
 
-    results = [_pop_study(args), _cdn_study(args), _cloud_study(args)]
-    print(render_report(results))
+    studies = [_build_study(kind, args) for kind in ("pop", "cdn", "cloud")]
+    report = _run_campaign(args, studies)
+    print(render_report(report.results))
+    if _campaign_flags_used(args):
+        print(report.render())
 
 
 def cmd_peering(args) -> None:
-    from repro.core import edgefabric_topology
-    from repro.edgefabric import peering_reduction_study
-    from repro.topology import build_internet
-    from repro.workloads import generate_client_prefixes
-
-    config = edgefabric_topology(args.seed)
-
-    def factory():
-        return build_internet(config)
-
-    prefixes = generate_client_prefixes(factory(), args.scale, seed=args.seed + 1)
-    result = peering_reduction_study(factory, prefixes)
-    rows = [
-        [
-            f"{p.retention:.0%}",
-            p.median_rtt_ms,
-            p.p95_rtt_ms,
-            f"{p.frac_traffic_on_transit:.0%}",
-            f"{p.max_link_utilization:.2f}",
-        ]
-        for p in result.points
-    ]
+    study = _build_study("peering", args)
+    report = _run_campaign(args, [study])
+    summary = report.results[0].summary
+    rows = []
+    for retention in study.retentions:
+        prefix = f"retention_{int(round(retention * 100)):03d}"
+        rows.append(
+            [
+                f"{retention:.0%}",
+                summary[f"{prefix}_median_rtt_ms"],
+                summary[f"{prefix}_p95_rtt_ms"],
+                f"{summary[f'{prefix}_frac_on_transit']:.0%}",
+                f"{summary[f'{prefix}_max_link_utilization']:.2f}",
+            ]
+        )
     print(
         format_table(
             ["peers kept", "median RTT", "p95 RTT", "on transit", "max util"],
             rows,
         )
     )
+    if _campaign_flags_used(args):
+        print(report.render())
+
+
+def cmd_campaign(args) -> None:
+    from repro.core import render_report
+    from repro.core.sweep import aggregate_results
+
+    if args.seeds:
+        try:
+            seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+        except ValueError:
+            raise SystemExit(
+                f"--seeds must be a comma-separated integer list, got {args.seeds!r}"
+            )
+    else:
+        seeds = [args.seed]
+    if not seeds:
+        raise SystemExit("--seeds named no seeds")
+    kinds = ["pop", "cdn", "cloud"] if args.study == "all" else [args.study]
+    studies = [
+        _build_study(kind, args, seed=seed) for kind in kinds for seed in seeds
+    ]
+    report = _run_campaign(
+        args, studies, timeout_s=args.timeout, retries=args.retries
+    )
+    print(report.render())
+    # One result group per study kind, in submission order.
+    for position, kind in enumerate(kinds):
+        group = report.results[position * len(seeds) : (position + 1) * len(seeds)]
+        print()
+        if len(seeds) > 1:
+            print(aggregate_results(group, seeds).render())
+        else:
+            print(render_report(group))
 
 
 def cmd_grooming(args) -> None:
@@ -298,6 +359,7 @@ COMMANDS: Dict[str, Callable] = {
     "fig4": cmd_fig4,
     "fig5": cmd_fig5,
     "report": cmd_report,
+    "campaign": cmd_campaign,
     "peering": cmd_peering,
     "grooming": cmd_grooming,
     "sites": cmd_sites,
@@ -323,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
         "fig4": "Figure 4: DNS redirection vs anycast",
         "fig5": "Figure 5: Standard - Premium per country",
         "report": "All three studies + hypothesis verdicts",
+        "campaign": "Managed multi-seed campaign: parallel + cached",
         "peering": "Section 3.1.3: peering-reduction emulation",
         "grooming": "Section 3.2.2: iterative anycast grooming",
         "sites": "Section 3.2.2: anycast site-count sweep",
@@ -348,7 +411,47 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="PATH",
             help="also write the figure's series as CSV (fig1/fig3/fig5)",
         )
+        cmd.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for campaign-backed commands "
+            "(report/campaign/peering; 1 = serial)",
+        )
+        cmd.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="PATH",
+            help="content-addressed result cache; unchanged jobs are "
+            "served from disk instead of re-simulating",
+        )
         cmd.set_defaults(handler=handler)
+    campaign_cmd = sub.choices["campaign"]
+    campaign_cmd.add_argument(
+        "--study",
+        choices=["pop", "cdn", "cloud", "peering", "all"],
+        default="all",
+        help="which study to campaign over (default: all three settings)",
+    )
+    campaign_cmd.add_argument(
+        "--seeds",
+        default=None,
+        metavar="LIST",
+        help="comma-separated seed list, e.g. 0,1,2,3,4 (default: --seed)",
+    )
+    campaign_cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-job wall-time limit in seconds (parallel mode only)",
+    )
+    campaign_cmd.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="extra attempts for a crashed or timed-out job",
+    )
     sub.add_parser("list", help="list available commands").set_defaults(
         handler=lambda args: print("\n".join(f"{k:10s} {v}" for k, v in descriptions.items()))
     )

@@ -28,6 +28,7 @@ from repro.core.schemes import (
 from repro.core.study import (
     AnycastCdnStudy,
     CloudTiersStudy,
+    PeeringReductionStudy,
     PopRoutingStudy,
     StudyResult,
 )
@@ -41,7 +42,12 @@ from repro.core.hypotheses import (
 )
 from repro.core.report import render_report
 from repro.core.validate import ClaimCheck, ValidationReport, validate_reproduction
-from repro.core.sweep import StatSummary, SweepResult, sweep_seeds
+from repro.core.sweep import (
+    StatSummary,
+    SweepResult,
+    aggregate_results,
+    sweep_seeds,
+)
 
 __all__ = [
     "cdn_topology",
@@ -54,6 +60,7 @@ __all__ = [
     "SCHEME_STATIC_BEST",
     "AnycastCdnStudy",
     "CloudTiersStudy",
+    "PeeringReductionStudy",
     "PopRoutingStudy",
     "StudyResult",
     "HypothesisVerdict",
@@ -68,5 +75,6 @@ __all__ = [
     "validate_reproduction",
     "StatSummary",
     "SweepResult",
+    "aggregate_results",
     "sweep_seeds",
 ]

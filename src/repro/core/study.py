@@ -8,7 +8,7 @@ pipelines by hand.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import AnalysisError
 from repro.topology import TopologyConfig, build_internet
@@ -171,6 +171,59 @@ class AnycastCdnStudy:
                 "dataset": dataset,
             },
             hypotheses=hypotheses,
+        )
+
+
+@dataclass
+class PeeringReductionStudy:
+    """Section 3.1.3: de-peering emulation in the common study shape.
+
+    Wraps :func:`~repro.edgefabric.peering_study.peering_reduction_study`
+    behind ``run() -> StudyResult`` so campaigns can cache and schedule
+    it like the three settings.  Per-retention metrics are flattened
+    into summary keys (``retention_050_median_rtt_ms`` is the median
+    RTT with 50% of peers kept); the full sweep object rides along in
+    ``figures["points"]`` on fresh runs.
+
+    Args:
+        seed: Master seed for topology and workload.
+        n_prefixes: Client prefix population size.
+        retentions: Peer-retention levels to sweep; must start at 1.0.
+        topology: Optional topology override.
+    """
+
+    seed: int = 0
+    n_prefixes: int = 150
+    retentions: Tuple[float, ...] = (1.0, 0.75, 0.5, 0.25, 0.1, 0.0)
+    topology: Optional[TopologyConfig] = None
+
+    def run(self) -> StudyResult:
+        """Run the retention sweep and flatten it into a summary."""
+        from repro.edgefabric import peering_reduction_study
+
+        config = self.topology or edgefabric_topology(self.seed)
+
+        def factory():
+            return build_internet(config)
+
+        prefixes = generate_client_prefixes(
+            factory(), self.n_prefixes, seed=self.seed + 1
+        )
+        result = peering_reduction_study(
+            factory, prefixes, retentions=self.retentions
+        )
+        summary: Dict[str, float] = {"n_retentions": float(len(result.points))}
+        for point in result.points:
+            prefix = f"retention_{int(round(point.retention * 100)):03d}"
+            summary[f"{prefix}_median_rtt_ms"] = point.median_rtt_ms
+            summary[f"{prefix}_p95_rtt_ms"] = point.p95_rtt_ms
+            summary[f"{prefix}_frac_on_transit"] = point.frac_traffic_on_transit
+            summary[f"{prefix}_max_link_utilization"] = point.max_link_utilization
+        return StudyResult(
+            name="peering-reduction",
+            summary=summary,
+            figures={"points": result},
+            hypotheses=[],
         )
 
 

@@ -3,12 +3,16 @@
 The paper's claims are about the Internet, not one random draw; this
 utility re-runs a study across seeds and aggregates each headline
 statistic so users can report mean ± spread rather than a point value.
+
+Sweeps route through :mod:`repro.runner` when asked to parallelize
+(``jobs > 1``) or cache (``cache_dir``); the default stays the plain
+serial loop, bit-identical to previous releases.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,12 +40,17 @@ class SweepResult:
         seeds: The seeds run.
         per_seed: One summary dict per seed, order-aligned.
         stats: Per summary key, the cross-seed aggregate.
+        dropped_keys: Summary keys absent from at least one run and
+            therefore *not* aggregated (e.g. the India statistic at
+            tiny scales).  Surfaced so a partially-present statistic
+            never disappears silently.
     """
 
     study_name: str
     seeds: Tuple[int, ...]
     per_seed: Tuple[Dict[str, float], ...]
     stats: Dict[str, StatSummary]
+    dropped_keys: Tuple[str, ...] = ()
 
     def render(self) -> str:
         """Mean ± sd table over all summary statistics."""
@@ -61,46 +70,50 @@ class SweepResult:
             f"{self.study_name}: {len(self.seeds)} seeds "
             f"({', '.join(map(str, self.seeds))})"
         )
-        return header + "\n" + format_table(
+        text = header + "\n" + format_table(
             ["statistic", "mean", "sd", "min", "max"], rows, float_fmt="{:.3f}"
         )
+        if self.dropped_keys:
+            text += (
+                "\nabsent in some runs (not aggregated): "
+                + ", ".join(self.dropped_keys)
+            )
+        return text
 
 
-def sweep_seeds(
-    study_factory: Callable[[int], "object"],
-    seeds: Sequence[int],
+def aggregate_results(
+    results: Sequence[StudyResult], seeds: Sequence[int]
 ) -> SweepResult:
-    """Run a study across seeds and aggregate its summary statistics.
+    """Aggregate per-seed study results into a :class:`SweepResult`.
 
-    Args:
-        study_factory: Maps a seed to a study object exposing
-            ``run() -> StudyResult`` (the three Study classes fit, as
-            does any user object with the same shape).
-        seeds: Seeds to run; at least two.
+    Only keys present in *every* run are aggregated; the remainder are
+    recorded on :attr:`SweepResult.dropped_keys` rather than silently
+    discarded.
 
-    Returns:
-        Cross-seed aggregates; only keys present in *every* run are
-        aggregated (e.g. the India statistic can be absent at tiny
-        scales).
+    Raises:
+        AnalysisError: On empty input, a results/seeds length mismatch,
+            or results from different studies.
     """
-    if len(seeds) < 2:
-        raise AnalysisError("a sweep needs at least two seeds")
-    results: List[StudyResult] = []
-    for seed in seeds:
-        result = study_factory(int(seed)).run()
-        results.append(result)
+    results = list(results)
+    if not results or len(results) != len(seeds):
+        raise AnalysisError(
+            f"need one result per seed, got {len(results)} results "
+            f"for {len(seeds)} seeds"
+        )
     names = {r.name for r in results}
     if len(names) != 1:
-        raise AnalysisError(f"factory produced mixed studies: {names}")
+        raise AnalysisError(f"cannot aggregate mixed studies: {names}")
     common = set(results[0].summary)
+    union = set(results[0].summary)
     for result in results[1:]:
         common &= set(result.summary)
+        union |= set(result.summary)
     stats: Dict[str, StatSummary] = {}
     for key in common:
         values = np.array([r.summary[key] for r in results], dtype=float)
         stats[key] = StatSummary(
             mean=float(values.mean()),
-            std=float(values.std(ddof=1)),
+            std=float(values.std(ddof=1)) if len(results) > 1 else 0.0,
             minimum=float(values.min()),
             maximum=float(values.max()),
         )
@@ -109,4 +122,48 @@ def sweep_seeds(
         seeds=tuple(int(s) for s in seeds),
         per_seed=tuple(r.summary for r in results),
         stats=stats,
+        dropped_keys=tuple(sorted(union - common)),
     )
+
+
+def sweep_seeds(
+    study_factory: Callable[[int], "object"],
+    seeds: Sequence[int],
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> SweepResult:
+    """Run a study across seeds and aggregate its summary statistics.
+
+    Args:
+        study_factory: Maps a seed to a study object exposing
+            ``run() -> StudyResult`` (the Study classes fit, as does
+            any user object with the same shape).
+        seeds: Seeds to run; at least two.
+        jobs: Worker processes.  The default of 1 keeps the historical
+            serial loop, bit-identical to earlier releases; anything
+            higher fans seeds out through a
+            :class:`~repro.runner.campaign.CampaignRunner` (which
+            requires the factory to return dataclass studies).
+        cache_dir: When given, a content-addressed result cache —
+            previously-run (study, config, seed) combinations are
+            served from disk without simulating.
+
+    Returns:
+        Cross-seed aggregates; only keys present in *every* run are
+        aggregated, the rest appear on
+        :attr:`SweepResult.dropped_keys`.
+    """
+    if len(seeds) < 2:
+        raise AnalysisError("a sweep needs at least two seeds")
+    studies = [study_factory(int(seed)) for seed in seeds]
+    if jobs == 1 and cache_dir is None:
+        results: List[StudyResult] = [study.run() for study in studies]
+    else:
+        from repro.runner import CampaignRunner, JobSpec, ResultStore
+
+        store = ResultStore(cache_dir) if cache_dir is not None else None
+        runner = CampaignRunner(jobs=jobs, store=store)
+        report = runner.run([JobSpec.from_study(study) for study in studies])
+        results = list(report.results)
+    return aggregate_results(results, seeds)

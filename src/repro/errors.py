@@ -34,6 +34,15 @@ class MeasurementError(ReproError):
     """
 
 
+class RunnerError(ReproError):
+    """Raised for campaign-orchestration failures.
+
+    Examples: a job spec whose configuration cannot be content-hashed,
+    a study class that cannot be resolved in a worker process, or a
+    campaign whose jobs exhausted their retry budget.
+    """
+
+
 class AnalysisError(ReproError):
     """Raised for invalid analysis inputs.
 

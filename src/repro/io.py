@@ -48,7 +48,25 @@ def _prefix_from_dict(data: Dict) -> ClientPrefix:
     )
 
 
-def _check_header(header: Dict, expected_kind: str) -> None:
+def make_header(kind: str, **fields) -> Dict:
+    """Build a versioned JSON header for an on-disk artifact.
+
+    Every persisted artifact in the package — dataset archives here,
+    campaign results in :mod:`repro.runner` — carries the same two
+    leading fields, so any loader can cheaply reject files written by a
+    different schema generation before touching the payload.
+    """
+    header = {"schema": SCHEMA_VERSION, "kind": kind}
+    header.update(fields)
+    return header
+
+
+def check_header(header: Dict, expected_kind: str) -> None:
+    """Validate a header written by :func:`make_header`.
+
+    Raises:
+        AnalysisError: On a schema-version or kind mismatch.
+    """
     if header.get("schema") != SCHEMA_VERSION:
         raise AnalysisError(
             f"unsupported schema version {header.get('schema')!r} "
@@ -61,19 +79,22 @@ def _check_header(header: Dict, expected_kind: str) -> None:
         )
 
 
+# Backwards-compatible alias for the pre-public name.
+_check_header = check_header
+
+
 # --- beacon datasets (Setting B) -------------------------------------------
 
 
 def save_beacon_dataset(dataset, path: PathLike) -> None:
     """Persist a :class:`~repro.cdn.measurement.BeaconDataset`."""
-    header = {
-        "schema": SCHEMA_VERSION,
-        "kind": "beacon",
-        "prefixes": [_prefix_to_dict(p) for p in dataset.prefixes],
-        "catchments": list(dataset.catchments),
-        "fe_codes": [list(codes) for codes in dataset.fe_codes],
-        "n_nearby": dataset.n_nearby,
-    }
+    header = make_header(
+        "beacon",
+        prefixes=[_prefix_to_dict(p) for p in dataset.prefixes],
+        catchments=list(dataset.catchments),
+        fe_codes=[list(codes) for codes in dataset.fe_codes],
+        n_nearby=dataset.n_nearby,
+    )
     np.savez_compressed(
         Path(path),
         header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
@@ -132,12 +153,7 @@ def save_egress_dataset(dataset, path: PathLike) -> None:
                 ],
             }
         )
-    header = {
-        "schema": SCHEMA_VERSION,
-        "kind": "egress",
-        "pairs": pairs,
-        "max_routes": dataset.max_routes,
-    }
+    header = make_header("egress", pairs=pairs, max_routes=dataset.max_routes)
     np.savez_compressed(
         Path(path),
         header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
@@ -226,14 +242,13 @@ def save_tier_dataset(dataset, path: PathLike) -> None:
                 ],
             }
         )
-    header = {
-        "schema": SCHEMA_VERSION,
-        "kind": "tier",
-        "vps": vps,
-        "records": records,
-        "traceroutes": traceroutes,
-        "eligible": sorted(dataset.eligible),
-    }
+    header = make_header(
+        "tier",
+        vps=vps,
+        records=records,
+        traceroutes=traceroutes,
+        eligible=sorted(dataset.eligible),
+    )
     np.savez_compressed(
         Path(path),
         header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),

@@ -1,0 +1,41 @@
+"""Campaign orchestration: managed, cached, parallel study runs.
+
+The paper's measurement methodology — Facebook's continuous per-PoP
+windows, Google's 10-month Speedchecker campaign — is a long-running
+fleet of *independent* measurement jobs.  This package gives the
+reproduction the same shape:
+
+* :mod:`repro.runner.spec` — :class:`JobSpec`, one unit of work with a
+  deterministic content hash over (study class, config, seed).
+* :mod:`repro.runner.store` — :class:`ResultStore`, an on-disk,
+  content-addressed cache of study results (versioned JSON; corrupt or
+  foreign entries degrade to cache misses).
+* :mod:`repro.runner.campaign` — :class:`CampaignRunner`, which fans
+  specs out over worker processes with per-job timeout and bounded
+  retry, merges deterministically, and reports per-job metrics in a
+  :class:`CampaignReport`.
+
+See ``docs/runner.md`` for concepts and the cache invalidation rules.
+"""
+
+from repro.runner.spec import JobSpec, SPEC_HASH_VERSION, canonicalize, resolve_study
+from repro.runner.store import CachedResult, ResultStore
+from repro.runner.campaign import (
+    CampaignReport,
+    CampaignRunner,
+    JobMetrics,
+    run_campaign,
+)
+
+__all__ = [
+    "JobSpec",
+    "SPEC_HASH_VERSION",
+    "canonicalize",
+    "resolve_study",
+    "CachedResult",
+    "ResultStore",
+    "CampaignReport",
+    "CampaignRunner",
+    "JobMetrics",
+    "run_campaign",
+]

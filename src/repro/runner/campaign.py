@@ -1,0 +1,332 @@
+"""Parallel campaign orchestration: fan job specs out, merge in order.
+
+A :class:`CampaignRunner` takes a sequence of
+:class:`~repro.runner.spec.JobSpec` and produces one
+:class:`CampaignReport`.  Cache hits (via an optional
+:class:`~repro.runner.store.ResultStore`) never re-simulate; misses run
+either inline (``jobs=1``, today's serial behavior) or across a
+``ProcessPoolExecutor`` with per-job timeout and bounded retry with
+exponential backoff.  Results always merge in *spec order*, regardless
+of completion order, so ``jobs=4`` and ``jobs=1`` are interchangeable.
+
+Results are uniformly "slim" — summary statistics and hypothesis
+verdicts, no figure objects — whether they come from the cache, a
+worker process, or an inline run (see
+:mod:`repro.runner.store` for why).  Callers that need figures run the
+study directly.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import format_table
+from repro.errors import RunnerError
+from repro.runner.spec import JobSpec
+from repro.runner.store import ResultStore, payload_to_result, result_to_payload
+
+
+def _run_job(spec: JobSpec):
+    """Worker entry point: build and run one study, return its payload.
+
+    Module-level so it pickles by reference into worker processes; the
+    return value is the plain-JSON payload (not the full result), so
+    figure objects never cross the process boundary.
+    """
+    start = time.perf_counter()
+    result = spec.build().run()
+    elapsed_s = time.perf_counter() - start
+    return result_to_payload(result), elapsed_s
+
+
+@dataclass(frozen=True)
+class JobMetrics:
+    """Per-job accounting surfaced in the campaign metrics table.
+
+    Attributes:
+        index: Position in the submitted spec sequence.
+        study: Short study label from the spec.
+        seed: The job's seed.
+        spec_hash: Full content hash (tables show a prefix).
+        status: ``"hit"`` (served from cache) or ``"ran"`` (simulated).
+        attempts: Execution attempts; 0 for hits, >1 means retries.
+        elapsed_s: Wall time spent obtaining the result this campaign.
+        saved_s: For hits, the recorded simulation time *not* spent.
+    """
+
+    index: int
+    study: str
+    seed: int
+    spec_hash: str
+    status: str
+    attempts: int
+    elapsed_s: float
+    saved_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Outcome of one campaign: ordered results plus per-job metrics."""
+
+    results: Tuple[object, ...]
+    metrics: Tuple[JobMetrics, ...]
+
+    @property
+    def n_hits(self) -> int:
+        """Jobs served from the cache without simulating."""
+        return sum(1 for m in self.metrics if m.status == "hit")
+
+    @property
+    def n_ran(self) -> int:
+        """Jobs that actually simulated."""
+        return sum(1 for m in self.metrics if m.status == "ran")
+
+    @property
+    def n_retries(self) -> int:
+        """Extra attempts beyond the first across all jobs."""
+        return sum(max(0, m.attempts - 1) for m in self.metrics)
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total per-job wall time (not wall-clock when parallel)."""
+        return sum(m.elapsed_s for m in self.metrics)
+
+    @property
+    def saved_s(self) -> float:
+        """Simulation time avoided by cache hits."""
+        return sum(m.saved_s for m in self.metrics)
+
+    def render(self) -> str:
+        """Metrics table: one row per job, plus a totals headline."""
+        rows = []
+        for m in self.metrics:
+            rows.append(
+                [
+                    m.index,
+                    m.study,
+                    m.seed,
+                    m.status,
+                    m.attempts,
+                    m.elapsed_s,
+                    m.spec_hash[:12],
+                ]
+            )
+        headline = (
+            f"campaign: {len(self.metrics)} jobs — "
+            f"{self.n_hits} cache hits, {self.n_ran} ran "
+            f"({self.n_retries} retries); "
+            f"run time {self.elapsed_s:.1f}s, saved {self.saved_s:.1f}s"
+        )
+        table = format_table(
+            ["job", "study", "seed", "status", "attempts", "time_s", "spec"],
+            rows,
+            float_fmt="{:.2f}",
+        )
+        return headline + "\n" + table
+
+
+class CampaignRunner:
+    """Run a batch of job specs with caching, parallelism, and retry.
+
+    Args:
+        jobs: Worker processes; 1 (the default) runs every job inline
+            in the current process, preserving strictly serial
+            behavior.
+        store: Optional result cache consulted before running and
+            updated after every successful run.
+        timeout_s: Per-job wall-time limit, enforced in pool mode only
+            (an inline job cannot be preempted).  ``None`` disables.
+        retries: Extra attempts after a failed or timed-out job before
+            the campaign raises.
+        backoff_s: Base of the exponential backoff between attempts
+            (``backoff_s * 2**(attempt-1)`` seconds).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: Optional[ResultStore] = None,
+        timeout_s: Optional[float] = None,
+        retries: int = 2,
+        backoff_s: float = 0.5,
+    ):
+        if jobs < 1:
+            raise RunnerError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise RunnerError(f"retries must be >= 0, got {retries}")
+        self.jobs = int(jobs)
+        self.store = store
+        self.timeout_s = timeout_s
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+
+    def run(self, specs: Sequence[JobSpec]) -> CampaignReport:
+        """Execute a campaign; results come back in spec order.
+
+        Raises:
+            RunnerError: When any job exhausts its retry budget.
+        """
+        specs = list(specs)
+        results: List[Optional[object]] = [None] * len(specs)
+        metrics: List[Optional[JobMetrics]] = [None] * len(specs)
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
+            cached = self.store.get(spec) if self.store is not None else None
+            if cached is not None:
+                results[index] = cached.result
+                metrics[index] = JobMetrics(
+                    index=index,
+                    study=spec.describe(),
+                    seed=spec.seed,
+                    spec_hash=spec.content_hash,
+                    status="hit",
+                    attempts=0,
+                    elapsed_s=0.0,
+                    saved_s=cached.elapsed_s,
+                )
+            else:
+                pending.append(index)
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                self._run_inline(specs, pending, results, metrics)
+            else:
+                self._run_pool(specs, pending, results, metrics)
+        return CampaignReport(results=tuple(results), metrics=tuple(metrics))
+
+    # -- execution backends -------------------------------------------------
+
+    def _record_success(self, specs, results, metrics, index, payload, job_s, wall_s, attempts):
+        spec = specs[index]
+        result = payload_to_result(payload)
+        results[index] = result
+        metrics[index] = JobMetrics(
+            index=index,
+            study=spec.describe(),
+            seed=spec.seed,
+            spec_hash=spec.content_hash,
+            status="ran",
+            attempts=attempts,
+            elapsed_s=wall_s,
+        )
+        if self.store is not None:
+            self.store.put(spec, result, job_s)
+
+    def _give_up(self, spec: JobSpec, attempts: int, error: BaseException):
+        raise RunnerError(
+            f"job {spec.describe()} [{spec.content_hash[:12]}] failed "
+            f"after {attempts} attempt(s): {error}"
+        ) from error
+
+    def _sleep_before_retry(self, attempts: int) -> None:
+        delay = self.backoff_s * (2 ** (attempts - 1))
+        if delay > 0:
+            time.sleep(delay)
+
+    def _run_inline(self, specs, pending, results, metrics) -> None:
+        for index in pending:
+            spec = specs[index]
+            attempts = 0
+            start = time.perf_counter()
+            while True:
+                attempts += 1
+                try:
+                    payload, job_s = _run_job(spec)
+                except Exception as exc:
+                    if attempts > self.retries:
+                        self._give_up(spec, attempts, exc)
+                    self._sleep_before_retry(attempts)
+                    continue
+                wall_s = time.perf_counter() - start
+                self._record_success(
+                    specs, results, metrics, index, payload, job_s, wall_s, attempts
+                )
+                break
+
+    def _run_pool(self, specs, pending, results, metrics) -> None:
+        attempts: Dict[int, int] = {index: 0 for index in pending}
+        started = {index: time.perf_counter() for index in pending}
+        done: set = set()
+        completed = False
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
+        try:
+            futures = {
+                index: pool.submit(_run_job, specs[index]) for index in pending
+            }
+            # Collect in deterministic spec order; later jobs keep
+            # executing while earlier ones are awaited.
+            for index in pending:
+                while True:
+                    try:
+                        payload, job_s = futures[index].result(
+                            timeout=self.timeout_s
+                        )
+                    except FutureTimeoutError as exc:
+                        futures[index].cancel()
+                        error: BaseException = RunnerError(
+                            f"timed out after {self.timeout_s}s"
+                        )
+                    except BrokenProcessPool as exc:
+                        # A hard worker crash poisons the whole pool:
+                        # rebuild it and resubmit every unfinished job.
+                        error = exc
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = ProcessPoolExecutor(
+                            max_workers=min(self.jobs, len(pending))
+                        )
+                        for other in pending:
+                            if other not in done and other != index:
+                                futures[other] = pool.submit(
+                                    _run_job, specs[other]
+                                )
+                    except Exception as exc:
+                        error = exc
+                    else:
+                        wall_s = time.perf_counter() - started[index]
+                        self._record_success(
+                            specs,
+                            results,
+                            metrics,
+                            index,
+                            payload,
+                            job_s,
+                            wall_s,
+                            attempts[index] + 1,
+                        )
+                        done.add(index)
+                        break
+                    attempts[index] += 1
+                    if attempts[index] > self.retries:
+                        self._give_up(specs[index], attempts[index], error)
+                    self._sleep_before_retry(attempts[index])
+                    futures[index] = pool.submit(_run_job, specs[index])
+            completed = True
+        finally:
+            # On clean completion every future is done, so waiting is
+            # instant; on failure, abandon workers (one may be hung).
+            pool.shutdown(wait=completed, cancel_futures=True)
+
+
+def run_campaign(
+    studies: Sequence[object],
+    jobs: int = 1,
+    cache_dir=None,
+    **runner_kwargs,
+) -> CampaignReport:
+    """Convenience wrapper: specs from study instances, one campaign.
+
+    Args:
+        studies: Configured dataclass study instances (anything
+            :meth:`JobSpec.from_study` accepts).
+        jobs: Worker processes (1 = inline serial).
+        cache_dir: When given, a :class:`ResultStore` rooted there.
+        **runner_kwargs: Passed through to :class:`CampaignRunner`
+            (``timeout_s``, ``retries``, ``backoff_s``).
+    """
+    store = ResultStore(cache_dir) if cache_dir is not None else None
+    runner = CampaignRunner(jobs=jobs, store=store, **runner_kwargs)
+    return runner.run([JobSpec.from_study(study) for study in studies])

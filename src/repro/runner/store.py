@@ -1,0 +1,144 @@
+"""Content-addressed, on-disk persistence of campaign results.
+
+Layout: ``<root>/<hh>/<hash>.json``, where ``hh`` is the first two hex
+characters of the spec's content hash — a two-level fan-out so large
+campaigns never pile tens of thousands of entries into one directory.
+
+Entries are versioned JSON carrying the same ``schema``/``kind``
+header convention as the ``.npz`` dataset archives in :mod:`repro.io`
+(via :func:`repro.io.make_header`).  Anything unreadable — a truncated
+file, a foreign schema version, a hand-edited payload — is treated as
+a cache *miss*, never an error: the worst corruption can do is force a
+re-simulation.
+
+Only the durable parts of a :class:`~repro.core.study.StudyResult`
+are persisted: the summary statistics and the hypothesis verdicts.
+Figure objects hold full datasets and are cheap to recut from a
+re-run, so a cache hit returns a result with ``figures == {}``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.errors import AnalysisError
+from repro.io import check_header, make_header
+from repro.runner.spec import JobSpec
+
+PathLike = Union[str, Path]
+
+#: Header ``kind`` for cached campaign results.
+RESULT_KIND = "campaign-result"
+
+
+def result_to_payload(result) -> Dict:
+    """Serialize the durable parts of a ``StudyResult`` to plain JSON.
+
+    Figures are deliberately dropped (see the module docstring); the
+    same payload shape crosses the worker process boundary, so serial
+    and parallel campaigns return identically-shaped results.
+    """
+    return {
+        "name": result.name,
+        "summary": {key: float(value) for key, value in result.summary.items()},
+        "hypotheses": [
+            {
+                "hypothesis": verdict.hypothesis,
+                "verdict": verdict.verdict.value,
+                "evidence": {
+                    key: float(value) for key, value in verdict.evidence.items()
+                },
+                "explanation": verdict.explanation,
+            }
+            for verdict in result.hypotheses
+        ],
+    }
+
+
+def payload_to_result(payload: Dict):
+    """Rebuild a (figure-less) ``StudyResult`` from its JSON payload."""
+    from repro.core.hypotheses import HypothesisVerdict, Verdict
+    from repro.core.study import StudyResult
+
+    hypotheses = [
+        HypothesisVerdict(
+            hypothesis=entry["hypothesis"],
+            verdict=Verdict(entry["verdict"]),
+            evidence={k: float(v) for k, v in entry["evidence"].items()},
+            explanation=entry["explanation"],
+        )
+        for entry in payload["hypotheses"]
+    ]
+    return StudyResult(
+        name=payload["name"],
+        summary={k: float(v) for k, v in payload["summary"].items()},
+        figures={},
+        hypotheses=hypotheses,
+    )
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """A cache hit: the stored result plus the simulation time it saved."""
+
+    result: object
+    elapsed_s: float
+
+
+class ResultStore:
+    """Content-addressed cache of study results under one directory.
+
+    Args:
+        root: Cache directory; created lazily on the first write.
+    """
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+
+    def path_for(self, spec: JobSpec) -> Path:
+        """The entry path a spec hashes to (whether or not it exists)."""
+        digest = spec.content_hash
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, spec: JobSpec) -> Optional[CachedResult]:
+        """Look a spec up; ``None`` on miss *or* any unreadable entry."""
+        path = self.path_for(spec)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+            check_header(document, RESULT_KIND)
+            result = payload_to_result(document["result"])
+            elapsed_s = float(document["elapsed_s"])
+        except FileNotFoundError:
+            return None
+        except (AnalysisError, ValueError, KeyError, TypeError, OSError):
+            # Corrupted, foreign-schema, or hand-edited entries are
+            # indistinguishable from "never computed": re-run the job.
+            return None
+        return CachedResult(result=result, elapsed_s=elapsed_s)
+
+    def put(self, spec: JobSpec, result, elapsed_s: float) -> Path:
+        """Persist a result under the spec's content hash.
+
+        The write is atomic (temp file + ``os.replace``), so a reader
+        never observes a half-written entry even under concurrency.
+        """
+        document = make_header(
+            RESULT_KIND,
+            spec={
+                "study": spec.study,
+                "seed": int(spec.seed),
+                "hash": spec.content_hash,
+            },
+            elapsed_s=float(elapsed_s),
+            result=result_to_payload(result),
+        )
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(json.dumps(document, indent=2, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+        return path

@@ -61,3 +61,76 @@ class TestCommands:
         text = target.read_text()
         assert text.startswith("bgp_minus_alternate_ms,cum_fraction")
         assert len(text.splitlines()) > 10
+
+
+class TestCampaign:
+    def test_flags_parsed(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "campaign",
+                "--study",
+                "pop",
+                "--seeds",
+                "1,2,3",
+                "--jobs",
+                "4",
+                "--cache-dir",
+                "/tmp/x",
+                "--timeout",
+                "30",
+                "--retries",
+                "1",
+            ]
+        )
+        assert args.study == "pop"
+        assert args.seeds == "1,2,3"
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/x"
+        assert args.timeout == 30.0
+        assert args.retries == 1
+
+    def test_jobs_and_cache_available_everywhere(self):
+        parser = build_parser()
+        args = parser.parse_args(["report", "--jobs", "2", "--cache-dir", "c"])
+        assert args.jobs == 2 and args.cache_dir == "c"
+
+    def test_bad_seed_list_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--study", "pop", "--seeds", "1,x"])
+
+    def test_campaign_caches_across_invocations(self, capsys, tmp_path):
+        argv = [
+            "campaign",
+            "--study",
+            "pop",
+            "--seeds",
+            "1,2",
+            "--scale",
+            "25",
+            "--days",
+            "0.25",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0 cache hits, 2 ran" in first
+        assert "pop-routing: 2 seeds" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "2 cache hits, 0 ran" in second
+        # Identical aggregates from cache as from simulation.
+        marker = "pop-routing: 2 seeds"
+        assert second.split(marker)[1] == first.split(marker)[1]
+
+    def test_single_seed_campaign_prints_report(self, capsys):
+        assert main(
+            ["campaign", "--study", "pop", "--scale", "25", "--days", "0.25"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Study: pop-routing" in out
+
+    def test_list_mentions_campaign(self, capsys):
+        assert main(["list"]) == 0
+        assert "campaign" in capsys.readouterr().out

@@ -1,9 +1,31 @@
 """Tests for multi-seed robustness sweeps."""
 
+import dataclasses
+
 import pytest
 
 from repro.errors import AnalysisError
 from repro.core import PopRoutingStudy, sweep_seeds
+from repro.core.study import StudyResult
+from repro.core.sweep import aggregate_results
+
+
+@dataclasses.dataclass
+class StubStudy:
+    """Fast stand-in whose summary keys can vary by seed.
+
+    Module-level so :func:`sweep_seeds` can route it through the
+    campaign runner (specs resolve the class by import path).
+    """
+
+    seed: int = 0
+    with_extra_on_even_seeds: bool = False
+
+    def run(self) -> StudyResult:
+        summary = {"value": float(self.seed)}
+        if self.with_extra_on_even_seeds and self.seed % 2 == 0:
+            summary["sometimes"] = 1.0
+        return StudyResult(name="stub", summary=summary)
 
 
 @pytest.fixture(scope="module")
@@ -54,3 +76,51 @@ class TestSweep:
     def test_needs_two_seeds(self, small_config):
         with pytest.raises(AnalysisError):
             sweep_seeds(lambda s: PopRoutingStudy(seed=s), seeds=(1,))
+
+
+class TestDroppedKeys:
+    def test_partial_keys_recorded_not_discarded(self):
+        result = sweep_seeds(
+            lambda s: StubStudy(seed=s, with_extra_on_even_seeds=True),
+            seeds=(1, 2, 3),
+        )
+        assert result.dropped_keys == ("sometimes",)
+        assert "sometimes" not in result.stats
+        assert "value" in result.stats
+        assert "absent in some runs (not aggregated): sometimes" in result.render()
+
+    def test_no_dropped_keys_by_default(self):
+        result = sweep_seeds(lambda s: StubStudy(seed=s), seeds=(1, 2))
+        assert result.dropped_keys == ()
+        assert "absent in some runs" not in result.render()
+
+    def test_aggregate_results_validates(self):
+        results = [StubStudy(seed=s).run() for s in (1, 2)]
+        with pytest.raises(AnalysisError):
+            aggregate_results(results, seeds=(1,))
+        with pytest.raises(AnalysisError):
+            aggregate_results([], seeds=())
+        mixed = results + [StudyResult(name="other", summary={"value": 0.0})]
+        with pytest.raises(AnalysisError):
+            aggregate_results(mixed, seeds=(1, 2, 3))
+
+
+class TestRunnerRouting:
+    def test_parallel_sweep_matches_serial(self):
+        serial = sweep_seeds(lambda s: StubStudy(seed=s), seeds=(1, 2, 3))
+        parallel = sweep_seeds(
+            lambda s: StubStudy(seed=s), seeds=(1, 2, 3), jobs=2
+        )
+        assert parallel.per_seed == serial.per_seed
+        assert parallel.stats == serial.stats
+
+    def test_cached_sweep_matches_fresh(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        first = sweep_seeds(
+            lambda s: StubStudy(seed=s), seeds=(1, 2), cache_dir=cache
+        )
+        second = sweep_seeds(
+            lambda s: StubStudy(seed=s), seeds=(1, 2), cache_dir=cache
+        )
+        assert second.per_seed == first.per_seed
+        assert second.stats == first.stats

@@ -149,3 +149,32 @@ class TestCsvExport:
         text = path.read_text()
         assert "IN,asia,-30" in text
         assert "US,north-america,1.5" in text
+
+
+class TestHeaders:
+    """The shared versioned-header helpers used by io and the runner."""
+
+    def test_make_header_leads_with_schema_and_kind(self):
+        from repro.io import SCHEMA_VERSION, make_header
+
+        header = make_header("beacon", extra=1)
+        assert header["schema"] == SCHEMA_VERSION
+        assert header["kind"] == "beacon"
+        assert header["extra"] == 1
+
+    def test_check_header_roundtrip(self):
+        from repro.io import check_header, make_header
+
+        check_header(make_header("tier"), "tier")
+
+    def test_check_header_rejects_wrong_schema(self):
+        from repro.io import check_header
+
+        with pytest.raises(AnalysisError):
+            check_header({"schema": 999, "kind": "tier"}, "tier")
+
+    def test_check_header_rejects_wrong_kind(self):
+        from repro.io import check_header, make_header
+
+        with pytest.raises(AnalysisError):
+            check_header(make_header("beacon"), "tier")

@@ -107,12 +107,23 @@ PUBLIC_API = {
         "PopRoutingStudy",
         "AnycastCdnStudy",
         "CloudTiersStudy",
+        "PeeringReductionStudy",
         "render_report",
         "validate_reproduction",
         "sweep_seeds",
+        "aggregate_results",
         "edgefabric_topology",
         "cdn_topology",
         "cloud_topology",
+    ],
+    "repro.runner": [
+        "JobSpec",
+        "ResultStore",
+        "CachedResult",
+        "CampaignRunner",
+        "CampaignReport",
+        "JobMetrics",
+        "run_campaign",
     ],
     "repro.io": [
         "save_egress_dataset",
@@ -122,6 +133,8 @@ PUBLIC_API = {
         "save_tier_dataset",
         "load_tier_dataset",
         "write_cdf_csv",
+        "make_header",
+        "check_header",
     ],
 }
 

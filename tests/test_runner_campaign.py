@@ -1,0 +1,232 @@
+"""Tests for the campaign runner: parallelism, caching, retry, timeout.
+
+Stub studies live at module scope so worker processes can resolve them
+by import path; cross-process state (crash-once behavior, run counting)
+goes through sentinel files under ``tmp_path``.
+"""
+
+import dataclasses
+import os
+import time
+import uuid
+from pathlib import Path
+
+import pytest
+
+from repro.errors import RunnerError
+from repro.core.study import StudyResult
+from repro.runner import CampaignRunner, JobSpec, ResultStore, run_campaign
+
+
+@dataclasses.dataclass
+class AddStudy:
+    """Instant stub: summary is a deterministic function of the config."""
+
+    seed: int = 0
+    offset: float = 1.0
+    trace_dir: str = ""
+
+    def run(self) -> StudyResult:
+        if self.trace_dir:
+            # One uniquely-named file per simulation, so tests can count
+            # how many actually executed (cache hits leave no trace).
+            Path(self.trace_dir, f"run-{uuid.uuid4().hex}").touch()
+        return StudyResult(
+            name="add",
+            summary={"value": self.seed + self.offset, "seed": float(self.seed)},
+        )
+
+
+@dataclasses.dataclass
+class FlakyStudy:
+    """Raises until its sentinel file exists, then succeeds."""
+
+    seed: int = 0
+    sentinel: str = ""
+
+    def run(self) -> StudyResult:
+        path = Path(self.sentinel)
+        if not path.exists():
+            path.touch()
+            raise RuntimeError("transient failure")
+        return StudyResult(name="flaky", summary={"ok": 1.0})
+
+
+@dataclasses.dataclass
+class CrashOnceStudy:
+    """Hard-kills its worker process once, then succeeds."""
+
+    seed: int = 0
+    sentinel: str = ""
+
+    def run(self) -> StudyResult:
+        path = Path(self.sentinel)
+        if not path.exists():
+            path.touch()
+            os._exit(1)
+        return StudyResult(name="crash-once", summary={"ok": 1.0})
+
+
+@dataclasses.dataclass
+class AlwaysFailsStudy:
+    seed: int = 0
+
+    def run(self) -> StudyResult:
+        raise RuntimeError("permanent failure")
+
+
+@dataclasses.dataclass
+class SlowStudy:
+    seed: int = 0
+    sleep_s: float = 30.0
+
+    def run(self) -> StudyResult:
+        time.sleep(self.sleep_s)
+        return StudyResult(name="slow", summary={"ok": 1.0})
+
+
+def _count_runs(trace_dir) -> int:
+    return len(list(Path(trace_dir).glob("run-*")))
+
+
+def _specs(tmp_path, seeds):
+    trace = tmp_path / "trace"
+    trace.mkdir(exist_ok=True)
+    return [
+        JobSpec.from_study(AddStudy(seed=s, trace_dir=str(trace))) for s in seeds
+    ], trace
+
+
+class TestExecution:
+    def test_serial_results_in_spec_order(self, tmp_path):
+        specs, _ = _specs(tmp_path, [3, 1, 2])
+        report = CampaignRunner(jobs=1).run(specs)
+        assert [r.summary["seed"] for r in report.results] == [3.0, 1.0, 2.0]
+        assert report.n_ran == 3 and report.n_hits == 0
+        assert all(m.status == "ran" and m.attempts == 1 for m in report.metrics)
+
+    def test_parallel_matches_serial(self, tmp_path):
+        specs, _ = _specs(tmp_path, range(6))
+        serial = CampaignRunner(jobs=1).run(specs)
+        parallel = CampaignRunner(jobs=3).run(specs)
+        assert [r.summary for r in parallel.results] == [
+            r.summary for r in serial.results
+        ]
+
+    def test_invalid_construction(self):
+        with pytest.raises(RunnerError):
+            CampaignRunner(jobs=0)
+        with pytest.raises(RunnerError):
+            CampaignRunner(retries=-1)
+
+    def test_run_campaign_wrapper(self, tmp_path):
+        report = run_campaign(
+            [AddStudy(seed=1), AddStudy(seed=2)],
+            jobs=1,
+            cache_dir=tmp_path / "cache",
+        )
+        assert report.n_ran == 2
+        again = run_campaign(
+            [AddStudy(seed=1), AddStudy(seed=2)],
+            jobs=1,
+            cache_dir=tmp_path / "cache",
+        )
+        assert again.n_hits == 2 and again.n_ran == 0
+
+
+class TestCaching:
+    def test_second_run_all_hits_zero_simulations(self, tmp_path):
+        specs, trace = _specs(tmp_path, range(4))
+        store = ResultStore(tmp_path / "cache")
+        first = CampaignRunner(jobs=2, store=store).run(specs)
+        assert first.n_ran == 4
+        assert _count_runs(trace) == 4
+        second = CampaignRunner(jobs=2, store=store).run(specs)
+        assert second.n_hits == 4 and second.n_ran == 0
+        assert _count_runs(trace) == 4  # nothing re-simulated
+        assert [r.summary for r in second.results] == [
+            r.summary for r in first.results
+        ]
+        assert second.saved_s >= 0.0
+        assert "4 cache hits, 0 ran" in second.render()
+
+    def test_changed_config_misses(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        spec = JobSpec.from_study(AddStudy(seed=1, offset=1.0))
+        CampaignRunner(store=store).run([spec])
+        changed = JobSpec.from_study(AddStudy(seed=1, offset=2.0))
+        report = CampaignRunner(store=store).run([spec, changed])
+        statuses = [m.status for m in report.metrics]
+        assert statuses == ["hit", "ran"]
+        assert report.results[1].summary["value"] == 3.0
+
+    def test_corrupted_entry_reruns(self, tmp_path):
+        specs, trace = _specs(tmp_path, [5])
+        store = ResultStore(tmp_path / "cache")
+        CampaignRunner(store=store).run(specs)
+        store.path_for(specs[0]).write_text("garbage", encoding="utf-8")
+        report = CampaignRunner(store=store).run(specs)
+        assert report.metrics[0].status == "ran"
+        assert _count_runs(trace) == 2
+        # ...and the re-run repaired the entry.
+        assert store.get(specs[0]) is not None
+
+
+class TestRetry:
+    def test_flaky_job_retries_then_succeeds_inline(self, tmp_path):
+        spec = JobSpec.from_study(
+            FlakyStudy(sentinel=str(tmp_path / "flaky-inline"))
+        )
+        report = CampaignRunner(jobs=1, retries=2, backoff_s=0.0).run([spec])
+        assert report.results[0].summary == {"ok": 1.0}
+        assert report.metrics[0].attempts == 2
+
+    def test_flaky_job_retries_then_succeeds_in_pool(self, tmp_path):
+        specs = [
+            JobSpec.from_study(AddStudy(seed=0)),
+            JobSpec.from_study(
+                FlakyStudy(sentinel=str(tmp_path / "flaky-pool"))
+            ),
+        ]
+        report = CampaignRunner(jobs=2, retries=2, backoff_s=0.0).run(specs)
+        assert report.results[1].summary == {"ok": 1.0}
+        assert report.metrics[1].attempts == 2
+        assert report.n_retries == 1
+
+    def test_crashed_worker_restarts_pool_and_retries(self, tmp_path):
+        specs = [
+            JobSpec.from_study(
+                CrashOnceStudy(seed=s, sentinel=str(tmp_path / f"crash-{s}"))
+            )
+            for s in range(2)
+        ]
+        report = CampaignRunner(jobs=2, retries=3, backoff_s=0.0).run(specs)
+        assert all(r.summary == {"ok": 1.0} for r in report.results)
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_retry_budget_exhausted_raises(self, jobs):
+        specs = [
+            JobSpec.from_study(AlwaysFailsStudy(seed=s)) for s in range(jobs)
+        ]
+        runner = CampaignRunner(jobs=jobs, retries=1, backoff_s=0.0)
+        with pytest.raises(RunnerError, match="after 2 attempt"):
+            runner.run(specs)
+
+    def test_timeout_counts_as_failure(self, tmp_path):
+        specs = [JobSpec.from_study(SlowStudy(sleep_s=30.0))]
+        runner = CampaignRunner(jobs=2, retries=0, timeout_s=0.2, backoff_s=0.0)
+        start = time.perf_counter()
+        with pytest.raises(RunnerError, match="timed out"):
+            runner.run(specs + [JobSpec.from_study(AddStudy(seed=0))])
+        assert time.perf_counter() - start < 10.0
+
+
+class TestReport:
+    def test_render_mentions_every_job(self, tmp_path):
+        specs, _ = _specs(tmp_path, [1, 2])
+        report = CampaignRunner().run(specs)
+        text = report.render()
+        assert "2 jobs" in text
+        assert "AddStudy(seed=1)" in text and "AddStudy(seed=2)" in text
+        for metric in report.metrics:
+            assert metric.spec_hash[:12] in text

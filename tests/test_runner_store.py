@@ -1,0 +1,109 @@
+"""Tests for the content-addressed result store."""
+
+import json
+
+import pytest
+
+from repro.core.hypotheses import HypothesisVerdict, Verdict
+from repro.core.study import StudyResult
+from repro.runner import JobSpec, ResultStore
+
+
+@pytest.fixture
+def spec():
+    return JobSpec("repro.core.study:PopRoutingStudy", seed=1, config={"days": 0.5})
+
+
+@pytest.fixture
+def result():
+    return StudyResult(
+        name="pop-routing",
+        summary={"diff_p50_ms": -1.25, "n_pairs": 25.0},
+        figures={"fig1": object()},
+        hypotheses=[
+            HypothesisVerdict(
+                hypothesis="degrade-together (§3.1.1)",
+                verdict=Verdict.SUPPORTED,
+                evidence={"co": 0.7},
+                explanation="shared bottleneck",
+            )
+        ],
+    )
+
+
+class TestRoundtrip:
+    def test_put_then_get(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        store.put(spec, result, elapsed_s=2.5)
+        cached = store.get(spec)
+        assert cached is not None
+        assert cached.elapsed_s == 2.5
+        assert cached.result.name == "pop-routing"
+        assert cached.result.summary == result.summary
+        assert cached.result.hypotheses == result.hypotheses
+        # Figures are deliberately not persisted.
+        assert cached.result.figures == {}
+
+    def test_nan_summary_value_roundtrips(self, tmp_path, spec, result):
+        result.summary["frac_within_10ms_world"] = float("nan")
+        store = ResultStore(tmp_path)
+        store.put(spec, result, elapsed_s=0.1)
+        value = store.get(spec).result.summary["frac_within_10ms_world"]
+        assert value != value
+
+    def test_layout_is_sharded_by_hash(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        path = store.put(spec, result, elapsed_s=0.0)
+        digest = spec.content_hash
+        assert path == tmp_path / digest[:2] / f"{digest}.json"
+        assert path.exists()
+
+    def test_put_overwrites(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        store.put(spec, result, elapsed_s=1.0)
+        result.summary["n_pairs"] = 99.0
+        store.put(spec, result, elapsed_s=2.0)
+        cached = store.get(spec)
+        assert cached.result.summary["n_pairs"] == 99.0
+        assert cached.elapsed_s == 2.0
+
+
+class TestMissesAreSafe:
+    def test_absent_is_miss(self, tmp_path, spec):
+        assert ResultStore(tmp_path).get(spec) is None
+
+    def test_changed_seed_or_config_is_miss(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        store.put(spec, result, elapsed_s=0.0)
+        assert store.get(JobSpec(spec.study, seed=2, config=spec.config)) is None
+        assert store.get(JobSpec(spec.study, seed=1, config={"days": 1.0})) is None
+
+    def test_corrupted_entry_is_miss(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        path = store.put(spec, result, elapsed_s=0.0)
+        path.write_text("{not json", encoding="utf-8")
+        assert store.get(spec) is None
+
+    def test_wrong_schema_version_is_miss(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        path = store.put(spec, result, elapsed_s=0.0)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["schema"] = 999
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert store.get(spec) is None
+
+    def test_wrong_kind_is_miss(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        path = store.put(spec, result, elapsed_s=0.0)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["kind"] = "beacon"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert store.get(spec) is None
+
+    def test_truncated_payload_is_miss(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        path = store.put(spec, result, elapsed_s=0.0)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        del document["result"]["summary"]
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert store.get(spec) is None
