@@ -8,12 +8,22 @@ Run with::
 
     pytest benchmarks/ --benchmark-only           # timings
     pytest benchmarks/ --benchmark-only -s        # + the figure rows
+
+Every benchmark session also writes ``BENCH_obs.json`` next to the
+rootdir: per-benchmark wall time plus the phase timings collected by
+:mod:`repro.obs` spans while the session ran, so the repo's performance
+trajectory is a diffable artifact rather than terminal scrollback.
 """
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 import pytest
 
+from repro import obs
 from repro.analysis import format_table
 from repro.core import cdn_topology, cloud_topology, edgefabric_topology
 from repro.topology import build_internet
@@ -21,6 +31,64 @@ from repro.workloads import assign_ldns, generate_client_prefixes
 
 #: Seed shared by every benchmark, so EXPERIMENTS.md numbers reproduce.
 BENCH_SEED = 0
+
+#: Per-test records accumulated for the session's BENCH_obs.json.
+_BENCH_RECORDS = []
+
+
+def _phase_timings(events):
+    """Fold captured span_end events into {phase: {count, total_s}}."""
+    phases = {}
+    for event in events:
+        if event.get("kind") != "span_end":
+            continue
+        entry = phases.setdefault(event["name"], {"count": 0, "total_s": 0.0})
+        entry["count"] += 1
+        entry["total_s"] += float(event.get("dur_s", 0.0))
+    return phases
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _obs_session(request):
+    """Enable tracing for the whole session; write BENCH_obs.json at exit."""
+    owned = not obs.is_enabled()
+    if owned:
+        obs.enable()
+    started = time.time()
+    yield
+    if owned:
+        obs.disable()
+    manifest = obs.collect_manifest(
+        obs.new_run_id(),
+        config={"bench_seed": BENCH_SEED},
+        seeds=[BENCH_SEED],
+        wall_s=time.time() - started,
+        extra={"n_benchmarks": len(_BENCH_RECORDS)},
+    )
+    snapshot = {
+        "schema": 1,
+        "kind": "bench-obs",
+        "manifest": manifest.to_dict(),
+        "benchmarks": list(_BENCH_RECORDS),
+    }
+    path = Path(request.config.rootpath) / "BENCH_obs.json"
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True))
+
+
+@pytest.fixture(autouse=True)
+def _obs_per_test(request):
+    """Record each benchmark's wall time and the spans it exercised."""
+    with obs.capture() as captured:
+        start = time.perf_counter()
+        yield
+        wall_s = time.perf_counter() - start
+    _BENCH_RECORDS.append(
+        {
+            "test": request.node.nodeid,
+            "wall_s": wall_s,
+            "phases": _phase_timings(captured.events),
+        }
+    )
 
 
 @pytest.fixture(scope="session")

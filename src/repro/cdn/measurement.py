@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import MeasurementError
+from repro.obs.trace import traced
 from repro.geo import Region
 from repro.netmodel import CongestionConfig, CongestionModel
 from repro.workloads import ClientPrefix
@@ -130,6 +131,7 @@ class BeaconDataset:
             return None
 
 
+@traced("cdn.beacon_campaign")
 def run_beacon_campaign(
     deployment: CdnDeployment,
     prefixes: Sequence[ClientPrefix],

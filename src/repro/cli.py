@@ -9,18 +9,109 @@ Examples::
     repro-bgp fig5 --seed 3       # Figure 5 at another seed
     repro-bgp report              # all three studies + hypothesis verdicts
     repro-bgp report --jobs 3 --cache-dir .repro-cache   # parallel + cached
+    repro-bgp report --setting A --trace-out t.jsonl     # + telemetry stream
+    repro-bgp trace summarize t.jsonl                    # where the time went
     repro-bgp campaign --study pop --seeds 0,1,2,3,4 --jobs 4
+    repro-bgp -v report           # INFO-level diagnostics on stderr
     repro-bgp list                # everything available
+
+Every subcommand takes the runtime flags ``--log-level``, ``-v``,
+``-q``, ``--log-json``, and ``--trace-out FILE``; they are also
+accepted before the subcommand name.  ``--trace-out`` records a JSONL
+telemetry stream (see :mod:`repro.obs`) plus a ``<FILE>.manifest.json``
+provenance record alongside it.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
+import os
 import sys
+import time
 from typing import Callable, Dict
 
 from repro.analysis import format_table, text_choropleth
 from repro.geo import COUNTRY_REGIONS
+
+# Pinned name (not __name__): running as ``python -m repro.cli`` makes
+# __name__ == "__main__", which would escape the configured "repro"
+# logger namespace.
+logger = logging.getLogger("repro.cli")
+
+#: Accepted ``--log-level`` names.
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+class _JsonLogFormatter(logging.Formatter):
+    """One JSON object per log line, for machine-readable diagnostics."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": record.created,
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+def setup_logging(
+    level: int = logging.WARNING, json_lines: bool = False, stream=None
+) -> logging.Logger:
+    """Configure the package-wide ``repro`` logger.
+
+    The library modules (:mod:`repro.topology.generator`,
+    :mod:`repro.cloudtiers.campaign`, ...) log through module loggers
+    under the ``repro`` namespace but never configure handlers — that
+    is an application decision.  This attaches one stderr handler (text
+    or JSON lines) plus a :class:`repro.obs.TraceLogHandler` so log
+    records also land in the telemetry stream whenever tracing is on.
+
+    Idempotent: calling again replaces the handlers installed by the
+    previous call instead of stacking duplicates.
+    """
+    from repro.obs import TraceLogHandler
+
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_cli", False):
+            root.removeHandler(handler)
+    console = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json_lines:
+        console.setFormatter(_JsonLogFormatter())
+    else:
+        console.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+    bridge = TraceLogHandler()
+    for handler in (console, bridge):
+        handler._repro_cli = True
+        root.addHandler(handler)
+    root.setLevel(level)
+    return root
+
+
+def _resolve_log_level(args) -> int:
+    """Map the runtime flags to a :mod:`logging` level.
+
+    Explicit ``--log-level`` wins; otherwise ``-q`` forces ERROR and
+    each ``-v`` steps WARNING → INFO → DEBUG.
+    """
+    name = getattr(args, "log_level", None)
+    if name:
+        return getattr(logging, name.upper())
+    if getattr(args, "quiet", False):
+        return logging.ERROR
+    verbose = getattr(args, "verbose", 0) or 0
+    if verbose >= 2:
+        return logging.DEBUG
+    if verbose == 1:
+        return logging.INFO
+    return logging.WARNING
 
 
 def _build_study(kind: str, args, seed=None):
@@ -92,7 +183,7 @@ def cmd_fig1(args) -> None:
         from repro.io import write_cdf_csv
 
         write_cdf_csv(fig1.cdf, args.csv, label="bgp_minus_alternate_ms")
-        print(f"wrote {args.csv}")
+        logger.info("wrote %s", args.csv)
     print()
     print(
         format_table(
@@ -147,7 +238,7 @@ def cmd_fig3(args) -> None:
         from repro.io import write_cdf_csv
 
         write_cdf_csv(fig3.ccdfs["world"], args.csv, label="anycast_minus_best_ms")
-        print(f"wrote {args.csv}")
+        logger.info("wrote %s", args.csv)
     print()
     rows = []
     for group in sorted(fig3.frac_within_10ms):
@@ -184,7 +275,7 @@ def cmd_fig5(args) -> None:
         from repro.io import write_country_csv
 
         write_country_csv(fig5.country_diff_ms, args.csv)
-        print(f"wrote {args.csv}")
+        logger.info("wrote %s", args.csv)
     print()
     print(
         format_table(
@@ -198,10 +289,20 @@ def cmd_fig5(args) -> None:
     )
 
 
+#: ``--setting`` letters (the paper's naming) to study kinds.
+SETTING_KINDS = {
+    "A": ("pop",),
+    "B": ("cdn",),
+    "C": ("cloud",),
+    "all": ("pop", "cdn", "cloud"),
+}
+
+
 def cmd_report(args) -> None:
     from repro.core import render_report
 
-    studies = [_build_study(kind, args) for kind in ("pop", "cdn", "cloud")]
+    kinds = SETTING_KINDS[getattr(args, "setting", "all")]
+    studies = [_build_study(kind, args) for kind in kinds]
     report = _run_campaign(args, studies)
     print(render_report(report.results))
     if _campaign_flags_used(args):
@@ -320,7 +421,7 @@ def cmd_validate(args) -> None:
     report = validate_reproduction(
         seed=args.seed,
         scale="full" if args.scale >= 200 else "small",
-        progress=lambda message: print(f"  {message}"),
+        progress=lambda message: logger.info("%s", message),
     )
     print(report.render())
     if not report.passed:
@@ -352,6 +453,13 @@ def cmd_sites(args) -> None:
     )
 
 
+def cmd_trace_summarize(args) -> None:
+    from repro.obs import load_events, summarize_events
+
+    events = load_events(args.file)
+    print(summarize_events(events).render())
+
+
 COMMANDS: Dict[str, Callable] = {
     "fig1": cmd_fig1,
     "fig2": cmd_fig2,
@@ -369,6 +477,54 @@ COMMANDS: Dict[str, Callable] = {
 }
 
 
+def _add_runtime_flags(parser: argparse.ArgumentParser, suppress: bool) -> None:
+    """Attach the logging/telemetry flags to a parser.
+
+    The same flags live on the root parser (with real defaults) and on
+    every subcommand (with ``SUPPRESS`` defaults, so a flag given after
+    the subcommand name overrides the root value instead of being
+    clobbered by a subparser default).
+    """
+
+    def default(value):
+        return argparse.SUPPRESS if suppress else value
+
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default=default(None),
+        help="diagnostic verbosity on stderr (default: warning)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=default(0),
+        help="step up diagnostics: -v info, -vv debug",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        default=default(False),
+        help="errors only on stderr",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        default=default(False),
+        help="emit diagnostics as JSON lines instead of text",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=default(None),
+        metavar="FILE",
+        help="record a JSONL telemetry stream of the run to FILE, plus "
+        "a FILE.manifest.json provenance record; inspect with "
+        "'repro-bgp trace summarize FILE'",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bgp",
@@ -377,6 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
             "Thought' (HotNets '19) on the simulated substrate."
         ),
     )
+    _add_runtime_flags(parser, suppress=False)
     sub = parser.add_subparsers(dest="command")
     descriptions = {
         "fig1": "Figure 1: BGP vs best alternate egress route",
@@ -392,6 +549,7 @@ def build_parser() -> argparse.ArgumentParser:
         "topo": "Structural summary of the generated topology",
         "catchments": "Anycast catchment map (the operator's view)",
         "validate": "Self-check: verify every headline claim",
+        "trace": "Inspect recorded telemetry streams (trace summarize FILE)",
     }
     for name, handler in COMMANDS.items():
         cmd = sub.add_parser(name, help=descriptions[name])
@@ -425,7 +583,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="content-addressed result cache; unchanged jobs are "
             "served from disk instead of re-simulating",
         )
+        _add_runtime_flags(cmd, suppress=True)
         cmd.set_defaults(handler=handler)
+    report_cmd = sub.choices["report"]
+    report_cmd.add_argument(
+        "--setting",
+        choices=sorted(SETTING_KINDS),
+        default="all",
+        help="restrict to one of the paper's settings: A = PoP egress "
+        "routing, B = anycast CDN, C = cloud tiers (default: all)",
+    )
     campaign_cmd = sub.choices["campaign"]
     campaign_cmd.add_argument(
         "--study",
@@ -452,10 +619,61 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="extra attempts for a crashed or timed-out job",
     )
+    trace_cmd = sub.add_parser("trace", help=descriptions["trace"])
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command")
+    summarize_cmd = trace_sub.add_parser(
+        "summarize",
+        help="aggregate a JSONL event stream into a per-phase timing table",
+    )
+    summarize_cmd.add_argument(
+        "file", help="path to a stream recorded with --trace-out"
+    )
+    _add_runtime_flags(summarize_cmd, suppress=True)
+    summarize_cmd.set_defaults(handler=cmd_trace_summarize)
     sub.add_parser("list", help="list available commands").set_defaults(
         handler=lambda args: print("\n".join(f"{k:10s} {v}" for k, v in descriptions.items()))
     )
     return parser
+
+
+def _manifest_seeds(args) -> tuple:
+    """Every seed a command line names (--seeds list or --seed)."""
+    listed = getattr(args, "seeds", None)
+    if listed:
+        try:
+            return tuple(int(s) for s in listed.split(",") if s.strip())
+        except ValueError:
+            return ()
+    seed = getattr(args, "seed", None)
+    return (int(seed),) if seed is not None else ()
+
+
+def _write_trace(args, captured, wall_s: float) -> None:
+    """Persist a captured event stream plus its run manifest."""
+    from repro import obs
+
+    obs.write_jsonl(args.trace_out, captured.events)
+    config = {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key not in ("handler", "trace_out")
+        and isinstance(value, (bool, int, float, str, type(None)))
+    }
+    manifest = obs.collect_manifest(
+        captured.run_id,
+        config=config,
+        seeds=_manifest_seeds(args),
+        wall_s=wall_s,
+        extra={"n_events": len(captured.events)},
+    )
+    manifest_path = f"{args.trace_out}.manifest.json"
+    obs.write_manifest(manifest, manifest_path)
+    logger.info(
+        "wrote %d events to %s (manifest: %s)",
+        len(captured.events),
+        args.trace_out,
+        manifest_path,
+    )
 
 
 def main(argv=None) -> int:
@@ -464,8 +682,30 @@ def main(argv=None) -> int:
     if not getattr(args, "handler", None):
         parser.print_help()
         return 2
-    args.handler(args)
-    return 0
+    setup_logging(
+        _resolve_log_level(args), json_lines=getattr(args, "log_json", False)
+    )
+    try:
+        if not getattr(args, "trace_out", None):
+            args.handler(args)
+            return 0
+        from repro import obs
+
+        captured = None
+        start = time.perf_counter()
+        try:
+            with obs.capture() as captured:
+                args.handler(args)
+        finally:
+            if captured is not None:
+                _write_trace(args, captured, time.perf_counter() - start)
+        return 0
+    except BrokenPipeError:
+        # Piping long output (e.g. `trace summarize ... | head`) closes
+        # stdout early; swap in devnull so the interpreter's exit flush
+        # stays quiet, and exit like other line-oriented tools.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

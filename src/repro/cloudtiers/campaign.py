@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.errors import MeasurementError
+from repro.obs.trace import gauge, traced
 from repro.cloudtiers.speedchecker import (
     SpeedcheckerPlatform,
     TracerouteResult,
@@ -88,6 +89,7 @@ class TierDataset:
         return sum(len(r.median_ms) for r in self.records)
 
 
+@traced("cloudtiers.campaign")
 def run_campaign(
     platform: SpeedcheckerPlatform,
     config: Optional[CampaignConfig] = None,
@@ -145,6 +147,8 @@ def run_campaign(
                     eligible.add(vp.vp_id)
     if not records:
         raise MeasurementError("campaign produced no measurements")
+    gauge("cloudtiers.n_records", len(records))
+    gauge("cloudtiers.n_eligible", len(eligible))
     logger.info(
         "campaign done: %d VP-day records, %d eligible VPs, %d traceroutes",
         len(records),

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import AnalysisError
+from repro.obs.trace import span
 from repro.topology import TopologyConfig, build_internet
 from repro.workloads import assign_ldns, generate_client_prefixes
 from repro.core.configs import cdn_topology, cloud_topology, edgefabric_topology
@@ -69,15 +70,25 @@ class PopRoutingStudy:
             run_measurement,
         )
 
-        internet = build_internet(self.topology or edgefabric_topology(self.seed))
-        prefixes = generate_client_prefixes(internet, self.n_prefixes, seed=self.seed + 1)
-        dataset = run_measurement(
-            internet, prefixes, MeasurementConfig(days=self.days, seed=self.seed + 2)
-        )
-        fig1 = bgp_vs_best_alternate(dataset)
-        fig2 = route_class_comparison(dataset)
-        persistence = persistence_decomposition(dataset)
-        schemes = compare_schemes(dataset)
+        with span("study.pop.topology", seed=self.seed):
+            internet = build_internet(
+                self.topology or edgefabric_topology(self.seed)
+            )
+        with span("study.pop.workload"):
+            prefixes = generate_client_prefixes(
+                internet, self.n_prefixes, seed=self.seed + 1
+            )
+        with span("study.pop.measurement"):
+            dataset = run_measurement(
+                internet,
+                prefixes,
+                MeasurementConfig(days=self.days, seed=self.seed + 2),
+            )
+        with span("study.pop.analysis"):
+            fig1 = bgp_vs_best_alternate(dataset)
+            fig2 = route_class_comparison(dataset)
+            persistence = persistence_decomposition(dataset)
+            schemes = compare_schemes(dataset)
         hypotheses = [
             evaluate_degrade_together(persistence),
             evaluate_direct_peering(fig2),
@@ -131,27 +142,35 @@ class AnycastCdnStudy:
             train_redirection_policy,
         )
 
-        internet = build_internet(self.topology or cdn_topology(self.seed))
-        prefixes = generate_client_prefixes(internet, self.n_prefixes, seed=self.seed + 1)
-        prefixes, _resolvers = assign_ldns(
-            prefixes,
-            internet,
-            seed=self.seed + 2,
-            public_fraction=self.public_ldns_fraction,
-        )
-        deployment = CdnDeployment(internet)
-        dataset = run_beacon_campaign(
-            deployment,
-            prefixes,
-            BeaconConfig(
-                days=self.days,
-                requests_per_prefix=self.requests_per_prefix,
-                seed=self.seed + 3,
-            ),
-        )
-        fig3 = anycast_vs_best_unicast(dataset)
-        policy = train_redirection_policy(dataset, margin_ms=0.5, max_train_samples=4)
-        fig4 = redirection_improvement(dataset, policy)
+        with span("study.cdn.topology", seed=self.seed):
+            internet = build_internet(self.topology or cdn_topology(self.seed))
+        with span("study.cdn.workload"):
+            prefixes = generate_client_prefixes(
+                internet, self.n_prefixes, seed=self.seed + 1
+            )
+            prefixes, _resolvers = assign_ldns(
+                prefixes,
+                internet,
+                seed=self.seed + 2,
+                public_fraction=self.public_ldns_fraction,
+            )
+        with span("study.cdn.measurement"):
+            deployment = CdnDeployment(internet)
+            dataset = run_beacon_campaign(
+                deployment,
+                prefixes,
+                BeaconConfig(
+                    days=self.days,
+                    requests_per_prefix=self.requests_per_prefix,
+                    seed=self.seed + 3,
+                ),
+            )
+        with span("study.cdn.analysis"):
+            fig3 = anycast_vs_best_unicast(dataset)
+            policy = train_redirection_policy(
+                dataset, margin_ms=0.5, max_train_samples=4
+            )
+            fig4 = redirection_improvement(dataset, policy)
         hypotheses = [evaluate_short_paths(fig3)]
         summary = {
             "n_prefixes": float(dataset.n_prefixes),
@@ -206,12 +225,14 @@ class PeeringReductionStudy:
         def factory():
             return build_internet(config)
 
-        prefixes = generate_client_prefixes(
-            factory(), self.n_prefixes, seed=self.seed + 1
-        )
-        result = peering_reduction_study(
-            factory, prefixes, retentions=self.retentions
-        )
+        with span("study.peering.workload", seed=self.seed):
+            prefixes = generate_client_prefixes(
+                factory(), self.n_prefixes, seed=self.seed + 1
+            )
+        with span("study.peering.sweep"):
+            result = peering_reduction_study(
+                factory, prefixes, retentions=self.retentions
+            )
         summary: Dict[str, float] = {"n_retentions": float(len(result.points))}
         for point in result.points:
             prefix = f"retention_{int(round(point.retention * 100)):03d}"
@@ -250,22 +271,27 @@ class CloudTiersStudy:
             run_campaign,
         )
 
-        internet = build_internet(self.topology or cloud_topology(self.seed))
-        deployment = CloudDeployment(internet)
-        platform = SpeedcheckerPlatform(deployment, seed=self.seed + 1)
-        dataset = run_campaign(
-            platform,
-            CampaignConfig(
-                days=self.days, vps_per_day=self.vps_per_day, seed=self.seed + 2
-            ),
-        )
-        fig5 = country_medians(dataset)
-        ingress = ingress_distance_cdf(dataset, deployment)
-        try:
-            india = india_case_study(dataset, deployment)
-        except AnalysisError:
-            india = None
-        goodput = goodput_comparison(dataset)
+        with span("study.cloud.topology", seed=self.seed):
+            internet = build_internet(self.topology or cloud_topology(self.seed))
+        with span("study.cloud.measurement"):
+            deployment = CloudDeployment(internet)
+            platform = SpeedcheckerPlatform(deployment, seed=self.seed + 1)
+            dataset = run_campaign(
+                platform,
+                CampaignConfig(
+                    days=self.days,
+                    vps_per_day=self.vps_per_day,
+                    seed=self.seed + 2,
+                ),
+            )
+        with span("study.cloud.analysis"):
+            fig5 = country_medians(dataset)
+            ingress = ingress_distance_cdf(dataset, deployment)
+            try:
+                india = india_case_study(dataset, deployment)
+            except AnalysisError:
+                india = None
+            goodput = goodput_comparison(dataset)
         hypotheses = []
         if india is not None:
             hypotheses.append(evaluate_single_wan(fig5, india))

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.errors import AnalysisError
 from repro.analysis import format_table
+from repro.obs.trace import span
 from repro.core.study import StudyResult
 
 
@@ -158,7 +159,10 @@ def sweep_seeds(
         raise AnalysisError("a sweep needs at least two seeds")
     studies = [study_factory(int(seed)) for seed in seeds]
     if jobs == 1 and cache_dir is None:
-        results: List[StudyResult] = [study.run() for study in studies]
+        results: List[StudyResult] = []
+        for seed, study in zip(seeds, studies):
+            with span("sweep.seed", seed=int(seed)):
+                results.append(study.run())
     else:
         from repro.runner import CampaignRunner, JobSpec, ResultStore
 

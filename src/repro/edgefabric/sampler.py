@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.errors import MeasurementError
+from repro.obs.trace import gauge, traced
 from repro.netmodel import CongestionConfig, CongestionModel
 from repro.netmodel.rtt import median_min_rtt, median_min_rtt_ci_halfwidth
 from repro.topology import Internet
@@ -105,6 +106,7 @@ class MeasurementConfig:
         )
 
 
+@traced("edgefabric.measure")
 def run_measurement(
     internet: Internet,
     prefixes: Sequence[ClientPrefix],
@@ -149,6 +151,8 @@ def run_measurement(
         len(prefixes) - len(pairs),
         times.size,
     )
+    gauge("edgefabric.n_pairs", len(pairs))
+    gauge("edgefabric.n_windows", int(times.size))
 
     n_pairs = len(pairs)
     n_windows = times.size

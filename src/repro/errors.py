@@ -43,6 +43,16 @@ class RunnerError(ReproError):
     """
 
 
+class ObsError(ReproError):
+    """Raised for telemetry failures.
+
+    Examples: an event violating the JSONL schema, enabling tracing
+    twice in one process, or an unreadable trace file or run manifest.
+    Instrumentation itself never raises on the hot path — only explicit
+    telemetry operations (enable, load, validate) do.
+    """
+
+
 class AnalysisError(ReproError):
     """Raised for invalid analysis inputs.
 

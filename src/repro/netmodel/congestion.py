@@ -27,6 +27,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.errors import MeasurementError
+from repro.obs.trace import counter
 
 
 @dataclass(frozen=True)
@@ -106,6 +107,8 @@ class CongestionModel:
             events.append((start, duration, magnitude))
         events.sort()
         self._event_cache[key] = events
+        counter("netmodel.congestion.entities")
+        counter("netmodel.congestion.events", len(events))
         return events
 
     def event_delay(self, key: str, times_h: np.ndarray) -> np.ndarray:

@@ -14,6 +14,7 @@ from typing import Union
 import numpy as np
 
 from repro.errors import AnalysisError
+from repro.obs.trace import counter
 
 #: Utilization beyond which the linear overload regime takes over.
 CLIP_UTILIZATION = 0.95
@@ -39,6 +40,7 @@ def queueing_delay_ms(
     if base_ms < 0:
         raise AnalysisError(f"base_ms must be non-negative, got {base_ms}")
     u = np.asarray(utilization, dtype=float)
+    counter("netmodel.queueing.evals", u.size)
     if (u < 0).any():
         raise AnalysisError("utilization must be non-negative")
     clipped = np.clip(u, 0.0, CLIP_UTILIZATION)

@@ -27,6 +27,7 @@ from typing import Union
 import numpy as np
 
 from repro.errors import MeasurementError
+from repro.obs.trace import counter
 
 _LN2 = math.log(2.0)
 _Z95 = 1.959963984540054  # two-sided 95% normal quantile
@@ -43,6 +44,7 @@ def sample_min_rtts(
         raise MeasurementError("need at least one session")
     if base_ms < 0 or noise_scale_ms < 0:
         raise MeasurementError("latencies must be non-negative")
+    counter("netmodel.rtt.sessions", n_sessions)
     return base_ms + rng.exponential(noise_scale_ms, size=n_sessions)
 
 
@@ -77,5 +79,6 @@ def noisy_medians(
     if n_sessions <= 0:
         raise MeasurementError("need at least one session")
     base = np.asarray(base_ms, dtype=float)
+    counter("netmodel.rtt.medians", base.size)
     sd = noise_scale_ms / math.sqrt(n_sessions)
     return median_min_rtt(base, noise_scale_ms) + rng.normal(0.0, sd, base.shape)

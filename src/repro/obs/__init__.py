@@ -1,0 +1,135 @@
+"""repro.obs — structured telemetry for the reproduction pipelines.
+
+The paper's argument is about *where latency comes from*; this package
+is about where our own time goes while reproducing it.  Four pieces:
+
+* :mod:`repro.obs.events` — the versioned JSONL event schema (span
+  start/end, counter, gauge, log) shared by every producer and
+  consumer, in-process or across the campaign worker boundary.
+* :mod:`repro.obs.trace` — the collection API: ``span()`` context
+  manager, ``traced()`` decorator, ``counter()``/``gauge()``, with a
+  single ``is None`` fast path when tracing is disabled.
+* :mod:`repro.obs.manifest` — run manifests (config hash, seeds, git
+  revision, interpreter, wall time) written alongside results.
+* :mod:`repro.obs.report` — aggregation of an event stream into the
+  per-phase timing table behind ``repro-bgp trace summarize``.
+
+Typical library use::
+
+    from repro import obs
+
+    obs.enable()
+    with obs.span("my.phase"):
+        ...
+    obs.write_jsonl("trace.jsonl")
+    obs.disable()
+
+See ``docs/observability.md`` for the full walkthrough.
+"""
+
+import importlib
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    decode_line,
+    encode_line,
+    make_event,
+    new_run_id,
+    validate_event,
+)
+from repro.obs.trace import (
+    Captured,
+    TraceLogHandler,
+    Tracer,
+    capture,
+    counter,
+    current_run_id,
+    disable,
+    enable,
+    events,
+    gauge,
+    ingest,
+    is_enabled,
+    log_event,
+    span,
+    traced,
+    write_jsonl,
+)
+
+# The manifest and report halves pull in repro.io / repro.analysis,
+# which sit *above* the instrumented layers (topology, netmodel) in the
+# import graph.  Loading them eagerly here would close an import cycle
+# the moment any instrumented module does `from repro.obs.trace import
+# span` (importing a submodule initializes its package).  They are
+# resolved lazily instead (PEP 562), so the hot-path half of the
+# package stays dependency-free.
+_LAZY = {
+    "MANIFEST_KIND": "repro.obs.manifest",
+    "RunManifest": "repro.obs.manifest",
+    "collect_manifest": "repro.obs.manifest",
+    "config_digest": "repro.obs.manifest",
+    "git_revision": "repro.obs.manifest",
+    "read_manifest": "repro.obs.manifest",
+    "write_manifest": "repro.obs.manifest",
+    "SpanStats": "repro.obs.report",
+    "TraceSummary": "repro.obs.report",
+    "load_events": "repro.obs.report",
+    "summarize_events": "repro.obs.report",
+    "summarize_file": "repro.obs.report",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
+__all__ = [
+    # events
+    "EVENT_KINDS",
+    "SCHEMA_VERSION",
+    "decode_line",
+    "encode_line",
+    "make_event",
+    "new_run_id",
+    "validate_event",
+    # trace
+    "Captured",
+    "TraceLogHandler",
+    "Tracer",
+    "capture",
+    "counter",
+    "current_run_id",
+    "disable",
+    "enable",
+    "events",
+    "gauge",
+    "ingest",
+    "is_enabled",
+    "log_event",
+    "span",
+    "traced",
+    "write_jsonl",
+    # manifest
+    "MANIFEST_KIND",
+    "RunManifest",
+    "collect_manifest",
+    "config_digest",
+    "git_revision",
+    "read_manifest",
+    "write_manifest",
+    # report
+    "SpanStats",
+    "TraceSummary",
+    "load_events",
+    "summarize_events",
+    "summarize_file",
+]

@@ -1,0 +1,141 @@
+"""Versioned JSONL event schema for the telemetry stream.
+
+Every telemetry record — span boundaries, counters, gauges, forwarded
+log lines — is one flat JSON object per line, carrying the same four
+leading fields:
+
+* ``v`` — schema version (:data:`SCHEMA_VERSION`), so a reader can
+  reject streams written by a different generation before touching the
+  payload, mirroring the header convention of :func:`repro.io.make_header`.
+* ``run`` — the ``run_id`` tying every event of one invocation together,
+  including events recorded inside worker processes.
+* ``ts`` — a monotonic timestamp (``time.perf_counter()``), so event
+  ordering within one process never goes backwards under clock
+  adjustments.  Monotonic clocks have per-process origins; durations
+  (``dur_s``) are the cross-process currency, not raw timestamps.
+* ``pid`` — the emitting process, which is how a merged campaign stream
+  distinguishes worker-side spans from the orchestrator's.
+
+Kind-specific required fields are listed in :data:`REQUIRED_FIELDS`;
+:func:`validate_event` enforces the whole contract and is what the CI
+smoke step and ``repro-bgp trace summarize`` run over every line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+from typing import Any, Dict, Mapping
+
+from repro.errors import ObsError
+
+#: Bumped whenever the event contract changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: The closed set of event kinds.
+EVENT_KINDS = frozenset(
+    {"span_start", "span_end", "counter", "gauge", "log"}
+)
+
+#: Kind-specific required fields (beyond the common v/run/ts/kind/name/pid).
+REQUIRED_FIELDS: Mapping[str, tuple] = {
+    "span_start": ("span",),
+    "span_end": ("span", "dur_s"),
+    "counter": ("value",),
+    "gauge": ("value",),
+    "log": ("level", "msg"),
+}
+
+
+def new_run_id() -> str:
+    """A fresh 12-hex-char run identifier."""
+    return uuid.uuid4().hex[:12]
+
+
+def make_event(
+    kind: str, name: str, run_id: str, ts: float, **fields: Any
+) -> Dict[str, Any]:
+    """Assemble one schema-conformant event dict.
+
+    The emitting process id is stamped automatically; extra keyword
+    fields (span ids, values, attributes) ride along flat.
+    """
+    event: Dict[str, Any] = {
+        "v": SCHEMA_VERSION,
+        "run": run_id,
+        "ts": float(ts),
+        "kind": kind,
+        "name": name,
+        "pid": os.getpid(),
+    }
+    event.update(fields)
+    return event
+
+
+def validate_event(event: Any) -> Dict[str, Any]:
+    """Check one event against the schema; return it unchanged.
+
+    Raises:
+        ObsError: On anything malformed — wrong container type, foreign
+            schema version, unknown kind, or a missing/ill-typed field.
+    """
+    if not isinstance(event, dict):
+        raise ObsError(f"event must be a JSON object, got {type(event).__name__}")
+    version = event.get("v")
+    if version != SCHEMA_VERSION:
+        raise ObsError(
+            f"event schema version {version!r} is not the supported "
+            f"{SCHEMA_VERSION}"
+        )
+    kind = event.get("kind")
+    if kind not in EVENT_KINDS:
+        raise ObsError(f"unknown event kind {kind!r}")
+    name = event.get("name")
+    if not isinstance(name, str) or not name:
+        raise ObsError(f"event name must be a non-empty string, got {name!r}")
+    run = event.get("run")
+    if not isinstance(run, str) or not run:
+        raise ObsError(f"event run id must be a non-empty string, got {run!r}")
+    ts = event.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+        raise ObsError(f"event ts must be a number, got {ts!r}")
+    pid = event.get("pid")
+    if not isinstance(pid, int) or isinstance(pid, bool):
+        raise ObsError(f"event pid must be an integer, got {pid!r}")
+    for field in REQUIRED_FIELDS[kind]:
+        if field not in event:
+            raise ObsError(f"{kind} event {name!r} is missing field {field!r}")
+    if kind == "span_end":
+        dur = event["dur_s"]
+        if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+            raise ObsError(
+                f"span_end {name!r} dur_s must be a non-negative number, "
+                f"got {dur!r}"
+            )
+    if kind in ("counter", "gauge"):
+        value = event["value"]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ObsError(f"{kind} {name!r} value must be a number, got {value!r}")
+    if kind == "log":
+        if not isinstance(event["level"], str) or not isinstance(event["msg"], str):
+            raise ObsError(f"log event {name!r} needs string level and msg")
+    return event
+
+
+def encode_line(event: Mapping[str, Any]) -> str:
+    """Serialize one event to its JSONL line (no trailing newline)."""
+    return json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+
+def decode_line(line: str) -> Dict[str, Any]:
+    """Parse and validate one JSONL line.
+
+    Raises:
+        ObsError: On invalid JSON or a schema violation.
+    """
+    try:
+        event = json.loads(line)
+    except (json.JSONDecodeError, ValueError) as exc:
+        raise ObsError(f"event line is not valid JSON: {exc}") from exc
+    return validate_event(event)

@@ -1,0 +1,196 @@
+"""Aggregate a telemetry event stream into human-readable summaries.
+
+The per-phase timing table is the payoff of the whole subsystem: given
+a JSONL stream (from ``--trace-out`` or a merged campaign), it answers
+*where the time went* — per span name: how often it ran, total and
+distribution of durations — plus counter tallies and gauge last-values.
+Rendered through :func:`repro.analysis.format_table` so it matches the
+rest of the package's terminal output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Tuple, Union
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.errors import ObsError
+from repro.obs.events import decode_line
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class SpanStats:
+    """Timing distribution of one span name across a stream."""
+
+    name: str
+    count: int
+    total_s: float
+    p50_ms: float
+    p95_ms: float
+    max_ms: float
+    errors: int = 0
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregated view of one event stream.
+
+    Attributes:
+        n_events: Total events aggregated.
+        run_ids: Distinct run ids seen (one, unless streams were
+            concatenated).
+        pids: Distinct emitting processes — >1 proves worker spans
+            crossed the process boundary.
+        n_replayed: Events tagged as cache-hit replays.
+        spans: Per-name timing stats, largest total first.
+        counters: Per-name summed counter values.
+        gauges: Per-name last-written gauge values.
+        n_unclosed: span_start events with no matching span_end (a
+            crashed or still-open phase).
+    """
+
+    n_events: int
+    run_ids: Tuple[str, ...]
+    pids: Tuple[int, ...]
+    n_replayed: int
+    spans: Tuple[SpanStats, ...]
+    counters: Mapping[str, float]
+    gauges: Mapping[str, float]
+    n_unclosed: int = 0
+
+    def render(self) -> str:
+        """Headline plus per-phase timing table (and counters, if any)."""
+        headline = (
+            f"trace: {self.n_events} events, {len(self.run_ids)} run(s), "
+            f"{len(self.pids)} process(es), {self.n_replayed} replayed"
+        )
+        if self.n_unclosed:
+            headline += f", {self.n_unclosed} unclosed span(s)"
+        parts = [headline]
+        if self.spans:
+            rows = [
+                [
+                    s.name,
+                    s.count,
+                    s.total_s,
+                    s.p50_ms,
+                    s.p95_ms,
+                    s.max_ms,
+                ]
+                for s in self.spans
+            ]
+            parts.append(
+                format_table(
+                    ["phase", "count", "total_s", "p50_ms", "p95_ms", "max_ms"],
+                    rows,
+                    float_fmt="{:.3f}",
+                )
+            )
+        if self.counters:
+            rows = [
+                [name, self.counters[name]] for name in sorted(self.counters)
+            ]
+            parts.append(format_table(["counter", "total"], rows, float_fmt="{:.6g}"))
+        if self.gauges:
+            rows = [[name, self.gauges[name]] for name in sorted(self.gauges)]
+            parts.append(format_table(["gauge", "last"], rows, float_fmt="{:.6g}"))
+        return "\n\n".join(parts)
+
+
+def summarize_events(events: Iterable[Mapping[str, Any]]) -> TraceSummary:
+    """Fold an event stream into a :class:`TraceSummary`.
+
+    Tolerates streams with only some event kinds; durations come from
+    ``span_end`` events alone, so a truncated stream (missing ends)
+    surfaces as ``n_unclosed`` rather than skewed timings.
+    """
+    durations: Dict[str, List[float]] = {}
+    errors: Dict[str, int] = {}
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    run_ids: List[str] = []
+    pids: List[int] = []
+    opened: Dict[Tuple[int, Any], str] = {}
+    n_events = 0
+    n_replayed = 0
+    for event in events:
+        n_events += 1
+        run = event.get("run")
+        if run not in run_ids:
+            run_ids.append(run)
+        pid = event.get("pid")
+        if pid not in pids:
+            pids.append(pid)
+        if event.get("replay"):
+            n_replayed += 1
+        kind = event.get("kind")
+        name = event.get("name", "")
+        if kind == "span_start":
+            opened[(pid, event.get("span"))] = name
+        elif kind == "span_end":
+            opened.pop((pid, event.get("span")), None)
+            durations.setdefault(name, []).append(float(event.get("dur_s", 0.0)))
+            if "error" in event:
+                errors[name] = errors.get(name, 0) + 1
+        elif kind == "counter":
+            counters[name] = counters.get(name, 0.0) + float(event.get("value", 0.0))
+        elif kind == "gauge":
+            gauges[name] = float(event.get("value", 0.0))
+    span_stats = []
+    for name, values in durations.items():
+        arr = np.asarray(values, dtype=float)
+        span_stats.append(
+            SpanStats(
+                name=name,
+                count=int(arr.size),
+                total_s=float(arr.sum()),
+                p50_ms=float(np.percentile(arr, 50) * 1e3),
+                p95_ms=float(np.percentile(arr, 95) * 1e3),
+                max_ms=float(arr.max() * 1e3),
+                errors=errors.get(name, 0),
+            )
+        )
+    span_stats.sort(key=lambda s: (-s.total_s, s.name))
+    return TraceSummary(
+        n_events=n_events,
+        run_ids=tuple(run_ids),
+        pids=tuple(pids),
+        n_replayed=n_replayed,
+        spans=tuple(span_stats),
+        counters=counters,
+        gauges=gauges,
+        n_unclosed=len(opened),
+    )
+
+
+def load_events(path: PathLike) -> List[Dict[str, Any]]:
+    """Read and validate a JSONL event stream from disk.
+
+    Raises:
+        ObsError: On an unreadable file or any schema-violating line,
+            naming the offending line number.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ObsError(f"cannot read event stream {path}: {exc}") from exc
+    events: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            events.append(decode_line(line))
+        except ObsError as exc:
+            raise ObsError(f"{path}:{lineno}: {exc}") from exc
+    return events
+
+
+def summarize_file(path: PathLike) -> TraceSummary:
+    """Convenience: :func:`load_events` then :func:`summarize_events`."""
+    return summarize_events(load_events(path))

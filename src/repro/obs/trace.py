@@ -1,0 +1,352 @@
+"""In-process telemetry collection: spans, counters, gauges, log bridge.
+
+One module-level :class:`Tracer` holds the event buffer for the whole
+process.  Tracing is **off by default**; every public entry point
+fast-paths on a single ``is None`` check, so instrumented hot loops pay
+one attribute load and a branch when disabled — the studies' wall time
+is indistinguishable with tracing off.
+
+Concurrency model: the buffer append is guarded by a lock (analysis
+threads may emit concurrently); the span *stack* used for parent links
+is thread-local, so interleaved spans on different threads nest
+correctly.  Worker processes each get their own tracer — their event
+lists are returned through the job payload and merged by the campaign
+runner (see :mod:`repro.runner.campaign`).
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import logging
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import ObsError
+from repro.obs.events import encode_line, make_event, new_run_id, validate_event
+
+
+class Tracer:
+    """Thread-safe in-process event collector for one run.
+
+    Args:
+        run_id: Identifier stamped on every event; generated when
+            omitted.
+    """
+
+    def __init__(self, run_id: Optional[str] = None):
+        self.run_id = run_id or new_run_id()
+        self._events: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._span_ids = itertools.count(1)
+        self._local = threading.local()
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Append one pre-built event to the buffer."""
+        with self._lock:
+            self._events.append(event)
+
+    def size(self) -> int:
+        """Number of buffered events."""
+        with self._lock:
+            return len(self._events)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """A copy of the buffered events, oldest first."""
+        with self._lock:
+            return list(self._events)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Return all buffered events and clear the buffer."""
+        with self._lock:
+            events, self._events = self._events, []
+        return events
+
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+
+#: The process-wide tracer; ``None`` means tracing is disabled.
+_TRACER: Optional[Tracer] = None
+
+
+def enable(run_id: Optional[str] = None) -> Tracer:
+    """Turn tracing on for this process.
+
+    Raises:
+        ObsError: If tracing is already enabled — nested enablement
+            would silently interleave two owners' events; use
+            :func:`capture` for scoped collection instead.
+    """
+    global _TRACER
+    if _TRACER is not None:
+        raise ObsError(
+            "tracing is already enabled; use obs.capture() for a "
+            "scoped event window"
+        )
+    _TRACER = Tracer(run_id)
+    return _TRACER
+
+
+def disable() -> List[Dict[str, Any]]:
+    """Turn tracing off; return the drained events (empty if it was off)."""
+    global _TRACER
+    tracer, _TRACER = _TRACER, None
+    return tracer.drain() if tracer is not None else []
+
+
+def is_enabled() -> bool:
+    """Whether this process is currently collecting telemetry."""
+    return _TRACER is not None
+
+
+def current_run_id() -> Optional[str]:
+    """The active run id, or ``None`` when tracing is disabled."""
+    tracer = _TRACER
+    return tracer.run_id if tracer is not None else None
+
+
+def events() -> List[Dict[str, Any]]:
+    """Snapshot of the buffered events (empty when disabled)."""
+    tracer = _TRACER
+    return tracer.snapshot() if tracer is not None else []
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Context manager emitting paired span_start/span_end events."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span_id", "_t0")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        self._span_id = next(tracer._span_ids)
+        stack = tracer._stack()
+        start = make_event(
+            "span_start",
+            self._name,
+            tracer.run_id,
+            time.perf_counter(),
+            span=self._span_id,
+        )
+        if stack:
+            start["parent"] = stack[-1]
+        if self._attrs:
+            start["attrs"] = self._attrs
+        stack.append(self._span_id)
+        tracer.emit(start)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        dur_s = time.perf_counter() - self._t0
+        tracer = self._tracer
+        stack = tracer._stack()
+        if stack and stack[-1] == self._span_id:
+            stack.pop()
+        end = make_event(
+            "span_end",
+            self._name,
+            tracer.run_id,
+            time.perf_counter(),
+            span=self._span_id,
+            dur_s=dur_s,
+        )
+        if exc_type is not None:
+            end["error"] = exc_type.__name__
+        tracer.emit(end)
+        return False
+
+
+def span(name: str, **attrs: Any):
+    """Open a named span: ``with span("phase"): ...``.
+
+    Attributes must be plain JSON scalars; they land on the
+    ``span_start`` event under ``attrs``.  When tracing is disabled the
+    shared no-op context manager comes back and nothing is recorded.
+    """
+    tracer = _TRACER
+    if tracer is None:
+        return _NULL_SPAN
+    return _Span(tracer, name, attrs)
+
+
+def traced(name: Optional[str] = None):
+    """Decorator form of :func:`span`: time every call of a function.
+
+    The span name defaults to the function's qualified name.  The
+    enabled check happens per *call*, so decorating at import time
+    costs nothing while tracing stays off.
+    """
+
+    def decorate(fn):
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if _TRACER is None:
+                return fn(*args, **kwargs)
+            with span(label):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def counter(name: str, value: float = 1) -> None:
+    """Add *value* to a named counter (a monotonic tally when summed)."""
+    tracer = _TRACER
+    if tracer is None:
+        return
+    tracer.emit(
+        make_event("counter", name, tracer.run_id, time.perf_counter(), value=value)
+    )
+
+
+def gauge(name: str, value: float) -> None:
+    """Record a point-in-time measurement (last write wins in reports)."""
+    tracer = _TRACER
+    if tracer is None:
+        return
+    tracer.emit(
+        make_event("gauge", name, tracer.run_id, time.perf_counter(), value=value)
+    )
+
+
+def log_event(level: str, msg: str, name: str = "log") -> None:
+    """Record a log line into the event stream."""
+    tracer = _TRACER
+    if tracer is None:
+        return
+    tracer.emit(
+        make_event(
+            "log", name, tracer.run_id, time.perf_counter(), level=level, msg=msg
+        )
+    )
+
+
+def ingest(incoming: Iterable[Dict[str, Any]], replay: bool = False) -> int:
+    """Merge externally-recorded events into the current stream.
+
+    Used by the campaign runner to splice worker-process events into
+    the orchestrator's stream, and to *replay* the recorded events of a
+    cache hit (tagged ``"replay": true`` so reports can separate relived
+    history from fresh measurement).  Events are validated; a no-op
+    when tracing is disabled.
+
+    Returns:
+        The number of events merged.
+    """
+    tracer = _TRACER
+    if tracer is None:
+        return 0
+    count = 0
+    for event in incoming:
+        validate_event(event)
+        if replay:
+            event = dict(event)
+            event["replay"] = True
+        tracer.emit(event)
+        count += 1
+    return count
+
+
+class Captured:
+    """Result holder for :func:`capture`: the events seen in the window."""
+
+    def __init__(self, run_id: Optional[str] = None):
+        self.run_id = run_id
+        self.events: List[Dict[str, Any]] = []
+
+
+@contextmanager
+def capture(run_id: Optional[str] = None):
+    """Collect the events emitted while the block runs.
+
+    Two modes, chosen automatically:
+
+    * Tracing **disabled** (a fresh worker process): enables a private
+      tracer for the duration, drains it on exit, and disables again —
+      the worker side of the process-boundary protocol.
+    * Tracing **enabled** (inline runs, nested scopes): tees — events
+      stay in the ambient stream *and* the slice emitted during the
+      block is returned.
+
+    The holder's ``events`` list is populated on exit even when the
+    block raises, so callers can persist partial telemetry of a failed
+    run.
+    """
+    holder = Captured()
+    tracer = _TRACER
+    if tracer is None:
+        owned = enable(run_id)
+        holder.run_id = owned.run_id
+        try:
+            yield holder
+        finally:
+            holder.events = disable()
+    else:
+        holder.run_id = tracer.run_id
+        mark = tracer.size()
+        try:
+            yield holder
+        finally:
+            holder.events = tracer.snapshot()[mark:]
+
+
+def write_jsonl(path, stream: Optional[Iterable[Dict[str, Any]]] = None) -> int:
+    """Write events (default: the current buffer) as JSONL to *path*.
+
+    Returns:
+        The number of lines written.
+    """
+    if stream is None:
+        stream = events()
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in stream:
+            handle.write(encode_line(event))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+class TraceLogHandler(logging.Handler):
+    """Forward :mod:`logging` records into the event stream as ``log`` events.
+
+    Safe to leave attached permanently: when tracing is disabled the
+    forward is a no-op, so the handler adds no observable cost.
+    """
+
+    def emit(self, record: logging.LogRecord) -> None:
+        if _TRACER is None:
+            return
+        try:
+            log_event(record.levelname, record.getMessage(), name=record.name)
+        except Exception:  # never let telemetry break the logged code path
+            self.handleError(record)

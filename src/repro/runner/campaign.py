@@ -27,21 +27,38 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import format_table
 from repro.errors import RunnerError
+from repro.obs import trace as obs
 from repro.runner.spec import JobSpec
 from repro.runner.store import ResultStore, payload_to_result, result_to_payload
 
 
-def _run_job(spec: JobSpec):
+def _run_job(spec: JobSpec, trace: bool = False, run_id=None):
     """Worker entry point: build and run one study, return its payload.
 
     Module-level so it pickles by reference into worker processes; the
     return value is the plain-JSON payload (not the full result), so
     figure objects never cross the process boundary.
+
+    When *trace* is set, the job runs inside an
+    :func:`~repro.obs.capture` window and its telemetry events travel
+    back in the return value — which is how worker-side spans survive
+    the ``ProcessPoolExecutor`` boundary.  In a fresh worker the
+    capture enables a private tracer under the orchestrator's *run_id*;
+    inline (same process) it tees from the ambient stream.
     """
     start = time.perf_counter()
-    result = spec.build().run()
+    if trace:
+        with obs.capture(run_id=run_id) as captured:
+            with obs.span(
+                "runner.job", study=spec.describe(), spec=spec.content_hash[:12]
+            ):
+                result = spec.build().run()
+        events = captured.events
+    else:
+        result = spec.build().run()
+        events = []
     elapsed_s = time.perf_counter() - start
-    return result_to_payload(result), elapsed_s
+    return result_to_payload(result), elapsed_s, events
 
 
 @dataclass(frozen=True)
@@ -55,8 +72,14 @@ class JobMetrics:
         spec_hash: Full content hash (tables show a prefix).
         status: ``"hit"`` (served from cache) or ``"ran"`` (simulated).
         attempts: Execution attempts; 0 for hits, >1 means retries.
-        elapsed_s: Wall time spent obtaining the result this campaign.
+        elapsed_s: Wall time spent obtaining the result this campaign,
+            including retry attempts and backoff sleeps.
         saved_s: For hits, the recorded simulation time *not* spent.
+        attempt_s: Wall time of each individual attempt, in order —
+            failed attempts included, backoff excluded.  Empty for
+            cache hits.
+        timeouts: How many attempts ended by hitting the per-job
+            wall-time limit (a subset of the failed attempts).
     """
 
     index: int
@@ -67,6 +90,8 @@ class JobMetrics:
     attempts: int
     elapsed_s: float
     saved_s: float = 0.0
+    attempt_s: Tuple[float, ...] = ()
+    timeouts: int = 0
 
 
 @dataclass(frozen=True)
@@ -101,6 +126,11 @@ class CampaignReport:
         """Simulation time avoided by cache hits."""
         return sum(m.saved_s for m in self.metrics)
 
+    @property
+    def n_timeouts(self) -> int:
+        """Attempts that ended by hitting the wall-time limit."""
+        return sum(m.timeouts for m in self.metrics)
+
     def render(self) -> str:
         """Metrics table: one row per job, plus a totals headline."""
         rows = []
@@ -112,18 +142,30 @@ class CampaignReport:
                     m.seed,
                     m.status,
                     m.attempts,
+                    m.timeouts,
                     m.elapsed_s,
+                    "|".join(f"{a:.2f}" for a in m.attempt_s) or "-",
                     m.spec_hash[:12],
                 ]
             )
         headline = (
             f"campaign: {len(self.metrics)} jobs — "
             f"{self.n_hits} cache hits, {self.n_ran} ran "
-            f"({self.n_retries} retries); "
+            f"({self.n_retries} retries, {self.n_timeouts} timeouts); "
             f"run time {self.elapsed_s:.1f}s, saved {self.saved_s:.1f}s"
         )
         table = format_table(
-            ["job", "study", "seed", "status", "attempts", "time_s", "spec"],
+            [
+                "job",
+                "study",
+                "seed",
+                "status",
+                "attempts",
+                "timeouts",
+                "time_s",
+                "attempt_s",
+                "spec",
+            ],
             rows,
             float_fmt="{:.2f}",
         )
@@ -189,7 +231,15 @@ class CampaignRunner:
                     elapsed_s=0.0,
                     saved_s=cached.elapsed_s,
                 )
+                obs.counter("runner.cache.hits")
+                if cached.events:
+                    # Replay the hit's recorded telemetry into the
+                    # current stream, tagged so reports can separate
+                    # relived history from fresh measurement.
+                    obs.ingest(cached.events, replay=True)
             else:
+                if self.store is not None:
+                    obs.counter("runner.cache.misses")
                 pending.append(index)
         if pending:
             if self.jobs == 1 or len(pending) == 1:
@@ -200,7 +250,21 @@ class CampaignRunner:
 
     # -- execution backends -------------------------------------------------
 
-    def _record_success(self, specs, results, metrics, index, payload, job_s, wall_s, attempts):
+    def _record_success(
+        self,
+        specs,
+        results,
+        metrics,
+        index,
+        payload,
+        job_s,
+        wall_s,
+        attempts,
+        events=(),
+        attempt_s=(),
+        timeouts=0,
+        merge_events=False,
+    ):
         spec = specs[index]
         result = payload_to_result(payload)
         results[index] = result
@@ -212,9 +276,17 @@ class CampaignRunner:
             status="ran",
             attempts=attempts,
             elapsed_s=wall_s,
+            attempt_s=tuple(attempt_s),
+            timeouts=timeouts,
         )
+        if merge_events and events:
+            # Pool mode: worker-side events arrive via the job payload
+            # and are spliced into the orchestrator's stream here, in
+            # deterministic spec order.  (Inline events are already in
+            # the ambient stream — the capture only teed them.)
+            obs.ingest(events)
         if self.store is not None:
-            self.store.put(spec, result, job_s)
+            self.store.put(spec, result, job_s, events=events)
 
     def _give_up(self, spec: JobSpec, attempts: int, error: BaseException):
         raise RunnerError(
@@ -228,45 +300,67 @@ class CampaignRunner:
             time.sleep(delay)
 
     def _run_inline(self, specs, pending, results, metrics) -> None:
+        tracing = obs.is_enabled()
+        run_id = obs.current_run_id()
         for index in pending:
             spec = specs[index]
             attempts = 0
+            attempt_s: List[float] = []
             start = time.perf_counter()
             while True:
                 attempts += 1
+                attempt_start = time.perf_counter()
                 try:
-                    payload, job_s = _run_job(spec)
+                    payload, job_s, events = _run_job(spec, tracing, run_id)
                 except Exception as exc:
+                    attempt_s.append(time.perf_counter() - attempt_start)
                     if attempts > self.retries:
                         self._give_up(spec, attempts, exc)
                     self._sleep_before_retry(attempts)
                     continue
+                attempt_s.append(time.perf_counter() - attempt_start)
                 wall_s = time.perf_counter() - start
                 self._record_success(
-                    specs, results, metrics, index, payload, job_s, wall_s, attempts
+                    specs,
+                    results,
+                    metrics,
+                    index,
+                    payload,
+                    job_s,
+                    wall_s,
+                    attempts,
+                    events=events,
+                    attempt_s=attempt_s,
                 )
                 break
 
     def _run_pool(self, specs, pending, results, metrics) -> None:
+        tracing = obs.is_enabled()
+        run_id = obs.current_run_id()
         attempts: Dict[int, int] = {index: 0 for index in pending}
+        attempt_s: Dict[int, List[float]] = {index: [] for index in pending}
+        timeouts: Dict[int, int] = {index: 0 for index in pending}
         started = {index: time.perf_counter() for index in pending}
+        attempt_started = dict(started)
         done: set = set()
         completed = False
         pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
         try:
             futures = {
-                index: pool.submit(_run_job, specs[index]) for index in pending
+                index: pool.submit(_run_job, specs[index], tracing, run_id)
+                for index in pending
             }
             # Collect in deterministic spec order; later jobs keep
             # executing while earlier ones are awaited.
             for index in pending:
                 while True:
                     try:
-                        payload, job_s = futures[index].result(
+                        payload, job_s, events = futures[index].result(
                             timeout=self.timeout_s
                         )
                     except FutureTimeoutError as exc:
                         futures[index].cancel()
+                        timeouts[index] += 1
                         error: BaseException = RunnerError(
                             f"timed out after {self.timeout_s}s"
                         )
@@ -281,11 +375,15 @@ class CampaignRunner:
                         for other in pending:
                             if other not in done and other != index:
                                 futures[other] = pool.submit(
-                                    _run_job, specs[other]
+                                    _run_job, specs[other], tracing, run_id
                                 )
+                                attempt_started[other] = time.perf_counter()
                     except Exception as exc:
                         error = exc
                     else:
+                        attempt_s[index].append(
+                            time.perf_counter() - attempt_started[index]
+                        )
                         wall_s = time.perf_counter() - started[index]
                         self._record_success(
                             specs,
@@ -296,14 +394,24 @@ class CampaignRunner:
                             job_s,
                             wall_s,
                             attempts[index] + 1,
+                            events=events,
+                            attempt_s=attempt_s[index],
+                            timeouts=timeouts[index],
+                            merge_events=True,
                         )
                         done.add(index)
                         break
+                    attempt_s[index].append(
+                        time.perf_counter() - attempt_started[index]
+                    )
                     attempts[index] += 1
                     if attempts[index] > self.retries:
                         self._give_up(specs[index], attempts[index], error)
                     self._sleep_before_retry(attempts[index])
-                    futures[index] = pool.submit(_run_job, specs[index])
+                    futures[index] = pool.submit(
+                        _run_job, specs[index], tracing, run_id
+                    )
+                    attempt_started[index] = time.perf_counter()
             completed = True
         finally:
             # On clean completion every future is done, so waiting is

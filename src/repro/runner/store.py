@@ -21,12 +21,13 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, ObsError
 from repro.io import check_header, make_header
+from repro.obs.events import validate_event
 from repro.runner.spec import JobSpec
 
 PathLike = Union[str, Path]
@@ -83,10 +84,21 @@ def payload_to_result(payload: Dict):
 
 @dataclass(frozen=True)
 class CachedResult:
-    """A cache hit: the stored result plus the simulation time it saved."""
+    """A cache hit: the stored result plus the simulation time it saved.
+
+    Attributes:
+        result: The rebuilt (figure-less) study result.
+        elapsed_s: Simulation time the hit avoided.
+        events: Telemetry events recorded when the job originally ran,
+            so a hit can *replay* its timing history into the current
+            trace stream (tagged as replays; see
+            :func:`repro.obs.ingest`).  Empty for entries written
+            before telemetry existed or with tracing off.
+    """
 
     result: object
     elapsed_s: float
+    events: Tuple[Dict, ...] = field(default_factory=tuple)
 
 
 class ResultStore:
@@ -112,15 +124,21 @@ class ResultStore:
             check_header(document, RESULT_KIND)
             result = payload_to_result(document["result"])
             elapsed_s = float(document["elapsed_s"])
+            events = tuple(
+                validate_event(event)
+                for event in document.get("events", ())
+            )
         except FileNotFoundError:
             return None
-        except (AnalysisError, ValueError, KeyError, TypeError, OSError):
+        except (AnalysisError, ObsError, ValueError, KeyError, TypeError, OSError):
             # Corrupted, foreign-schema, or hand-edited entries are
             # indistinguishable from "never computed": re-run the job.
             return None
-        return CachedResult(result=result, elapsed_s=elapsed_s)
+        return CachedResult(result=result, elapsed_s=elapsed_s, events=events)
 
-    def put(self, spec: JobSpec, result, elapsed_s: float) -> Path:
+    def put(
+        self, spec: JobSpec, result, elapsed_s: float, events: List[Dict] = ()
+    ) -> Path:
         """Persist a result under the spec's content hash.
 
         The write is atomic (temp file + ``os.replace``), so a reader
@@ -135,6 +153,7 @@ class ResultStore:
             },
             elapsed_s=float(elapsed_s),
             result=result_to_payload(result),
+            events=list(events),
         )
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)

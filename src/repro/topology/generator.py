@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import TopologyError
+from repro.obs.trace import gauge, traced
 from repro.geo import (
     City,
     Region,
@@ -463,6 +464,7 @@ def _nearest_mesh(
     return sorted(edges)
 
 
+@traced("topology.build")
 def build_internet(config: Optional[TopologyConfig] = None) -> Internet:
     """Build a synthetic Internet from ``config`` (defaults when omitted).
 
@@ -850,6 +852,9 @@ def build_internet(config: Optional[TopologyConfig] = None) -> Internet:
         )
 
     graph.validate()
+    gauge("topology.n_as", len(graph))
+    gauge("topology.n_links", sum(1 for _ in graph.links()))
+    gauge("topology.n_pops", len(pop_cities))
     logger.info(
         "built internet: %d ASes (%d tier1, %d transit, %d eyeball), "
         "%d links, %d PoPs",

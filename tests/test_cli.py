@@ -134,3 +134,52 @@ class TestCampaign:
     def test_list_mentions_campaign(self, capsys):
         assert main(["list"]) == 0
         assert "campaign" in capsys.readouterr().out
+
+
+class TestTelemetry:
+    def test_runtime_flags_parse_after_subcommand(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["report", "--setting", "A", "--trace-out", "t.jsonl",
+             "--log-level", "debug"]
+        )
+        assert args.setting == "A"
+        assert args.trace_out == "t.jsonl"
+        assert args.log_level == "debug"
+
+    def test_runtime_flags_parse_before_subcommand(self):
+        parser = build_parser()
+        args = parser.parse_args(["--log-json", "-v", "list"])
+        assert args.log_json is True
+        assert args.verbose == 1
+
+    def test_trace_summarize_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["trace", "summarize", "t.jsonl"])
+        assert args.file == "t.jsonl"
+        assert args.handler is not None
+
+    def test_trace_out_writes_stream_and_manifest(self, capsys, tmp_path):
+        from repro import obs
+
+        target = tmp_path / "t.jsonl"
+        assert main(
+            ["report", "--setting", "A", "--scale", "25", "--days", "0.25",
+             "--trace-out", str(target)]
+        ) == 0
+        events = obs.load_events(target)
+        span_names = {
+            e["name"] for e in events if e["kind"] == "span_end"
+        }
+        assert len(span_names) >= 5  # the acceptance bar
+        assert any(name.startswith("study.pop.") for name in span_names)
+        manifest = obs.read_manifest(f"{target}.manifest.json")
+        assert manifest.run_id == events[0]["run"]
+        assert manifest.extra["n_events"] == len(events)
+
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "phase" in out
+        assert "topology.build" in out

@@ -1,0 +1,158 @@
+"""Tests for repro.obs.report aggregation and repro.obs.manifest provenance."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import ObsError
+
+
+def _stream():
+    """A hand-built two-process stream exercising every event kind."""
+    run = "runA"
+    events = []
+    # Parent process: one phase run twice, a counter, a gauge.
+    for span_id, dur in [(1, 0.010), (2, 0.030)]:
+        events.append(
+            obs.make_event("span_start", "phase.x", run, 0.0, span=span_id)
+        )
+        events.append(
+            obs.make_event(
+                "span_end", "phase.x", run, dur, span=span_id, dur_s=dur
+            )
+        )
+    events.append(obs.make_event("counter", "cache.hits", run, 0.1, value=2))
+    events.append(obs.make_event("counter", "cache.hits", run, 0.2, value=3))
+    events.append(obs.make_event("gauge", "n_links", run, 0.3, value=10.0))
+    events.append(obs.make_event("gauge", "n_links", run, 0.4, value=12.0))
+    # A second process (simulated): distinct pid, one replayed event.
+    worker = obs.make_event("span_start", "phase.y", run, 0.0, span=1)
+    worker["pid"] = events[0]["pid"] + 1
+    worker_end = obs.make_event(
+        "span_end", "phase.y", run, 0.5, span=1, dur_s=0.5
+    )
+    worker_end["pid"] = worker["pid"]
+    worker_end["replay"] = True
+    events += [worker, worker_end]
+    # An unclosed span at the very end.
+    events.append(obs.make_event("span_start", "phase.z", run, 0.9, span=3))
+    return events
+
+
+class TestSummarize:
+    def test_summary_statistics(self):
+        summary = obs.summarize_events(_stream())
+        assert summary.n_events == 11
+        assert summary.run_ids == ("runA",)
+        assert len(summary.pids) == 2
+        assert summary.n_replayed == 1
+        assert summary.n_unclosed == 1
+        assert summary.counters == {"cache.hits": 5.0}
+        assert summary.gauges == {"n_links": 12.0}  # last write wins
+
+    def test_span_stats_distribution(self):
+        summary = obs.summarize_events(_stream())
+        by_name = {s.name: s for s in summary.spans}
+        x = by_name["phase.x"]
+        assert x.count == 2
+        assert x.total_s == pytest.approx(0.040)
+        assert x.p50_ms == pytest.approx(20.0)
+        assert x.max_ms == pytest.approx(30.0)
+        # Largest total first.
+        assert summary.spans[0].name == "phase.y"
+
+    def test_error_spans_counted(self):
+        run = "runB"
+        events = [
+            obs.make_event("span_start", "p", run, 0.0, span=1),
+            obs.make_event(
+                "span_end", "p", run, 0.1, span=1, dur_s=0.1, error="ValueError"
+            ),
+        ]
+        summary = obs.summarize_events(events)
+        assert summary.spans[0].errors == 1
+
+    def test_render_contains_headline_and_tables(self):
+        text = obs.summarize_events(_stream()).render()
+        assert "11 events" in text
+        assert "2 process(es)" in text
+        assert "1 replayed" in text
+        assert "1 unclosed span(s)" in text
+        assert "phase.x" in text and "phase.y" in text
+        assert "cache.hits" in text
+        assert "n_links" in text
+
+    def test_empty_stream(self):
+        summary = obs.summarize_events([])
+        assert summary.n_events == 0
+        assert summary.spans == ()
+        assert "0 events" in summary.render()
+
+
+class TestLoadEvents:
+    def test_roundtrip_through_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        events = _stream()
+        obs.write_jsonl(path, events)
+        assert obs.load_events(path) == events
+        assert obs.summarize_file(path).n_events == len(events)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        event = obs.make_event("counter", "c", "r", 0.0, value=1)
+        path.write_text(f"{obs.encode_line(event)}\n\n{obs.encode_line(event)}\n")
+        assert len(obs.load_events(path)) == 2
+
+    def test_corrupt_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        event = obs.make_event("counter", "c", "r", 0.0, value=1)
+        path.write_text(f"{obs.encode_line(event)}\nnot json\n")
+        with pytest.raises(ObsError, match=rf"{path.name}:2"):
+            obs.load_events(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ObsError, match="cannot read"):
+            obs.load_events(tmp_path / "absent.jsonl")
+
+
+class TestManifest:
+    def test_collect_and_roundtrip(self, tmp_path):
+        manifest = obs.collect_manifest(
+            "run42",
+            config={"study": "pop", "scale": 50},
+            seeds=[1, 2],
+            argv=["repro-bgp", "report"],
+            wall_s=1.25,
+            extra={"n_events": 7},
+        )
+        assert manifest.run_id == "run42"
+        assert manifest.seeds == (1, 2)
+        assert manifest.config_hash == obs.config_digest(
+            {"study": "pop", "scale": 50}
+        )
+        path = obs.write_manifest(manifest, tmp_path / "m.json")
+        loaded = obs.read_manifest(path)
+        assert loaded == manifest
+
+    def test_config_digest_order_independent(self):
+        assert obs.config_digest({"a": 1, "b": 2}) == obs.config_digest(
+            {"b": 2, "a": 1}
+        )
+        assert obs.config_digest({"a": 1}) != obs.config_digest({"a": 2})
+
+    def test_read_manifest_rejects_garbage(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("not json")
+        with pytest.raises(ObsError, match="cannot read run manifest"):
+            obs.read_manifest(path)
+        path.write_text(json.dumps({"schema": 1, "kind": "other"}))
+        with pytest.raises(ObsError):
+            obs.read_manifest(path)
+
+    def test_git_revision_in_repo(self):
+        rev = obs.git_revision()
+        assert rev is None or (len(rev) == 40 and set(rev) <= set("0123456789abcdef"))
+
+    def test_git_revision_outside_repo(self, tmp_path):
+        assert obs.git_revision(cwd=tmp_path) is None

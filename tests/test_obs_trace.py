@@ -1,0 +1,240 @@
+"""Tests for repro.obs: event schema, tracer lifecycle, collection API."""
+
+import json
+import logging
+import threading
+
+import pytest
+
+from repro import obs
+from repro.errors import ObsError
+from repro.obs import trace as trace_mod
+
+
+@pytest.fixture(autouse=True)
+def _reset_tracer():
+    """Guarantee every test starts and ends with tracing disabled."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _events_of(kind):
+    return [e for e in obs.events() if e["kind"] == kind]
+
+
+class TestSchema:
+    def test_make_event_stamps_common_fields(self):
+        event = obs.make_event("counter", "x", "run1", 1.5, value=2)
+        assert event["v"] == obs.SCHEMA_VERSION
+        assert event["kind"] == "counter"
+        assert event["name"] == "x"
+        assert event["run"] == "run1"
+        assert event["ts"] == 1.5
+        assert isinstance(event["pid"], int)
+        assert obs.validate_event(event) is event
+
+    def test_encode_decode_roundtrip(self):
+        event = obs.make_event("gauge", "g", "run1", 0.25, value=7.0)
+        line = obs.encode_line(event)
+        assert "\n" not in line
+        assert obs.decode_line(line) == event
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"v": 99},
+            {"kind": "bogus"},
+            {"name": ""},
+            {"ts": "soon"},
+            {"value": None},
+        ],
+    )
+    def test_validate_rejects_malformed(self, mutation):
+        event = obs.make_event("counter", "x", "run1", 1.0, value=1)
+        event.update(mutation)
+        with pytest.raises(ObsError):
+            obs.validate_event(event)
+
+    def test_span_end_requires_nonnegative_duration(self):
+        event = obs.make_event("span_end", "p", "run1", 1.0, span=1, dur_s=-0.1)
+        with pytest.raises(ObsError):
+            obs.validate_event(event)
+
+    def test_new_run_ids_are_distinct(self):
+        assert obs.new_run_id() != obs.new_run_id()
+
+
+class TestLifecycle:
+    def test_disabled_by_default_and_all_entry_points_noop(self):
+        assert not obs.is_enabled()
+        assert obs.current_run_id() is None
+        assert obs.events() == []
+        with obs.span("phase"):
+            obs.counter("c")
+            obs.gauge("g", 1.0)
+            obs.log_event("INFO", "msg")
+        assert obs.ingest([obs.make_event("counter", "x", "r", 0.0, value=1)]) == 0
+        assert obs.events() == []
+
+    def test_disabled_span_is_shared_null_instance(self):
+        assert obs.span("a") is obs.span("b") is trace_mod._NULL_SPAN
+
+    def test_enable_disable_cycle(self):
+        tracer = obs.enable("runX")
+        assert obs.is_enabled()
+        assert obs.current_run_id() == "runX"
+        obs.counter("c")
+        drained = obs.disable()
+        assert not obs.is_enabled()
+        assert len(drained) == 1 and drained[0]["run"] == tracer.run_id
+        assert obs.disable() == []  # idempotent
+
+    def test_double_enable_raises(self):
+        obs.enable()
+        with pytest.raises(ObsError, match="already enabled"):
+            obs.enable()
+
+
+class TestCollection:
+    def test_span_emits_start_end_pair_with_duration(self):
+        obs.enable()
+        with obs.span("phase", seed=3):
+            pass
+        starts, ends = _events_of("span_start"), _events_of("span_end")
+        assert len(starts) == len(ends) == 1
+        assert starts[0]["attrs"] == {"seed": 3}
+        assert starts[0]["span"] == ends[0]["span"]
+        assert ends[0]["dur_s"] >= 0.0
+
+    def test_nested_spans_record_parent(self):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        starts = {e["name"]: e for e in _events_of("span_start")}
+        assert "parent" not in starts["outer"]
+        assert starts["inner"]["parent"] == starts["outer"]["span"]
+
+    def test_span_records_error_and_propagates(self):
+        obs.enable()
+        with pytest.raises(ValueError):
+            with obs.span("doomed"):
+                raise ValueError("boom")
+        (end,) = _events_of("span_end")
+        assert end["error"] == "ValueError"
+
+    def test_traced_decorator(self):
+        @obs.traced("math.double")
+        def double(x):
+            return 2 * x
+
+        assert double(4) == 8  # disabled: plain call, nothing recorded
+        obs.enable()
+        assert double(5) == 10
+        (end,) = _events_of("span_end")
+        assert end["name"] == "math.double"
+
+    def test_counter_and_gauge_values(self):
+        obs.enable()
+        obs.counter("hits")
+        obs.counter("hits", 4)
+        obs.gauge("depth", 7.5)
+        counters = _events_of("counter")
+        assert [e["value"] for e in counters] == [1, 4]
+        (g,) = _events_of("gauge")
+        assert g["value"] == 7.5
+
+    def test_thread_safety_no_lost_events(self):
+        obs.enable()
+
+        def worker():
+            for _ in range(200):
+                obs.counter("t")
+                with obs.span("t.span"):
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(_events_of("counter")) == 800
+        assert len(_events_of("span_end")) == 800
+        for event in obs.events():
+            obs.validate_event(event)
+
+
+class TestCaptureAndIngest:
+    def test_capture_owns_tracer_when_disabled(self):
+        with obs.capture(run_id="worker7") as captured:
+            assert obs.is_enabled()
+            obs.counter("inside")
+        assert not obs.is_enabled()
+        assert captured.run_id == "worker7"
+        assert [e["name"] for e in captured.events] == ["inside"]
+
+    def test_capture_tees_when_enabled(self):
+        obs.enable()
+        obs.counter("before")
+        with obs.capture() as captured:
+            obs.counter("during")
+        assert [e["name"] for e in captured.events] == ["during"]
+        # ...and the ambient stream kept everything.
+        assert [e["name"] for e in _events_of("counter")] == ["before", "during"]
+
+    def test_capture_keeps_events_when_block_raises(self):
+        with pytest.raises(RuntimeError):
+            with obs.capture() as captured:
+                obs.counter("partial")
+                raise RuntimeError("fail")
+        assert [e["name"] for e in captured.events] == ["partial"]
+
+    def test_ingest_merges_and_tags_replays(self):
+        with obs.capture() as captured:
+            obs.counter("recorded")
+        obs.enable()
+        assert obs.ingest(captured.events) == 1
+        assert obs.ingest(captured.events, replay=True) == 1
+        fresh, replayed = _events_of("counter")
+        assert "replay" not in fresh
+        assert replayed["replay"] is True
+        # replay tagging copies: the source event is untouched.
+        assert "replay" not in captured.events[0]
+
+    def test_ingest_validates(self):
+        obs.enable()
+        with pytest.raises(ObsError):
+            obs.ingest([{"kind": "counter"}])
+
+
+class TestOutput:
+    def test_write_jsonl_roundtrip(self, tmp_path):
+        obs.enable()
+        obs.counter("a")
+        obs.gauge("b", 2.0)
+        path = tmp_path / "trace.jsonl"
+        assert obs.write_jsonl(path) == 2
+        lines = path.read_text().splitlines()
+        assert [obs.decode_line(line)["name"] for line in lines] == ["a", "b"]
+
+    def test_log_handler_bridges_records(self):
+        logger = logging.getLogger("repro.test_obs_trace")
+        logger.setLevel(logging.INFO)
+        # No propagation: a CLI test may have attached its own
+        # TraceLogHandler to the parent "repro" logger, which would
+        # bridge the record a second time.
+        logger.propagate = False
+        handler = obs.TraceLogHandler()
+        logger.addHandler(handler)
+        try:
+            logger.info("ignored while disabled")
+            obs.enable()
+            logger.info("value=%d", 42)
+        finally:
+            logger.removeHandler(handler)
+            logger.propagate = True
+        (event,) = _events_of("log")
+        assert event["msg"] == "value=42"
+        assert event["level"] == "INFO"
+        assert event["name"] == "repro.test_obs_trace"

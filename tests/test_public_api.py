@@ -125,6 +125,38 @@ PUBLIC_API = {
         "JobMetrics",
         "run_campaign",
     ],
+    "repro.obs": [
+        "SCHEMA_VERSION",
+        "EVENT_KINDS",
+        "make_event",
+        "validate_event",
+        "encode_line",
+        "decode_line",
+        "new_run_id",
+        "Tracer",
+        "TraceLogHandler",
+        "enable",
+        "disable",
+        "is_enabled",
+        "span",
+        "traced",
+        "counter",
+        "gauge",
+        "capture",
+        "ingest",
+        "write_jsonl",
+        "RunManifest",
+        "collect_manifest",
+        "write_manifest",
+        "read_manifest",
+        "config_digest",
+        "git_revision",
+        "TraceSummary",
+        "SpanStats",
+        "summarize_events",
+        "summarize_file",
+        "load_events",
+    ],
     "repro.io": [
         "save_egress_dataset",
         "load_egress_dataset",

@@ -13,9 +13,18 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.errors import RunnerError
 from repro.core.study import StudyResult
 from repro.runner import CampaignRunner, JobSpec, ResultStore, run_campaign
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    """Every test starts and ends with tracing disabled."""
+    obs.disable()
+    yield
+    obs.disable()
 
 
 @dataclasses.dataclass
@@ -83,6 +92,22 @@ class SlowStudy:
     def run(self) -> StudyResult:
         time.sleep(self.sleep_s)
         return StudyResult(name="slow", summary={"ok": 1.0})
+
+
+@dataclasses.dataclass
+class SlowOnceStudy:
+    """Sleeps long on the first run (before its sentinel exists), then fast."""
+
+    seed: int = 0
+    sentinel: str = ""
+    sleep_s: float = 2.0
+
+    def run(self) -> StudyResult:
+        path = Path(self.sentinel)
+        if not path.exists():
+            path.touch()
+            time.sleep(self.sleep_s)
+        return StudyResult(name="slow-once", summary={"ok": 1.0})
 
 
 def _count_runs(trace_dir) -> int:
@@ -219,6 +244,92 @@ class TestRetry:
         with pytest.raises(RunnerError, match="timed out"):
             runner.run(specs + [JobSpec.from_study(AddStudy(seed=0))])
         assert time.perf_counter() - start < 10.0
+
+
+class TestTelemetry:
+    @staticmethod
+    def _job_ends():
+        return [
+            e
+            for e in obs.events()
+            if e["kind"] == "span_end" and e["name"] == "runner.job"
+        ]
+
+    def test_worker_spans_cross_process_boundary(self):
+        """jobs=4 campaign: spans recorded *inside* workers reach the
+        orchestrator's merged stream, stamped with the workers' pids."""
+        specs = [
+            JobSpec.from_study(SlowStudy(seed=s, sleep_s=0.4)) for s in range(4)
+        ]
+        obs.enable()
+        report = CampaignRunner(jobs=4).run(specs)
+        assert report.n_ran == 4
+        ends = self._job_ends()
+        assert len(ends) == 4
+        worker_pids = {e["pid"] for e in ends}
+        assert os.getpid() not in worker_pids
+        assert len(worker_pids) >= 2  # genuinely parallel processes
+        run_id = obs.current_run_id()
+        assert all(e["run"] == run_id for e in ends)
+        for event in obs.events():
+            obs.validate_event(event)
+
+    def test_inline_tracing_tees_without_duplicates(self):
+        specs = [JobSpec.from_study(AddStudy(seed=s)) for s in range(3)]
+        obs.enable()
+        CampaignRunner(jobs=1).run(specs)
+        ends = self._job_ends()
+        assert len(ends) == 3  # teed once, not re-ingested
+        assert {e["pid"] for e in ends} == {os.getpid()}
+
+    def test_tracing_disabled_campaign_emits_nothing(self):
+        specs = [JobSpec.from_study(AddStudy(seed=s)) for s in range(2)]
+        CampaignRunner(jobs=2).run(specs)
+        assert obs.events() == []
+
+    def test_cache_hit_replays_recorded_events(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        specs = [JobSpec.from_study(AddStudy(seed=9))]
+        obs.enable()
+        CampaignRunner(store=store).run(specs)
+        first_ends = self._job_ends()
+        assert len(first_ends) == 1 and "replay" not in first_ends[0]
+        obs.disable()
+
+        obs.enable()
+        report = CampaignRunner(store=store).run(specs)
+        assert report.n_hits == 1
+        replayed = self._job_ends()
+        assert len(replayed) == 1 and replayed[0]["replay"] is True
+        counters = [e for e in obs.events() if e["kind"] == "counter"]
+        assert any(e["name"] == "runner.cache.hits" for e in counters)
+
+    def test_attempt_timings_recorded_per_retry(self, tmp_path):
+        spec = JobSpec.from_study(
+            FlakyStudy(sentinel=str(tmp_path / "flaky-attempts"))
+        )
+        report = CampaignRunner(jobs=1, retries=2, backoff_s=0.0).run([spec])
+        metric = report.metrics[0]
+        assert metric.attempts == 2
+        assert len(metric.attempt_s) == 2
+        assert all(a >= 0.0 for a in metric.attempt_s)
+        assert metric.elapsed_s >= sum(metric.attempt_s)
+
+    def test_timeout_attempts_surface_in_metrics(self, tmp_path):
+        specs = [
+            JobSpec.from_study(AddStudy(seed=0)),
+            JobSpec.from_study(
+                SlowOnceStudy(sentinel=str(tmp_path / "slow-once"), sleep_s=2.0)
+            ),
+        ]
+        runner = CampaignRunner(jobs=2, retries=1, timeout_s=0.5, backoff_s=0.0)
+        report = runner.run(specs)
+        metric = report.metrics[1]
+        assert metric.timeouts == 1
+        assert metric.attempts == 2
+        assert len(metric.attempt_s) == 2
+        assert report.n_timeouts == 1
+        assert "1 timeouts" in report.render()
 
 
 class TestReport:
