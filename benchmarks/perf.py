@@ -1,0 +1,440 @@
+"""Performance baseline for the vectorized measurement fast lanes.
+
+Times every scalar/fast lane pair at three scales and writes the
+results to ``BENCH_perf.json`` (schema below).  The committed baseline
+is produced by the full tier::
+
+    PYTHONPATH=src python benchmarks/perf.py --tier full --out BENCH_perf.json
+
+CI runs the small tier as a smoke test and fails on schema drift; the
+tier-1 suite validates the committed baseline against the same schema
+(``tests/test_benchmarks_schema.py``).
+
+Each timed measurement runs inside a ``repro.obs`` span, so passing
+``--trace-out`` captures the benchmark's own telemetry stream alongside
+the JSON summary.
+
+Schema (version 1)::
+
+    {
+      "schema_version": 1,
+      "tier": "small" | "full",
+      "meta": {"python": str, "numpy": str},
+      "kernels": [
+        {
+          "name": str,                # unique
+          "scales": [
+            {
+              "scale": "small" | "medium" | "large",
+              "params": {str: scalar},
+              "scalar_s": float > 0,  # best-of-N wall time, scalar lane
+              "fast_s": float > 0,    # best-of-N wall time, fast lane
+              "speedup": float > 0,   # scalar_s / fast_s
+              "repeats": int >= 1
+            }
+          ]
+        }
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.cdn import CdnDeployment
+from repro.cdn.dns_redirection import train_redirection_policy
+from repro.cdn.measurement import BeaconConfig, run_beacon_campaign
+from repro.cloudtiers import (
+    CampaignConfig,
+    CloudDeployment,
+    SpeedcheckerPlatform,
+    run_campaign,
+)
+from repro.edgefabric.episodes import extract_episodes
+from repro.edgefabric.sampler import (
+    MeasurementConfig,
+    MeasurementPlan,
+    plan_measurement,
+    synthesize_dataset,
+)
+from repro.netmodel import CongestionConfig, CongestionModel
+from repro.topology import TopologyConfig, build_internet
+from repro.topology.generator import DEFAULT_POP_CITIES
+from repro.workloads import assign_ldns, generate_client_prefixes
+
+SCHEMA_VERSION = 1
+SCALES = ("small", "medium", "large")
+TIERS = ("small", "full")
+
+#: The tests' compact world: big enough for realistic route diversity,
+#: small enough that topology construction is benchmark setup noise.
+_POPS = tuple(
+    (code, name)
+    for code, name in DEFAULT_POP_CITIES
+    if code
+    in ("iad", "ord", "cbf", "sfo", "lhr", "fra", "bom", "sin", "nrt", "gru", "syd", "jnb")
+)
+_TOPOLOGY = TopologyConfig(
+    seed=7,
+    n_tier1=4,
+    n_transit=21,
+    n_eyeball=60,
+    pop_cities=_POPS,
+    wan_backbone=(
+        ("iad", "ord"),
+        ("ord", "cbf"),
+        ("cbf", "sfo"),
+        ("iad", "gru"),
+        ("iad", "lhr"),
+        ("lhr", "fra"),
+        ("lhr", "jnb"),
+        ("bom", "sin"),
+        ("sin", "nrt"),
+        ("nrt", "sfo"),
+        ("sin", "syd"),
+    ),
+    transit_public_peering_prob=1.0,
+)
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall time over ``repeats`` calls (noise-robust)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure(name: str, scale: str, params, scalar_fn, fast_fn, repeats: int):
+    """Time a scalar/fast lane pair under obs spans; one schema entry."""
+    with obs.span(f"bench.{name}", scale=scale, lane="scalar", repeats=repeats):
+        scalar_s = _best_of(scalar_fn, repeats)
+    with obs.span(f"bench.{name}", scale=scale, lane="fast", repeats=repeats):
+        fast_s = _best_of(fast_fn, repeats)
+    entry = {
+        "scale": scale,
+        "params": params,
+        "scalar_s": scalar_s,
+        "fast_s": fast_s,
+        "speedup": scalar_s / fast_s,
+        "repeats": repeats,
+    }
+    print(
+        f"  {name:28s} {scale:6s} scalar {scalar_s:8.3f}s "
+        f"fast {fast_s:8.3f}s  {entry['speedup']:5.1f}x"
+    )
+    return entry
+
+
+def _scales_for(tier: str):
+    return SCALES[:1] if tier == "small" else SCALES
+
+
+# --- kernels ----------------------------------------------------------------
+
+
+def bench_edgefabric_synthesize(internet, tier: str, repeats: int):
+    """Dataset synthesis: the tentpole kernel (medium must clear 5x)."""
+    prefixes = generate_client_prefixes(internet, 4600, seed=11)
+    config = MeasurementConfig(days=1.0, seed=0)
+    full_plan = plan_measurement(internet, prefixes, config)
+    sizes = {"small": 300, "medium": 2000, "large": 4000}
+    # Warm congestion models shared by both lanes: event generation is
+    # campaign state, not per-synthesis work, so it is excluded from the
+    # lane comparison (each lane re-reads the same caches).
+    congestion = CongestionModel(config.seed, config.congestion_config())
+    dest = CongestionModel(config.seed, config.dest_congestion_config())
+    entries = []
+    for scale in _scales_for(tier):
+        n = min(sizes[scale], len(full_plan.pairs))
+        plan = MeasurementPlan(
+            pairs=full_plan.pairs[:n], prefixes=full_plan.prefixes[:n]
+        )
+        for lane in (False, True):  # warm caches for both lanes
+            synthesize_dataset(
+                plan, config, fast=lane, congestion=congestion, dest_congestion=dest
+            )
+        entries.append(
+            _measure(
+                "edgefabric.synthesize",
+                scale,
+                {"pairs": n, "days": config.days},
+                lambda: synthesize_dataset(
+                    plan,
+                    config,
+                    fast=False,
+                    congestion=congestion,
+                    dest_congestion=dest,
+                ),
+                lambda: synthesize_dataset(
+                    plan,
+                    config,
+                    fast=True,
+                    congestion=congestion,
+                    dest_congestion=dest,
+                ),
+                repeats,
+            )
+        )
+    return {"name": "edgefabric.synthesize", "scales": entries}
+
+
+def bench_edgefabric_episodes(internet, tier: str, repeats: int):
+    """Episode extraction over synthesized datasets."""
+    prefixes = generate_client_prefixes(internet, 4600, seed=11)
+    config = MeasurementConfig(days=2.0, seed=0)
+    full_plan = plan_measurement(internet, prefixes, config)
+    sizes = {"small": 300, "medium": 2000, "large": 4000}
+    congestion = CongestionModel(config.seed, config.congestion_config())
+    dest = CongestionModel(config.seed, config.dest_congestion_config())
+    entries = []
+    for scale in _scales_for(tier):
+        n = min(sizes[scale], len(full_plan.pairs))
+        plan = MeasurementPlan(
+            pairs=full_plan.pairs[:n], prefixes=full_plan.prefixes[:n]
+        )
+        dataset = synthesize_dataset(
+            plan, config, congestion=congestion, dest_congestion=dest
+        )
+        entries.append(
+            _measure(
+                "edgefabric.episodes",
+                scale,
+                {"pairs": n, "windows": int(dataset.n_windows)},
+                lambda: extract_episodes(dataset, fast=False),
+                lambda: extract_episodes(dataset, fast=True),
+                repeats,
+            )
+        )
+    return {"name": "edgefabric.episodes", "scales": entries}
+
+
+def bench_event_delay(tier: str, repeats: int):
+    """The congestion event kernel under the measurement lanes."""
+    config = CongestionConfig(horizon_hours=240.0, event_rate_per_day=1.0)
+    model = CongestionModel(0, config)
+    times = np.linspace(0.0, 240.0, 96)
+    sizes = {"small": 500, "medium": 2000, "large": 8000}
+    entries = []
+    for scale in _scales_for(tier):
+        n = sizes[scale]
+        keys = [f"bench:{i}" for i in range(n)]
+        model.event_delay_batch(keys, times)  # warm event + flat caches
+
+        def scalar():
+            for key in keys:
+                model.event_delay(key, times)
+
+        entries.append(
+            _measure(
+                "netmodel.event_delay",
+                scale,
+                {"keys": n, "times": int(times.size)},
+                scalar,
+                lambda: model.event_delay_batch(keys, times),
+                repeats,
+            )
+        )
+    return {"name": "netmodel.event_delay", "scales": entries}
+
+
+def bench_cdn_redirection(internet, tier: str, repeats: int):
+    """DNS-redirection policy training over beacon datasets."""
+    deployment = CdnDeployment(internet)
+    sizes = {"small": 100, "medium": 300, "large": 600}
+    entries = []
+    for scale in _scales_for(tier):
+        n = sizes[scale]
+        prefixes = generate_client_prefixes(internet, n, seed=11)
+        prefixes, _ = assign_ldns(prefixes, internet, seed=11)
+        dataset = run_beacon_campaign(deployment, prefixes, BeaconConfig(seed=3))
+        # Train with ECS enabled for every resolver: the per-prefix
+        # decision loop is the part the fast lane batch-medians away.
+        resolvers = {p.ldns for p in dataset.prefixes if p.ldns}
+        entries.append(
+            _measure(
+                "cdn.train_redirection",
+                scale,
+                {"prefixes": n, "requests": int(dataset.n_requests)},
+                lambda: train_redirection_policy(
+                    dataset, ecs_resolvers=resolvers, fast=False
+                ),
+                lambda: train_redirection_policy(
+                    dataset, ecs_resolvers=resolvers, fast=True
+                ),
+                repeats,
+            )
+        )
+    return {"name": "cdn.train_redirection", "scales": entries}
+
+
+def bench_cloudtiers_campaign(internet, tier: str, repeats: int):
+    """End-to-end tier-comparison campaign (ping bursts vs per-round)."""
+    deployment = CloudDeployment(internet)
+    sizes = {
+        "small": (2, 20),
+        "medium": (3, 40),
+        "large": (4, 60),
+    }
+    entries = []
+    for scale in _scales_for(tier):
+        days, vps = sizes[scale]
+        cfg = CampaignConfig(days=days, vps_per_day=vps, rounds_per_day=6, seed=4)
+
+        # Each run needs a fresh platform: the campaign consumes the
+        # platform's noise stream (that is what makes the lanes
+        # bit-identical).  Construction cost is shared by both lanes.
+        def scalar():
+            run_campaign(SpeedcheckerPlatform(deployment, seed=4), cfg, fast=False)
+
+        def fast():
+            run_campaign(SpeedcheckerPlatform(deployment, seed=4), cfg, fast=True)
+
+        entries.append(
+            _measure(
+                "cloudtiers.campaign",
+                scale,
+                {"days": days, "vps_per_day": vps},
+                scalar,
+                fast,
+                repeats,
+            )
+        )
+    return {"name": "cloudtiers.campaign", "scales": entries}
+
+
+# --- schema -----------------------------------------------------------------
+
+
+def validate_payload(payload) -> None:
+    """Raise ``ValueError`` on any departure from the schema above."""
+    if not isinstance(payload, dict):
+        raise ValueError("payload must be an object")
+    expected_keys = {"schema_version", "tier", "meta", "kernels"}
+    if set(payload) != expected_keys:
+        raise ValueError(
+            f"top-level keys must be {sorted(expected_keys)}, "
+            f"got {sorted(payload)}"
+        )
+    if payload["schema_version"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"schema_version must be {SCHEMA_VERSION}, "
+            f"got {payload['schema_version']!r}"
+        )
+    if payload["tier"] not in TIERS:
+        raise ValueError(f"tier must be one of {TIERS}, got {payload['tier']!r}")
+    meta = payload["meta"]
+    if not isinstance(meta, dict) or not {"python", "numpy"} <= set(meta):
+        raise ValueError("meta must carry python and numpy versions")
+    kernels = payload["kernels"]
+    if not isinstance(kernels, list) or len(kernels) < 3:
+        raise ValueError("need at least three kernels")
+    names = [k.get("name") for k in kernels if isinstance(k, dict)]
+    if len(names) != len(kernels) or len(set(names)) != len(names):
+        raise ValueError("kernel names must be unique strings")
+    for kernel in kernels:
+        if set(kernel) != {"name", "scales"}:
+            raise ValueError(f"kernel keys must be name/scales: {kernel}")
+        scales = kernel["scales"]
+        if not isinstance(scales, list) or not scales:
+            raise ValueError(f"kernel {kernel['name']} has no scales")
+        seen = set()
+        for entry in scales:
+            required = {
+                "scale",
+                "params",
+                "scalar_s",
+                "fast_s",
+                "speedup",
+                "repeats",
+            }
+            if not isinstance(entry, dict) or set(entry) != required:
+                raise ValueError(
+                    f"scale entry keys must be {sorted(required)}: {entry}"
+                )
+            if entry["scale"] not in SCALES:
+                raise ValueError(f"unknown scale {entry['scale']!r}")
+            if entry["scale"] in seen:
+                raise ValueError(
+                    f"duplicate scale {entry['scale']!r} in {kernel['name']}"
+                )
+            seen.add(entry["scale"])
+            if not isinstance(entry["params"], dict):
+                raise ValueError("params must be an object")
+            for field in ("scalar_s", "fast_s", "speedup"):
+                value = entry[field]
+                if not isinstance(value, (int, float)) or not value > 0:
+                    raise ValueError(f"{field} must be a positive number")
+            if not isinstance(entry["repeats"], int) or entry["repeats"] < 1:
+                raise ValueError("repeats must be a positive integer")
+
+
+# --- driver -----------------------------------------------------------------
+
+
+def run(tier: str, repeats: int) -> dict:
+    """Run every kernel at the tier's scales; return the payload."""
+    internet = build_internet(_TOPOLOGY)
+    kernels = [
+        bench_edgefabric_synthesize(internet, tier, repeats),
+        bench_edgefabric_episodes(internet, tier, repeats),
+        bench_event_delay(tier, repeats),
+        bench_cdn_redirection(internet, tier, repeats),
+        bench_cloudtiers_campaign(internet, tier, max(1, repeats - 1)),
+    ]
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "tier": tier,
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "kernels": kernels,
+    }
+    validate_payload(payload)
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tier",
+        choices=TIERS,
+        default="full",
+        help="small = smallest scale only (CI smoke); full = all scales",
+    )
+    parser.add_argument("--out", default="BENCH_perf.json", type=Path)
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N per measurement"
+    )
+    parser.add_argument(
+        "--trace-out", type=Path, default=None, help="write obs telemetry here"
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    obs.enable()
+    try:
+        payload = run(args.tier, args.repeats)
+    finally:
+        if args.trace_out is not None:
+            obs.write_jsonl(args.trace_out)
+        obs.disable()
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

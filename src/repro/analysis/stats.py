@@ -32,11 +32,18 @@ def _validate(values: ArrayLike, weights: Optional[ArrayLike]) -> Tuple[np.ndarr
             raise AnalysisError(
                 f"weights shape {w.shape} does not match values {v.shape}"
             )
+        if not np.isfinite(w).all():
+            raise AnalysisError("weights must be finite")
         if (w < 0).any():
             raise AnalysisError("weights must be non-negative")
     total = w.sum()
-    if total <= 0:
-        raise AnalysisError("total weight must be positive")
+    # ``not total > 0`` (rather than ``total <= 0``) also rejects a NaN
+    # total, which would otherwise sail through and divide to all-NaN.
+    if not total > 0:
+        raise AnalysisError(
+            "total weight must be positive; an all-zero weight vector "
+            "has no distribution to normalize"
+        )
     return v, w
 
 

@@ -76,13 +76,26 @@ class EgressDecisionProcess:
         default_factory=lambda: dict(DEFAULT_LOCAL_PREF)
     )
 
-    def _key(self, candidate: NeighborRoute) -> Tuple[int, int, int]:
+    def _key(self, candidate: NeighborRoute) -> Tuple:
         route_class = classify_route(self.graph, self.holder_asn, candidate)
         pref = self.local_pref[route_class]
         # Highest local pref, then shortest advertised AS path, then the
-        # deterministic stand-in for BGP's final tie-breaks: lowest
-        # neighbor ASN.
-        return (-pref, candidate.route.advertised_length, candidate.neighbor)
+        # deterministic stand-ins for BGP's final tie-breaks: lowest
+        # neighbor ASN, lexicographically smallest AS path, and the link
+        # identity (kind + endpoints).  The trailing components make the
+        # ordering *total*: two routes from the same neighbor (say a PNI
+        # and an exchange port, or distinct advertised paths) must never
+        # compare equal, or rank() would depend on candidate input order.
+        link = candidate.link
+        return (
+            -pref,
+            candidate.route.advertised_length,
+            candidate.neighbor,
+            candidate.route.path,
+            link.kind.value,
+            link.a,
+            link.b,
+        )
 
     def rank(self, candidates: Sequence[NeighborRoute]) -> List[RankedRoute]:
         """Rank candidates best-first.

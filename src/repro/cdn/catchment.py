@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.errors import AnalysisError
 from repro.analysis import format_table
-from repro.geo import great_circle_km
+from repro.geo import great_circle_km, great_circle_km_matrix
 from repro.workloads import ClientPrefix
 from repro.cdn.deployment import CdnDeployment
 
@@ -93,28 +93,13 @@ class CatchmentMap:
         )
 
 
-def catchment_map(
-    deployment: CdnDeployment, prefixes: Sequence[ClientPrefix]
-) -> CatchmentMap:
-    """Compute the catchment breakdown for a client population."""
-    if not prefixes:
-        raise AnalysisError("no client prefixes")
-    per_pop: Dict[str, List[Tuple[float, float, bool]]] = {}
-    unreachable = 0.0
-    total = 0.0
-    all_km: List[float] = []
-    all_weights: List[float] = []
-    misdirected_weight = 0.0
-    for prefix in prefixes:
-        total += prefix.weight
-        try:
-            path = deployment.anycast_path(prefix)
-        except Exception:
-            unreachable += prefix.weight
-            continue
-        catchment = deployment.internet.wan.nearest_pop(
-            path.ingress_city.location
-        )
+def _catchment_geometry_scalar(
+    deployment: CdnDeployment, reached, catchments
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-prefix (km-to-catchment, misdirected) via the original loops."""
+    kms: List[float] = []
+    misdirected: List[bool] = []
+    for prefix, catchment in zip(reached, catchments):
         km = great_circle_km(prefix.city.location, catchment.city.location)
         nearest = min(
             deployment.front_ends,
@@ -123,7 +108,99 @@ def catchment_map(
                 p.code,
             ),
         )
-        misdirected = nearest.code != catchment.code
+        kms.append(km)
+        misdirected.append(nearest.code != catchment.code)
+    return np.asarray(kms), np.asarray(misdirected, dtype=bool)
+
+
+def _catchment_geometry_fast(
+    deployment: CdnDeployment, reached, catchments
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized geometry: two distance matrices replace the per-prefix
+    great-circle loops.
+
+    Front-ends are pre-sorted by code so ``argmin``'s first-minimum rule
+    reproduces the scalar ``min(key=(km, code))`` tie-break for exact
+    distance ties (co-located sites produce bitwise-equal rows).  The
+    numpy haversine agrees with the scalar one only to round-off, so
+    *near*-equidistant front-end pairs may in principle resolve
+    differently; the agreement tests assert identity on the study
+    topologies.
+    """
+    client_points = [p.city.location for p in reached]
+    front_ends = sorted(deployment.front_ends, key=lambda p: p.code)
+    fe_km = great_circle_km_matrix(
+        client_points, [p.city.location for p in front_ends]
+    )
+    fe_codes = np.array([p.code for p in front_ends])
+    nearest_codes = fe_codes[fe_km.argmin(axis=1)]
+    catchment_codes = np.array([c.code for c in catchments])
+    misdirected = nearest_codes != catchment_codes
+
+    # Distances to each prefix's own catchment: a (clients × unique
+    # catchment cities) matrix, gathered along each prefix's column.
+    column_of: Dict[str, int] = {}
+    catchment_points = []
+    columns = np.empty(len(catchments), dtype=np.intp)
+    for i, catchment in enumerate(catchments):
+        j = column_of.get(catchment.code)
+        if j is None:
+            j = len(catchment_points)
+            column_of[catchment.code] = j
+            catchment_points.append(catchment.city.location)
+        columns[i] = j
+    catch_km = great_circle_km_matrix(client_points, catchment_points)
+    kms = catch_km[np.arange(len(reached)), columns]
+    return kms, misdirected
+
+
+def catchment_map(
+    deployment: CdnDeployment,
+    prefixes: Sequence[ClientPrefix],
+    fast: bool = True,
+) -> CatchmentMap:
+    """Compute the catchment breakdown for a client population.
+
+    Args:
+        deployment: The anycast deployment under study.
+        fast: Vectorize the geometry (default).  ``fast=False`` runs the
+            original per-prefix great-circle loops; both lanes share the
+            per-prefix anycast path resolution and the aggregation, and
+            agree except for floating-point round-off in the distance
+            kernels (see :func:`_catchment_geometry_fast`).
+    """
+    if not prefixes:
+        raise AnalysisError("no client prefixes")
+    # Path resolution walks the routing graph per prefix; it is shared
+    # by both lanes (the fast lane vectorizes only the geometry).
+    unreachable = 0.0
+    total = 0.0
+    reached: List[ClientPrefix] = []
+    catchments: List = []
+    for prefix in prefixes:
+        total += prefix.weight
+        try:
+            path = deployment.anycast_path(prefix)
+        except Exception:
+            unreachable += prefix.weight
+            continue
+        reached.append(prefix)
+        catchments.append(
+            deployment.internet.wan.nearest_pop(path.ingress_city.location)
+        )
+    if not reached:
+        raise AnalysisError("no prefix can reach the anycast prefix")
+
+    geometry = _catchment_geometry_fast if fast else _catchment_geometry_scalar
+    km_arr, misdirected_arr = geometry(deployment, reached, catchments)
+
+    per_pop: Dict[str, List[Tuple[float, float, bool]]] = {}
+    all_km: List[float] = []
+    all_weights: List[float] = []
+    misdirected_weight = 0.0
+    for i, (prefix, catchment) in enumerate(zip(reached, catchments)):
+        km = float(km_arr[i])
+        misdirected = bool(misdirected_arr[i])
         per_pop.setdefault(catchment.code, []).append(
             (prefix.weight, km, misdirected)
         )
@@ -131,8 +208,6 @@ def catchment_map(
         all_weights.append(prefix.weight)
         if misdirected:
             misdirected_weight += prefix.weight
-    if not all_km:
-        raise AnalysisError("no prefix can reach the anycast prefix")
 
     entries: List[CatchmentEntry] = []
     for pop_code, rows in per_pop.items():

@@ -14,6 +14,7 @@ loses to anycast almost as often as it wins.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import AbstractSet, Dict, List, Mapping, Optional, Tuple
 
@@ -66,12 +67,40 @@ class RedirectionPolicy:
         return redirected / len(self.choices)
 
 
+def _aligned_training_rtts(
+    dataset: BeaconDataset, sample_idx: np.ndarray
+) -> Tuple[List[str], np.ndarray, np.ndarray]:
+    """Unicast training samples gathered onto a shared code axis.
+
+    Returns ``(codes, col_of, aligned)`` where ``codes`` is the sorted
+    global front-end code list, ``col_of[i, j]`` is prefix *i*'s
+    ``unicast_rtt`` column for ``codes[j]`` (−1 when absent), and
+    ``aligned[i, s, j]`` is the sampled training RTT — NaN where the
+    prefix has no such column.  With all prefixes sharing one code axis,
+    per-resolver pooling becomes a plain ``nanmedian`` over a block.
+    """
+    codes = sorted({c for per_prefix in dataset.fe_codes for c in per_prefix})
+    code_col = {c: j for j, c in enumerate(codes)}
+    n_p = len(dataset.prefixes)
+    col_of = np.full((n_p, len(codes)), -1, dtype=np.intp)
+    for i, per_prefix in enumerate(dataset.fe_codes):
+        for col, code in enumerate(per_prefix):
+            col_of[i, code_col[code]] = col
+    safe = np.where(col_of >= 0, col_of, 0)
+    aligned = dataset.unicast_rtt[
+        np.arange(n_p)[:, None, None], sample_idx[None, :, None], safe[:, None, :]
+    ]
+    aligned[np.broadcast_to((col_of < 0)[:, None, :], aligned.shape)] = np.nan
+    return codes, col_of, aligned
+
+
 def train_redirection_policy(
     dataset: BeaconDataset,
     train_fraction: float = 0.5,
     margin_ms: float = 1.0,
     max_train_samples: int = 8,
     ecs_resolvers: Optional[AbstractSet[str]] = None,
+    fast: bool = True,
 ) -> RedirectionPolicy:
     """Train the per-LDNS policy on the first part of the campaign.
 
@@ -91,6 +120,12 @@ def train_redirection_policy(
             per-LDNS ones.  The paper's measured world has essentially
             none; passing the public-resolver ids answers "what would
             ECS adoption buy?" (Section 3.2.1's counterfactual).
+        fast: Pool samples through one aligned array and take block
+            medians (default).  ``fast=False`` runs the original
+            per-code concatenation loops.  Both lanes compute medians
+            over identical sample multisets, so the trained policies
+            are identical bit for bit — which the agreement tests
+            assert.
 
     Raises:
         AnalysisError: if prefixes lack LDNS assignments.
@@ -115,6 +150,53 @@ def train_redirection_policy(
         np.linspace(0, n_train - 1, n_train_used).round().astype(int)
     )
     choices: Dict[str, str] = {}
+    prefix_choices: Dict[str, str] = {}
+    if fast:
+        codes, col_of, aligned = _aligned_training_rtts(dataset, sample_idx)
+        any_train = dataset.anycast_rtt[:, sample_idx]
+        with warnings.catch_warnings():
+            # All-NaN columns (a front-end no member can reach) are the
+            # "code skipped" case of the scalar lane, not an anomaly.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            for ldns, members in by_ldns.items():
+                # Pooling all members' samples per code is one block
+                # median; a median depends only on the sample multiset,
+                # so this matches the scalar concatenation exactly.
+                pooled = aligned[members].reshape(-1, len(codes))
+                medians = np.nanmedian(pooled, axis=0)
+                # The scalar lane only considers the first member's code
+                # list (a deliberate LDNS-granularity artefact).
+                medians[col_of[members[0]] < 0] = np.nan
+                anycast_median = float(np.median(any_train[members]))
+                if np.isnan(medians).all():
+                    choices[ldns] = ANYCAST
+                    continue
+                # `codes` is sorted, so nanargmin's first-minimum rule is
+                # the scalar min(key=(median, code)) tie-break.
+                best = int(np.nanargmin(medians))
+                if float(medians[best]) + margin_ms < anycast_median:
+                    choices[ldns] = codes[best]
+                else:
+                    choices[ldns] = ANYCAST
+            if ecs_resolvers:
+                for ldns, members in by_ldns.items():
+                    if ldns not in ecs_resolvers:
+                        continue
+                    member_medians = np.nanmedian(aligned[members], axis=1)
+                    anycast_medians = np.median(any_train[members], axis=1)
+                    for row, m in enumerate(members):
+                        medians = member_medians[row]
+                        if np.isnan(medians).all():
+                            continue
+                        best = int(np.nanargmin(medians))
+                        if float(medians[best]) + margin_ms < float(
+                            anycast_medians[row]
+                        ):
+                            prefix_choices[dataset.prefixes[m].pid] = codes[best]
+        return RedirectionPolicy(
+            choices=choices, margin_ms=margin_ms, prefix_choices=prefix_choices
+        )
+
     for ldns, members in by_ldns.items():
         # Pool the resolver's clients: median anycast RTT and median RTT
         # per front-end over the sampled training measurements of all
@@ -145,7 +227,6 @@ def train_redirection_policy(
             choices[ldns] = ANYCAST
 
     # ECS-capable resolvers: decide per client prefix, not per pool.
-    prefix_choices: Dict[str, str] = {}
     if ecs_resolvers:
         for ldns, members in by_ldns.items():
             if ldns not in ecs_resolvers:

@@ -93,8 +93,19 @@ class TierDataset:
 def run_campaign(
     platform: SpeedcheckerPlatform,
     config: Optional[CampaignConfig] = None,
+    fast: bool = True,
 ) -> TierDataset:
-    """Run the tier-comparison campaign through the platform API."""
+    """Run the tier-comparison campaign through the platform API.
+
+    Args:
+        fast: Issue each VP-day's pings as one
+            :meth:`~repro.cloudtiers.speedchecker.SpeedcheckerPlatform.ping_burst`
+            and aggregate medians with one array reduction (default).
+            ``fast=False`` issues per-round :meth:`ping` calls.  The
+            burst consumes the same noise-stream positions, so the two
+            lanes produce bit-identical datasets — which the agreement
+            tests assert.
+    """
     cfg = config or CampaignConfig()
     deployment = platform.deployment
     rng = np.random.default_rng(cfg.seed)
@@ -121,12 +132,19 @@ def run_campaign(
                     tr = platform.traceroute(vp, tier, float(round_times[0]))
                     if tr is not None:
                         traceroutes[(vp.vp_id, tier)] = tr
-                for t in round_times:
-                    result = platform.ping(
-                        vp, tier, float(t), count=cfg.pings_per_round
+                if fast:
+                    burst = platform.ping_burst(
+                        vp, tier, round_times, count=cfg.pings_per_round
                     )
-                    if result is not None:
-                        medians[tier].append(result.median_ms)
+                    if burst is not None:
+                        medians[tier] = list(np.median(burst, axis=1))
+                else:
+                    for t in round_times:
+                        result = platform.ping(
+                            vp, tier, float(t), count=cfg.pings_per_round
+                        )
+                        if result is not None:
+                            medians[tier].append(result.median_ms)
             if not medians[Tier.PREMIUM] or not medians[Tier.STANDARD]:
                 continue
             vps[vp.vp_id] = vp

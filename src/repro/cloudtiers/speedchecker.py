@@ -257,6 +257,44 @@ class SpeedcheckerPlatform:
             rtts_ms=tuple(float(x) for x in samples),
         )
 
+    def ping_burst(
+        self,
+        vp: VantagePoint,
+        tier: Tier,
+        times_h: Sequence[float],
+        count: int = 5,
+    ) -> Optional[np.ndarray]:
+        """Many ping rounds in one call: RTTs of shape ``(rounds, count)``.
+
+        The batched form of :meth:`ping` used by the campaign's fast
+        lane.  Credits for the whole burst are debited up front; the
+        noise draw consumes exactly the stream positions the equivalent
+        sequence of per-round :meth:`ping` calls would (one contiguous
+        block in round order), so every sample is bit-identical to the
+        scalar lane's.  Returns ``None`` if the VP has no route to the
+        VM — credits are spent, and no noise is drawn, matching the
+        per-round behaviour.
+        """
+        if count < 1:
+            raise MeasurementError("ping count must be >= 1")
+        times = np.asarray(times_h, dtype=float)
+        if times.size == 0:
+            raise MeasurementError("need at least one round time")
+        self._spend(PING_CREDITS * count * times.size)
+        path = self._path(vp, tier)
+        if path is None:
+            return None
+        full = np.repeat(times, count)
+        base = 2.0 * path.one_way_ms + self._vp_last_mile(vp)
+        shared = self._congestion.shared_delay(
+            f"vp:{vp.vp_id}", vp.city.location.lon, full
+        )
+        route = self._congestion.link_delay(
+            f"tierpath:{vp.vp_id}:{tier.value}", full
+        )
+        noise = self._rng.exponential(1.2, size=full.size)
+        return (base + shared + route + noise).reshape(times.size, count)
+
     def http_get(
         self,
         vp: VantagePoint,

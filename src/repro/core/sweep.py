@@ -109,6 +109,14 @@ def aggregate_results(
     for result in results[1:]:
         common &= set(result.summary)
         union |= set(result.summary)
+    if not common:
+        # Every key is missing from at least one run: the sweep would
+        # aggregate nothing and the whole result would vanish into
+        # dropped_keys.  That is an error, not a quiet empty table.
+        raise AnalysisError(
+            "no summary key is present in every run; nothing to "
+            f"aggregate (keys seen across runs: {sorted(union) or 'none'})"
+        )
     stats: Dict[str, StatSummary] = {}
     for key in common:
         values = np.array([r.summary[key] for r in results], dtype=float)

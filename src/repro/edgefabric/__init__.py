@@ -10,7 +10,13 @@ against an omniscient performance-aware controller.
 
 from repro.edgefabric.routes import EgressRoute, egress_routes_at_pop, serving_pop
 from repro.edgefabric.dataset import EgressDataset, PairKey, window_times
-from repro.edgefabric.sampler import MeasurementConfig, run_measurement
+from repro.edgefabric.sampler import (
+    MeasurementConfig,
+    MeasurementPlan,
+    plan_measurement,
+    run_measurement,
+    synthesize_dataset,
+)
 from repro.edgefabric.controller import (
     achieved_medians,
     bgp_policy_choice,
@@ -44,7 +50,10 @@ __all__ = [
     "PairKey",
     "window_times",
     "MeasurementConfig",
+    "MeasurementPlan",
+    "plan_measurement",
     "run_measurement",
+    "synthesize_dataset",
     "achieved_medians",
     "bgp_policy_choice",
     "omniscient_choice",

@@ -95,14 +95,60 @@ def _runs(mask: np.ndarray, excess: np.ndarray, pair_index: int) -> List[Episode
     return episodes
 
 
+def _runs_batch(masks: np.ndarray, excess: np.ndarray) -> List[Episode]:
+    """All pairs' runs in one pass — the vectorized form of :func:`_runs`.
+
+    Rows are flattened with a guard column of ``False`` between them so
+    no run can straddle a row boundary; run starts/ends fall out of one
+    ``diff`` over the flat mask, and per-run peaks out of one
+    ``maximum.reduceat``.  Episode order (row-major, then by start) and
+    every field are bit-identical to looping :func:`_runs` per row.
+    """
+    n_pairs, n_windows = masks.shape
+    guard = np.zeros((n_pairs, 1), dtype=bool)
+    flat_mask = np.concatenate([masks, guard], axis=1).ravel()
+    edges = np.flatnonzero(np.diff(flat_mask.astype(np.int8), prepend=0))
+    if edges.size == 0:
+        return []
+    starts = edges[0::2]
+    ends = edges[1::2]
+    # Guard values never fall inside a run, so their excess is irrelevant;
+    # zero keeps NaNs out of the reduction's discarded segments' neighbours.
+    flat_excess = np.concatenate(
+        [np.nan_to_num(excess, nan=0.0), np.zeros((n_pairs, 1))], axis=1
+    ).ravel()
+    bounds = np.empty(starts.size * 2, dtype=np.intp)
+    bounds[0::2] = starts
+    bounds[1::2] = ends
+    peaks = np.maximum.reduceat(flat_excess, bounds)[0::2]
+    width = n_windows + 1
+    return [
+        Episode(
+            pair_index=int(s // width),
+            start=int(s % width),
+            length=int(e - s),
+            peak_ms=float(p),
+        )
+        for s, e, p in zip(starts, ends, peaks)
+    ]
+
+
 def extract_episodes(
-    dataset: EgressDataset, threshold_ms: float = 5.0
+    dataset: EgressDataset, threshold_ms: float = 5.0, fast: bool = True
 ) -> EpisodeStudyResult:
     """Extract degradation and opportunity episodes from a dataset.
 
     A pair's *baseline* is the whole-campaign median of its BGP route;
     degradation = BGP median above baseline + threshold; opportunity =
     best alternate below BGP median − threshold.
+
+    Args:
+        dataset: The windowed measurement dataset.
+        threshold_ms: Excess threshold defining an episode.
+        fast: Use the vectorized run extraction (default); ``fast=False``
+            runs the original per-pair scan.  Outputs are bit-identical
+            — episode extraction is deterministic — which the agreement
+            tests assert.
     """
     if threshold_ms <= 0:
         raise AnalysisError("threshold must be positive")
@@ -121,26 +167,75 @@ def extract_episodes(
     opportunity_windows = 0
     total_windows = 0
     escapes = 0
-    for i in range(dataset.n_pairs):
-        series = bgp[i]
-        valid = ~np.isnan(series)
-        if valid.sum() < 8:
-            continue
-        baseline = float(np.nanmedian(series))
-        excess = series - baseline
-        degraded = valid & (excess > threshold_ms)
-        improvement = series - best_alt[i]
-        opportunity = valid & ~np.isnan(best_alt[i]) & (improvement > threshold_ms)
-        total_windows += int(valid.sum())
-        degraded_windows += int(degraded.sum())
-        opportunity_windows += int(opportunity.sum())
-        pair_degradations = _runs(degraded, excess, i)
-        degradations.extend(pair_degradations)
-        opportunities.extend(_runs(opportunity, improvement, i))
-        for episode in pair_degradations:
-            window = slice(episode.start, episode.start + episode.length)
-            if opportunity[window].mean() >= 0.5:
-                escapes += 1
+    if fast:
+        valid = ~np.isnan(bgp)
+        eligible = valid.sum(axis=1) >= 8
+        if eligible.any():
+            sub = np.flatnonzero(eligible)
+            series = bgp[sub]
+            sub_valid = valid[sub]
+            with np.errstate(invalid="ignore", all="ignore"):
+                baseline = np.nanmedian(series, axis=1)
+            excess = series - baseline[:, None]
+            degraded = sub_valid & (excess > threshold_ms)
+            improvement = series - best_alt[sub]
+            opportunity = (
+                sub_valid
+                & ~np.isnan(best_alt[sub])
+                & (improvement > threshold_ms)
+            )
+            total_windows = int(sub_valid.sum())
+            degraded_windows = int(degraded.sum())
+            opportunity_windows = int(opportunity.sum())
+            remap = {local: int(orig) for local, orig in enumerate(sub)}
+
+            def renumber(eps: List[Episode]) -> List[Episode]:
+                return [
+                    Episode(
+                        pair_index=remap[e.pair_index],
+                        start=e.start,
+                        length=e.length,
+                        peak_ms=e.peak_ms,
+                    )
+                    for e in eps
+                ]
+
+            degradations = renumber(_runs_batch(degraded, excess))
+            opportunities = renumber(_runs_batch(opportunity, improvement))
+            # Escape test per degradation episode: fraction of its windows
+            # offering an alternate-route improvement, via one cumsum.
+            guard = np.zeros((opportunity.shape[0], 1), dtype=bool)
+            flat_opp = np.concatenate([opportunity, guard], axis=1).ravel()
+            cum = np.concatenate([[0], np.cumsum(flat_opp)])
+            width = opportunity.shape[1] + 1
+            inverse = {orig: local for local, orig in remap.items()}
+            for episode in degradations:
+                row = inverse[episode.pair_index]
+                lo = row * width + episode.start
+                hi = lo + episode.length
+                if (cum[hi] - cum[lo]) / episode.length >= 0.5:
+                    escapes += 1
+    else:
+        for i in range(dataset.n_pairs):
+            series = bgp[i]
+            valid = ~np.isnan(series)
+            if valid.sum() < 8:
+                continue
+            baseline = float(np.nanmedian(series))
+            excess = series - baseline
+            degraded = valid & (excess > threshold_ms)
+            improvement = series - best_alt[i]
+            opportunity = valid & ~np.isnan(best_alt[i]) & (improvement > threshold_ms)
+            total_windows += int(valid.sum())
+            degraded_windows += int(degraded.sum())
+            opportunity_windows += int(opportunity.sum())
+            pair_degradations = _runs(degraded, excess, i)
+            degradations.extend(pair_degradations)
+            opportunities.extend(_runs(opportunity, improvement, i))
+            for episode in pair_degradations:
+                window = slice(episode.start, episode.start + episode.length)
+                if opportunity[window].mean() >= 0.5:
+                    escapes += 1
     if total_windows == 0:
         raise AnalysisError("no pair has enough valid windows")
 

@@ -29,9 +29,18 @@ import numpy as np
 from repro.errors import MeasurementError
 from repro.obs.trace import gauge, traced
 from repro.netmodel import CongestionConfig, CongestionModel
-from repro.netmodel.rtt import median_min_rtt, median_min_rtt_ci_halfwidth
+from repro.netmodel.rtt import (
+    median_min_rtt,
+    median_min_rtt_ci_halfwidth,
+    sampled_median_matrix,
+)
 from repro.topology import Internet
-from repro.workloads import ClientPrefix, traffic_matrix, sessions_matrix
+from repro.workloads import (
+    ClientPrefix,
+    diurnal_volume_matrix,
+    traffic_matrix,
+    sessions_matrix,
+)
 from repro.edgefabric.dataset import EgressDataset, PairKey, window_times
 from repro.edgefabric.routes import (
     egress_routes_at_pop,
@@ -106,29 +115,94 @@ class MeasurementConfig:
         )
 
 
-@traced("edgefabric.measure")
-def run_measurement(
+@dataclass(frozen=True)
+class PlanSlots:
+    """Flattened (pair, route) slot arrays for the vectorized lane.
+
+    Attributes:
+        pair_of: Pair index per slot, shape (S,).
+        route_of: Route index within the pair per slot, shape (S,).
+        base_rtt: Propagation RTT per slot (2 × one-way), shape (S,).
+        keys: Deduplicated congestion entity keys, order of first use.
+        link_of: Index into ``keys`` of each slot's egress link.
+        interior_of: Index into ``keys`` of each slot's interior network.
+    """
+
+    pair_of: np.ndarray
+    route_of: np.ndarray
+    base_rtt: np.ndarray
+    keys: tuple
+    link_of: np.ndarray
+    interior_of: np.ndarray
+
+
+@dataclass(frozen=True)
+class MeasurementPlan:
+    """The routing-dependent half of a campaign: who gets sprayed where.
+
+    Produced by :func:`plan_measurement` (BGP propagation + route
+    selection, identical for both synthesis lanes) and consumed by
+    :func:`synthesize_dataset`.  Splitting the two lets benchmarks time
+    dataset synthesis alone and lets callers reuse one plan across
+    configurations that only change the synthesis parameters.
+
+    Attributes:
+        pairs: Surviving ⟨PoP, prefix⟩ pairs with their sprayed routes.
+        prefixes: The client prefixes behind ``pairs``, index-aligned.
+    """
+
+    pairs: tuple
+    prefixes: tuple
+
+    def slots(self) -> PlanSlots:
+        """Flattened slot arrays, computed once per plan and cached."""
+        cached = getattr(self, "_slots", None)
+        if cached is not None:
+            return cached
+        key_index: dict = {}
+        pair_of: List[int] = []
+        route_of: List[int] = []
+        base_rtt: List[float] = []
+        link_of: List[int] = []
+        interior_of: List[int] = []
+        for i, pair in enumerate(self.pairs):
+            for j, route in enumerate(pair.routes):
+                pair_of.append(i)
+                route_of.append(j)
+                base_rtt.append(2.0 * route.base_one_way_ms)
+                link_of.append(
+                    key_index.setdefault(route.link_key, len(key_index))
+                )
+                interior_of.append(
+                    key_index.setdefault(route.interior_key, len(key_index))
+                )
+        slots = PlanSlots(
+            pair_of=np.asarray(pair_of, dtype=np.intp),
+            route_of=np.asarray(route_of, dtype=np.intp),
+            base_rtt=np.asarray(base_rtt),
+            keys=tuple(key_index),
+            link_of=np.asarray(link_of, dtype=np.intp),
+            interior_of=np.asarray(interior_of, dtype=np.intp),
+        )
+        object.__setattr__(self, "_slots", slots)
+        return slots
+
+
+@traced("edgefabric.plan")
+def plan_measurement(
     internet: Internet,
     prefixes: Sequence[ClientPrefix],
     config: Optional[MeasurementConfig] = None,
-) -> EgressDataset:
-    """Run the spray-and-measure campaign over a client population.
+) -> MeasurementPlan:
+    """Resolve serving PoPs and sprayed egress routes for a population.
 
     Pairs with fewer than two egress routes at their serving PoP are
     dropped (no alternate to compare against), matching the paper's
     framing that most prefixes have at least three routes.
-
-    Returns:
-        The windowed :class:`EgressDataset`.
     """
     cfg = config or MeasurementConfig()
     if not prefixes:
         raise MeasurementError("no client prefixes")
-    rng = np.random.default_rng(cfg.seed)
-    times = window_times(cfg.days, cfg.window_minutes)
-    congestion = CongestionModel(cfg.seed, cfg.congestion_config())
-    dest_congestion = CongestionModel(cfg.seed, cfg.dest_congestion_config())
-
     tables = tables_for_destinations(internet, [p.asn for p in prefixes])
 
     pairs: List[PairKey] = []
@@ -145,25 +219,25 @@ def run_measurement(
     if not pairs:
         raise MeasurementError("no ⟨PoP, prefix⟩ pair has two or more routes")
     logger.info(
-        "measuring %d pairs (%d prefixes dropped for lacking alternates) "
-        "over %d windows",
+        "planned %d pairs (%d prefixes dropped for lacking alternates)",
         len(pairs),
         len(prefixes) - len(pairs),
-        times.size,
     )
-    gauge("edgefabric.n_pairs", len(pairs))
-    gauge("edgefabric.n_windows", int(times.size))
+    return MeasurementPlan(pairs=tuple(pairs), prefixes=tuple(kept_prefixes))
 
-    n_pairs = len(pairs)
-    n_windows = times.size
-    k = cfg.max_routes
-    medians = np.full((n_pairs, n_windows, k), np.nan)
-    ci_half = np.full((n_pairs, n_windows, k), np.nan)
-    volumes = traffic_matrix(kept_prefixes, times)
-    sessions = sessions_matrix(
-        kept_prefixes, times, sessions_at_peak=cfg.sessions_at_peak
-    )
 
+def _synthesize_scalar(
+    pairs: Sequence[PairKey],
+    times: np.ndarray,
+    sessions: np.ndarray,
+    cfg: MeasurementConfig,
+    rng: np.random.Generator,
+    congestion: CongestionModel,
+    dest_congestion: CongestionModel,
+    medians: np.ndarray,
+    ci_half: np.ndarray,
+) -> None:
+    """Reference lane: the original per-pair, per-route Python loop."""
     lo, hi = cfg.last_mile_ms_range
     for i, pair in enumerate(pairs):
         prefix = pair.prefix
@@ -186,6 +260,145 @@ def run_measurement(
             ) + rng.normal(0.0, sd)
             ci_half[i, :, j] = halfwidth
 
+
+def _synthesize_fast(
+    plan: MeasurementPlan,
+    times: np.ndarray,
+    sessions: np.ndarray,
+    cfg: MeasurementConfig,
+    rng: np.random.Generator,
+    congestion: CongestionModel,
+    dest_congestion: CongestionModel,
+    medians: np.ndarray,
+    ci_half: np.ndarray,
+) -> None:
+    """Vectorized lane: one batched kernel call per latency term.
+
+    Same latency decomposition and the same analytic MinRTT
+    approximation as the scalar lane (via
+    :func:`repro.netmodel.rtt.sampled_median_matrix`), but all pairs and
+    routes at once.  The noise stream is drawn in a different order than
+    the scalar lane's interleaved per-pair draws, so individual cells
+    differ; the distributions are identical, which the agreement tests
+    pin down at the statistic level.
+    """
+    pairs = plan.pairs
+    lo, hi = cfg.last_mile_ms_range
+    last_mile = rng.uniform(lo, hi, size=len(pairs))
+
+    dest_keys = [f"dest:{p.prefix.pid}" for p in pairs]
+    lons = np.array([p.prefix.city.location.lon for p in pairs])
+    shared = dest_congestion.shared_delay_batch(dest_keys, lons, times)
+
+    # One flat slot per sprayed (pair, route); congestion keys deduped so
+    # each entity's event series is materialized exactly once.
+    slots = plan.slots()
+    link_delays = congestion.link_delay_batch(list(slots.keys), times)
+
+    pi = slots.pair_of
+    ri = slots.route_of
+    # Accumulate the floor in place; the slot arrays are large enough
+    # that avoiding temporaries is measurable.
+    floor = shared[pi]
+    floor += (slots.base_rtt + last_mile[pi])[:, None]
+    floor += link_delays[slots.link_of]
+    floor += link_delays[slots.interior_of]
+    # One square root on the (pairs × windows) session grid yields both
+    # the per-slot noise sd and the CI half-widths.
+    root_n = np.sqrt(sessions)
+    sd_pairs = cfg.min_rtt_noise_ms / root_n
+    rows = sampled_median_matrix(
+        floor, rng=rng, noise_scale_ms=cfg.min_rtt_noise_ms, sd=sd_pairs[pi]
+    )
+    # Scatter into route-major scratch so each slot's window series lands
+    # in contiguous memory (the window-major target would stride every
+    # write by max_routes), then transpose-copy once into the output.
+    n_pairs, n_windows, k = medians.shape
+    scratch = np.full((n_pairs, k, n_windows), np.nan)
+    scratch[pi, ri] = rows
+    medians[...] = scratch.transpose(0, 2, 1)
+    # CI half-widths are constant across a pair's routes, so a masked
+    # broadcast replaces a second scatter.  Same expression as the
+    # scalar lane (bit-identical): z·scale / sqrt(n), NaN where no route.
+    has_route = np.zeros((n_pairs, 1, k), dtype=bool)
+    has_route[pi, 0, ri] = True
+    halfwidth = median_min_rtt_ci_halfwidth(cfg.min_rtt_noise_ms, 1) / root_n
+    ci_half[...] = np.where(has_route, halfwidth[:, :, None], np.nan)
+
+
+@traced("edgefabric.synthesize")
+def synthesize_dataset(
+    plan: MeasurementPlan,
+    config: Optional[MeasurementConfig] = None,
+    fast: bool = True,
+    congestion: Optional[CongestionModel] = None,
+    dest_congestion: Optional[CongestionModel] = None,
+) -> EgressDataset:
+    """Synthesize the windowed medians for a planned campaign.
+
+    Args:
+        plan: Output of :func:`plan_measurement`.
+        config: Campaign parameters (must match the planning config where
+            they overlap, e.g. ``max_routes``).
+        fast: Use the vectorized lane (default).  ``fast=False`` runs
+            the original scalar loop — statistically identical output,
+            kept as the reference implementation and escape hatch.
+        congestion: Optional pre-built route-specific congestion model.
+            Passing a model reuses its event cache across synthesis
+            calls (parameter sweeps, lane comparisons); it must have
+            been built with this config's seed and congestion
+            parameters, or determinism is lost.
+        dest_congestion: Same, for the destination-side model.
+
+    Returns:
+        The windowed :class:`EgressDataset`.
+    """
+    cfg = config or MeasurementConfig()
+    pairs = list(plan.pairs)
+    kept_prefixes = list(plan.prefixes)
+    if not pairs:
+        raise MeasurementError("empty measurement plan")
+    rng = np.random.default_rng(cfg.seed)
+    times = window_times(cfg.days, cfg.window_minutes)
+    if congestion is None:
+        congestion = CongestionModel(cfg.seed, cfg.congestion_config())
+    if dest_congestion is None:
+        dest_congestion = CongestionModel(cfg.seed, cfg.dest_congestion_config())
+    logger.info(
+        "synthesizing %d pairs over %d windows (%s lane)",
+        len(pairs),
+        times.size,
+        "fast" if fast else "scalar",
+    )
+    gauge("edgefabric.n_pairs", len(pairs))
+    gauge("edgefabric.n_windows", int(times.size))
+
+    n_pairs = len(pairs)
+    n_windows = times.size
+    k = cfg.max_routes
+    medians = np.full((n_pairs, n_windows, k), np.nan)
+    ci_half = np.full((n_pairs, n_windows, k), np.nan)
+    cycle = diurnal_volume_matrix(
+        times, np.array([p.city.location.lon for p in kept_prefixes])
+    )
+    volumes = traffic_matrix(kept_prefixes, times, cycle=cycle)
+    sessions = sessions_matrix(
+        kept_prefixes, times, sessions_at_peak=cfg.sessions_at_peak, cycle=cycle
+    )
+
+    lane = _synthesize_fast if fast else _synthesize_scalar
+    lane(
+        plan if fast else pairs,
+        times,
+        sessions,
+        cfg,
+        rng,
+        congestion,
+        dest_congestion,
+        medians,
+        ci_half,
+    )
+
     return EgressDataset(
         pairs=pairs,
         times_h=times,
@@ -194,3 +407,25 @@ def run_measurement(
         volumes=volumes,
         max_routes=k,
     )
+
+
+@traced("edgefabric.measure")
+def run_measurement(
+    internet: Internet,
+    prefixes: Sequence[ClientPrefix],
+    config: Optional[MeasurementConfig] = None,
+    fast: bool = True,
+) -> EgressDataset:
+    """Run the spray-and-measure campaign over a client population.
+
+    Composes :func:`plan_measurement` (route discovery, shared by both
+    lanes) with :func:`synthesize_dataset` (windowed-median synthesis,
+    vectorized by default; pass ``fast=False`` for the scalar
+    reference lane).
+
+    Returns:
+        The windowed :class:`EgressDataset`.
+    """
+    cfg = config or MeasurementConfig()
+    plan = plan_measurement(internet, prefixes, cfg)
+    return synthesize_dataset(plan, cfg, fast=fast)

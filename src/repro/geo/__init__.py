@@ -8,6 +8,7 @@ locations drawn from the embedded world-cities dataset.
 from repro.geo.coords import (
     GeoPoint,
     great_circle_km,
+    great_circle_km_matrix,
     propagation_one_way_ms,
     propagation_rtt_ms,
     EARTH_RADIUS_KM,
@@ -24,6 +25,7 @@ from repro.geo.regions import (
 __all__ = [
     "GeoPoint",
     "great_circle_km",
+    "great_circle_km_matrix",
     "propagation_one_way_ms",
     "propagation_rtt_ms",
     "EARTH_RADIUS_KM",

@@ -12,6 +12,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 EARTH_RADIUS_KM = 6371.0088
 
@@ -59,6 +62,32 @@ def great_circle_km(a: GeoPoint, b: GeoPoint) -> float:
     # Clamp to [0, 1] to guard against floating-point drift near antipodes.
     h = min(1.0, max(0.0, h))
     return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+def great_circle_km_matrix(
+    points_a: Sequence[GeoPoint], points_b: Sequence[GeoPoint]
+) -> np.ndarray:
+    """All pairwise great-circle distances, shape ``(len(a), len(b))``.
+
+    The vectorized counterpart of :func:`great_circle_km` — same
+    haversine formula, same antipodal clamp — used by the fast analysis
+    lanes to replace per-pair Python loops.  Entries agree with the
+    scalar function to floating-point round-off (numpy trig vs
+    ``math``); ties between nearly-equidistant points should therefore
+    be broken by an explicit secondary key, never by raw equality.
+    """
+    lat_a = np.radians(np.array([p.lat for p in points_a], dtype=float))
+    lon_a = np.radians(np.array([p.lon for p in points_a], dtype=float))
+    lat_b = np.radians(np.array([p.lat for p in points_b], dtype=float))
+    lon_b = np.radians(np.array([p.lon for p in points_b], dtype=float))
+    dlat = lat_b[None, :] - lat_a[:, None]
+    dlon = lon_b[None, :] - lon_a[:, None]
+    h = (
+        np.sin(dlat / 2.0) ** 2
+        + np.cos(lat_a)[:, None] * np.cos(lat_b)[None, :] * np.sin(dlon / 2.0) ** 2
+    )
+    np.clip(h, 0.0, 1.0, out=h)
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(h))
 
 
 def propagation_one_way_ms(distance_km: float, inflation: float = 1.0) -> float:

@@ -61,6 +61,17 @@ def _run_job(spec: JobSpec, trace: bool = False, run_id=None):
     return result_to_payload(result), elapsed_s, events
 
 
+def _run_job_batch(specs: Sequence[JobSpec], trace: bool = False, run_id=None):
+    """Worker entry point for a spec batch: one :func:`_run_job` each.
+
+    Batched submission amortizes process-pool dispatch and study-import
+    overhead across several small jobs; results come back as one triple
+    per spec, in order, so the orchestrator still records (and caches)
+    every spec individually.
+    """
+    return [_run_job(spec, trace, run_id) for spec in specs]
+
+
 @dataclass(frozen=True)
 class JobMetrics:
     """Per-job accounting surfaced in the campaign metrics table.
@@ -187,6 +198,12 @@ class CampaignRunner:
             the campaign raises.
         backoff_s: Base of the exponential backoff between attempts
             (``backoff_s * 2**(attempt-1)`` seconds).
+        batch_size: Pending specs grouped per worker submission (pool
+            mode only).  Batches amortize dispatch overhead for
+            campaigns of many small jobs; each spec still gets its own
+            cache entry and metrics row.  The per-job ``timeout_s``
+            scales to ``timeout_s * len(batch)`` for a batch, and a
+            failure retries the whole batch.
     """
 
     def __init__(
@@ -196,16 +213,20 @@ class CampaignRunner:
         timeout_s: Optional[float] = None,
         retries: int = 2,
         backoff_s: float = 0.5,
+        batch_size: int = 1,
     ):
         if jobs < 1:
             raise RunnerError(f"jobs must be >= 1, got {jobs}")
         if retries < 0:
             raise RunnerError(f"retries must be >= 0, got {retries}")
+        if batch_size < 1:
+            raise RunnerError(f"batch_size must be >= 1, got {batch_size}")
         self.jobs = int(jobs)
         self.store = store
         self.timeout_s = timeout_s
         self.retries = int(retries)
         self.backoff_s = float(backoff_s)
+        self.batch_size = int(batch_size)
 
     def run(self, specs: Sequence[JobSpec]) -> CampaignReport:
         """Execute a campaign; results come back in spec order.
@@ -294,6 +315,19 @@ class CampaignRunner:
             f"after {attempts} attempt(s): {error}"
         ) from error
 
+    def _give_up_batch(
+        self, batch: Sequence[JobSpec], attempts: int, error: BaseException
+    ):
+        if len(batch) == 1:
+            self._give_up(batch[0], attempts, error)
+        labels = ", ".join(
+            f"{spec.describe()} [{spec.content_hash[:12]}]" for spec in batch
+        )
+        raise RunnerError(
+            f"batch of {len(batch)} jobs ({labels}) failed "
+            f"after {attempts} attempt(s): {error}"
+        ) from error
+
     def _sleep_before_retry(self, attempts: int) -> None:
         delay = self.backoff_s * (2 ** (attempts - 1))
         if delay > 0:
@@ -337,81 +371,98 @@ class CampaignRunner:
     def _run_pool(self, specs, pending, results, metrics) -> None:
         tracing = obs.is_enabled()
         run_id = obs.current_run_id()
-        attempts: Dict[int, int] = {index: 0 for index in pending}
-        attempt_s: Dict[int, List[float]] = {index: [] for index in pending}
-        timeouts: Dict[int, int] = {index: 0 for index in pending}
-        started = {index: time.perf_counter() for index in pending}
+        # Batches of size 1 reduce to the original per-spec submission.
+        chunks: List[List[int]] = [
+            pending[i : i + self.batch_size]
+            for i in range(0, len(pending), self.batch_size)
+        ]
+        order = range(len(chunks))
+        attempts: Dict[int, int] = {c: 0 for c in order}
+        attempt_s: Dict[int, List[float]] = {c: [] for c in order}
+        timeouts: Dict[int, int] = {c: 0 for c in order}
+        started = {c: time.perf_counter() for c in order}
         attempt_started = dict(started)
         done: set = set()
         completed = False
-        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(chunks)))
+
+        def submit(c: int):
+            batch = [specs[i] for i in chunks[c]]
+            return pool.submit(_run_job_batch, batch, tracing, run_id)
+
         try:
-            futures = {
-                index: pool.submit(_run_job, specs[index], tracing, run_id)
-                for index in pending
-            }
+            futures = {c: submit(c) for c in order}
             # Collect in deterministic spec order; later jobs keep
             # executing while earlier ones are awaited.
-            for index in pending:
+            for c, chunk in enumerate(chunks):
+                limit = (
+                    None if self.timeout_s is None else self.timeout_s * len(chunk)
+                )
                 while True:
                     try:
-                        payload, job_s, events = futures[index].result(
-                            timeout=self.timeout_s
-                        )
-                    except FutureTimeoutError as exc:
-                        futures[index].cancel()
-                        timeouts[index] += 1
+                        outputs = futures[c].result(timeout=limit)
+                    except FutureTimeoutError:
+                        futures[c].cancel()
+                        timeouts[c] += 1
                         error: BaseException = RunnerError(
-                            f"timed out after {self.timeout_s}s"
+                            f"timed out after {limit}s"
                         )
                     except BrokenProcessPool as exc:
                         # A hard worker crash poisons the whole pool:
-                        # rebuild it and resubmit every unfinished job.
+                        # rebuild it and resubmit every unfinished batch.
                         error = exc
                         pool.shutdown(wait=False, cancel_futures=True)
                         pool = ProcessPoolExecutor(
-                            max_workers=min(self.jobs, len(pending))
+                            max_workers=min(self.jobs, len(chunks))
                         )
-                        for other in pending:
-                            if other not in done and other != index:
-                                futures[other] = pool.submit(
-                                    _run_job, specs[other], tracing, run_id
-                                )
+                        for other in order:
+                            if other not in done and other != c:
+                                futures[other] = submit(other)
                                 attempt_started[other] = time.perf_counter()
                     except Exception as exc:
                         error = exc
                     else:
-                        attempt_s[index].append(
-                            time.perf_counter() - attempt_started[index]
+                        attempt_s[c].append(
+                            time.perf_counter() - attempt_started[c]
                         )
-                        wall_s = time.perf_counter() - started[index]
-                        self._record_success(
-                            specs,
-                            results,
-                            metrics,
-                            index,
-                            payload,
-                            job_s,
-                            wall_s,
-                            attempts[index] + 1,
-                            events=events,
-                            attempt_s=attempt_s[index],
-                            timeouts=timeouts[index],
-                            merge_events=True,
-                        )
-                        done.add(index)
+                        wall_s = time.perf_counter() - started[c]
+                        for (payload, job_s, events), index in zip(
+                            outputs, chunk
+                        ):
+                            # Single-spec batches keep the measured wall
+                            # time; inside larger batches each spec is
+                            # attributed its own worker-side run time.
+                            self._record_success(
+                                specs,
+                                results,
+                                metrics,
+                                index,
+                                payload,
+                                job_s,
+                                wall_s if len(chunk) == 1 else job_s,
+                                attempts[c] + 1,
+                                events=events,
+                                attempt_s=(
+                                    attempt_s[c]
+                                    if len(chunk) == 1
+                                    else (job_s,)
+                                ),
+                                timeouts=timeouts[c],
+                                merge_events=True,
+                            )
+                        done.add(c)
                         break
-                    attempt_s[index].append(
-                        time.perf_counter() - attempt_started[index]
+                    attempt_s[c].append(
+                        time.perf_counter() - attempt_started[c]
                     )
-                    attempts[index] += 1
-                    if attempts[index] > self.retries:
-                        self._give_up(specs[index], attempts[index], error)
-                    self._sleep_before_retry(attempts[index])
-                    futures[index] = pool.submit(
-                        _run_job, specs[index], tracing, run_id
-                    )
-                    attempt_started[index] = time.perf_counter()
+                    attempts[c] += 1
+                    if attempts[c] > self.retries:
+                        self._give_up_batch(
+                            [specs[i] for i in chunk], attempts[c], error
+                        )
+                    self._sleep_before_retry(attempts[c])
+                    futures[c] = submit(c)
+                    attempt_started[c] = time.perf_counter()
             completed = True
         finally:
             # On clean completion every future is done, so waiting is
@@ -433,7 +484,7 @@ def run_campaign(
         jobs: Worker processes (1 = inline serial).
         cache_dir: When given, a :class:`ResultStore` rooted there.
         **runner_kwargs: Passed through to :class:`CampaignRunner`
-            (``timeout_s``, ``retries``, ``backoff_s``).
+            (``timeout_s``, ``retries``, ``backoff_s``, ``batch_size``).
     """
     store = ResultStore(cache_dir) if cache_dir is not None else None
     runner = CampaignRunner(jobs=jobs, store=store, **runner_kwargs)

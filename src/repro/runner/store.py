@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -34,6 +35,12 @@ PathLike = Union[str, Path]
 
 #: Header ``kind`` for cached campaign results.
 RESULT_KIND = "campaign-result"
+
+#: Temp files older than this many seconds are swept when a store opens.
+#: Generous enough that no live writer — even one stalled mid-simulation —
+#: can have a tmp file this old, so the sweep only ever removes orphans
+#: left behind by crashed or killed processes.
+STALE_TMP_AGE_S = 3600.0
 
 
 def result_to_payload(result) -> Dict:
@@ -106,10 +113,36 @@ class ResultStore:
 
     Args:
         root: Cache directory; created lazily on the first write.
+        stale_tmp_age_s: Orphaned ``.tmpPID`` files older than this are
+            removed when the store opens (a crash between writing the
+            temp file and the atomic rename leaves one behind forever
+            otherwise).  Recent temp files are left alone — they may
+            belong to a concurrent live writer.
     """
 
-    def __init__(self, root: PathLike):
+    def __init__(self, root: PathLike, stale_tmp_age_s: float = STALE_TMP_AGE_S):
         self.root = Path(root)
+        self.stale_tmp_age_s = float(stale_tmp_age_s)
+        self.sweep_stale_tmp()
+
+    def sweep_stale_tmp(self) -> int:
+        """Remove orphaned temp files; returns how many were deleted.
+
+        Runs automatically on open; callable again on a long-lived store.
+        Racing openers are harmless: a file already gone is skipped.
+        """
+        if not self.root.is_dir():
+            return 0
+        cutoff = time.time() - self.stale_tmp_age_s
+        removed = 0
+        for tmp in self.root.glob("*/*.json.tmp*"):
+            try:
+                if tmp.stat().st_mtime <= cutoff:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        return removed
 
     def path_for(self, spec: JobSpec) -> Path:
         """The entry path a spec hashes to (whether or not it exists)."""

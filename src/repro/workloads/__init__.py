@@ -2,7 +2,12 @@
 
 from repro.workloads.clients import ClientPrefix, generate_client_prefixes
 from repro.workloads.ldns import LdnsResolver, assign_ldns
-from repro.workloads.traffic import diurnal_volume, traffic_matrix, sessions_matrix
+from repro.workloads.traffic import (
+    diurnal_volume,
+    diurnal_volume_matrix,
+    traffic_matrix,
+    sessions_matrix,
+)
 from repro.workloads.arrivals import sample_arrivals
 
 __all__ = [
@@ -11,6 +16,7 @@ __all__ = [
     "LdnsResolver",
     "assign_ldns",
     "diurnal_volume",
+    "diurnal_volume_matrix",
     "traffic_matrix",
     "sessions_matrix",
     "sample_arrivals",

@@ -28,17 +28,39 @@ def diurnal_volume(times_h: np.ndarray, lon: float, peak_hour: float = 20.0) -> 
     return 0.35 + 0.65 * ((1.0 + np.cos(phase)) / 2.0)
 
 
-def traffic_matrix(
-    prefixes: Sequence[ClientPrefix], times_h: np.ndarray
+def diurnal_volume_matrix(
+    times_h: np.ndarray, lons: np.ndarray, peak_hour: float = 20.0
 ) -> np.ndarray:
-    """Volume (relative bytes) per prefix per window, shape (P, W)."""
+    """Relative volume for many longitudes at once, shape ``(len(lons), W)``.
+
+    Broadcasts the exact :func:`diurnal_volume` formula; rows are
+    bit-identical to the scalar function.
+    """
+    times = np.asarray(times_h, dtype=float)
+    lons_arr = np.asarray(lons, dtype=float)
+    local = (times[None, :] + lons_arr[:, None] / 15.0) % 24.0
+    phase = 2.0 * np.pi * (local - peak_hour) / 24.0
+    return 0.35 + 0.65 * ((1.0 + np.cos(phase)) / 2.0)
+
+
+def traffic_matrix(
+    prefixes: Sequence[ClientPrefix],
+    times_h: np.ndarray,
+    cycle: np.ndarray = None,
+) -> np.ndarray:
+    """Volume (relative bytes) per prefix per window, shape (P, W).
+
+    ``cycle`` optionally supplies a precomputed
+    :func:`diurnal_volume_matrix` for these prefixes, letting callers
+    that need both volumes and session counts evaluate it once.
+    """
     if not prefixes:
         raise MeasurementError("no prefixes")
-    times = np.asarray(times_h, dtype=float)
-    out = np.empty((len(prefixes), times.size))
-    for i, prefix in enumerate(prefixes):
-        out[i] = prefix.weight * diurnal_volume(times, prefix.city.location.lon)
-    return out
+    if cycle is None:
+        lons = np.array([p.city.location.lon for p in prefixes])
+        cycle = diurnal_volume_matrix(times_h, lons)
+    weights = np.array([p.weight for p in prefixes])
+    return weights[:, None] * cycle
 
 
 def sessions_matrix(
@@ -46,6 +68,7 @@ def sessions_matrix(
     times_h: np.ndarray,
     sessions_at_peak: int = 40,
     minimum: int = 4,
+    cycle: np.ndarray = None,
 ) -> np.ndarray:
     """Sampled session count per prefix per window, shape (P, W), int.
 
@@ -57,9 +80,7 @@ def sessions_matrix(
         raise MeasurementError("session counts must be positive")
     if minimum > sessions_at_peak:
         raise MeasurementError("minimum cannot exceed sessions_at_peak")
-    times = np.asarray(times_h, dtype=float)
-    out = np.empty((len(prefixes), times.size), dtype=int)
-    for i, prefix in enumerate(prefixes):
-        cycle = diurnal_volume(times, prefix.city.location.lon)
-        out[i] = np.maximum(minimum, np.round(sessions_at_peak * cycle)).astype(int)
-    return out
+    if cycle is None:
+        lons = np.array([p.city.location.lon for p in prefixes])
+        cycle = diurnal_volume_matrix(times_h, lons)
+    return np.maximum(minimum, np.round(sessions_at_peak * cycle)).astype(int)

@@ -67,6 +67,22 @@ class TestWeightedCdf:
         with pytest.raises(AnalysisError):
             weighted_cdf([1.0, 2.0], weights=[0.0, 0.0])
 
+    def test_nan_weight_rejected(self):
+        # A NaN weight makes the total NaN, which used to sneak past the
+        # ``total <= 0`` check and silently divide the CDF into all-NaN.
+        with pytest.raises(AnalysisError):
+            weighted_cdf([1.0, 2.0], weights=[float("nan"), 1.0])
+
+    def test_infinite_weight_rejected(self):
+        with pytest.raises(AnalysisError):
+            weighted_cdf([1.0, 2.0], weights=[float("inf"), 1.0])
+
+    def test_fraction_below_zero_weight_raises_not_nan(self):
+        from repro.analysis import weighted_fraction_below
+
+        with pytest.raises(AnalysisError):
+            weighted_fraction_below([1.0, 2.0], 1.5, weights=[0.0, 0.0])
+
     def test_monotone_nondecreasing(self):
         rng = np.random.default_rng(0)
         values = rng.normal(size=500)

@@ -96,3 +96,45 @@ class TestRanking:
                 )
             else:
                 assert earlier.local_pref >= later.local_pref
+
+
+class TestTotalTieBreak:
+    """rank() must be a total order: equal-preference routes cannot tie."""
+
+    def _sibling_candidates(self, toy_graph):
+        from repro.bgp.routes import NeighborRoute, Route
+
+        table = propagate(toy_graph, E2)
+        base = {c.neighbor: c for c in table.candidates_at(PROVIDER)}[TR2]
+        # Same neighbor, same link, same advertised length, same class —
+        # only the AS path differs.  Before the total tie-break these two
+        # compared equal and their order depended on input order.
+        sibling_route = Route(
+            path=base.route.path[:-1] + (99999,),
+            pref=base.route.pref,
+            advertised_length=base.route.advertised_length,
+        )
+        sibling = NeighborRoute(
+            neighbor=base.neighbor, route=sibling_route, link=base.link
+        )
+        return base, sibling
+
+    def test_rank_independent_of_input_order(self, toy_graph):
+        base, sibling = self._sibling_candidates(toy_graph)
+        process = EgressDecisionProcess(toy_graph, PROVIDER)
+        forward = [r.candidate.route.path for r in process.rank([base, sibling])]
+        reverse = [r.candidate.route.path for r in process.rank([sibling, base])]
+        assert forward == reverse
+
+    def test_key_is_strictly_ordered(self, toy_graph):
+        base, sibling = self._sibling_candidates(toy_graph)
+        process = EgressDecisionProcess(toy_graph, PROVIDER)
+        assert process._key(base) != process._key(sibling)
+
+    def test_ranking_still_prefers_lower_neighbor_on_real_ties(self, toy_graph):
+        # The neighbor ASN remains the leading tie-break across neighbors.
+        table = propagate(toy_graph, E2)
+        process = EgressDecisionProcess(toy_graph, PROVIDER)
+        ranked = process.rank(table.candidates_at(PROVIDER))
+        keys = [process._key(r.candidate) for r in ranked]
+        assert keys == sorted(keys)

@@ -104,6 +104,25 @@ class TestDroppedKeys:
         with pytest.raises(AnalysisError):
             aggregate_results(mixed, seeds=(1, 2, 3))
 
+    def test_no_common_key_is_an_error_not_a_silent_drop(self):
+        # When every key is missing from at least one run, nothing would
+        # be aggregated and the whole sweep would vanish into
+        # dropped_keys.  That must raise, not return an empty table.
+        disjoint = [
+            StudyResult(name="s", summary={"only_in_run_a": 1.0}),
+            StudyResult(name="s", summary={"only_in_run_b": 2.0}),
+        ]
+        with pytest.raises(AnalysisError, match="present in every run"):
+            aggregate_results(disjoint, seeds=(1, 2))
+
+    def test_empty_summaries_are_an_error(self):
+        empty = [
+            StudyResult(name="s", summary={}),
+            StudyResult(name="s", summary={}),
+        ]
+        with pytest.raises(AnalysisError):
+            aggregate_results(empty, seeds=(1, 2))
+
 
 class TestRunnerRouting:
     def test_parallel_sweep_matches_serial(self):

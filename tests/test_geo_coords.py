@@ -4,10 +4,13 @@ import math
 
 import pytest
 
+import numpy as np
+
 from repro.geo import (
     EARTH_RADIUS_KM,
     GeoPoint,
     great_circle_km,
+    great_circle_km_matrix,
     propagation_one_way_ms,
     propagation_rtt_ms,
 )
@@ -101,3 +104,41 @@ class TestPropagation:
         assert propagation_rtt_ms(750.0, 1.2) == pytest.approx(
             2.0 * propagation_one_way_ms(750.0, 1.2)
         )
+
+
+class TestDistanceMatrix:
+    def test_matches_scalar_pairwise(self):
+        rng = np.random.default_rng(7)
+        pts_a = [
+            GeoPoint(float(lat), float(lon))
+            for lat, lon in zip(
+                rng.uniform(-89, 89, 9), rng.uniform(-179, 179, 9)
+            )
+        ]
+        pts_b = [
+            GeoPoint(float(lat), float(lon))
+            for lat, lon in zip(
+                rng.uniform(-89, 89, 5), rng.uniform(-179, 179, 5)
+            )
+        ]
+        matrix = great_circle_km_matrix(pts_a, pts_b)
+        assert matrix.shape == (9, 5)
+        for i, a in enumerate(pts_a):
+            for j, b in enumerate(pts_b):
+                assert matrix[i, j] == pytest.approx(
+                    great_circle_km(a, b), abs=1e-6
+                )
+
+    def test_zero_on_identical_points(self):
+        p = GeoPoint(12.3, 45.6)
+        assert great_circle_km_matrix([p], [p])[0, 0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_antipodal_clamp(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 180.0)
+        d = great_circle_km_matrix([a], [b])[0, 0]
+        assert d == pytest.approx(math.pi * EARTH_RADIUS_KM, rel=1e-9)
+
+    def test_empty_inputs(self):
+        assert great_circle_km_matrix([], []).shape == (0, 0)
+        assert great_circle_km_matrix([GeoPoint(0, 0)], []).shape == (1, 0)

@@ -1,0 +1,168 @@
+"""Scalar-vs-vectorized lane agreement across the measurement pipelines.
+
+Every fast lane ships with an escape hatch (``fast=False``) running the
+original scalar code; these tests pin down the agreement contract of
+each pair:
+
+* **Bit-identical** where the computation is deterministic or consumes
+  the same RNG stream positions: episode extraction, CDN redirection
+  training, the cloudtiers campaign, edgefabric CI half-widths.
+* **Documented tolerance** where the fast lane reorders floating-point
+  work (catchment distances: numpy vs ``math`` trig round-off) or
+  batches RNG draws (edgefabric medians: same noise distribution,
+  different draw order — statistics agree, individual samples do not).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cdn import CdnDeployment
+from repro.cdn.catchment import catchment_map
+from repro.cdn.dns_redirection import train_redirection_policy
+from repro.cdn.measurement import BeaconConfig, run_beacon_campaign
+from repro.cloudtiers import (
+    CampaignConfig,
+    CloudDeployment,
+    SpeedcheckerPlatform,
+    run_campaign,
+)
+from repro.edgefabric.analysis import bgp_vs_best_alternate
+from repro.edgefabric.episodes import extract_episodes
+from repro.edgefabric.sampler import (
+    MeasurementConfig,
+    plan_measurement,
+    synthesize_dataset,
+)
+
+SEEDS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def egress_plan(small_internet, small_prefixes):
+    config = MeasurementConfig(days=2.0)
+    return plan_measurement(small_internet, small_prefixes, config)
+
+
+class TestEdgefabricLanes:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fig1_statistics_agree(self, egress_plan, seed):
+        """Fig-1 fractions agree between lanes at the statistic level.
+
+        The fast lane batches its noise draws, so individual medians
+        differ; the Figure 1 statistics — fractions over ~10k weighted
+        pair-windows — must agree within sampling noise.
+        """
+        config = MeasurementConfig(days=2.0, seed=seed)
+        slow = bgp_vs_best_alternate(
+            synthesize_dataset(egress_plan, config, fast=False)
+        )
+        fast = bgp_vs_best_alternate(
+            synthesize_dataset(egress_plan, config, fast=True)
+        )
+        assert fast.frac_alternate_better_5ms == pytest.approx(
+            slow.frac_alternate_better_5ms, abs=0.05
+        )
+        assert fast.frac_bgp_within_1ms == pytest.approx(
+            slow.frac_bgp_within_1ms, abs=0.05
+        )
+        assert fast.frac_bgp_strictly_better == pytest.approx(
+            slow.frac_bgp_strictly_better, abs=0.05
+        )
+
+    def test_structure_and_ci_bit_identical(self, egress_plan):
+        """Everything deterministic matches exactly between the lanes.
+
+        The NaN mask (which pair-window-route slots were measured) and
+        the CI half-widths depend only on the plan and session counts,
+        not on noise draws.
+        """
+        config = MeasurementConfig(days=2.0, seed=0)
+        slow = synthesize_dataset(egress_plan, config, fast=False)
+        fast = synthesize_dataset(egress_plan, config, fast=True)
+        assert np.array_equal(np.isnan(slow.medians), np.isnan(fast.medians))
+        assert np.array_equal(slow.ci_half, fast.ci_half, equal_nan=True)
+        assert np.array_equal(slow.volumes, fast.volumes)
+
+    def test_episode_extraction_bit_identical(self, egress_plan):
+        config = MeasurementConfig(days=2.0, seed=1)
+        dataset = synthesize_dataset(egress_plan, config)
+        assert extract_episodes(dataset, fast=True) == extract_episodes(
+            dataset, fast=False
+        )
+
+
+class TestCdnLanes:
+    @pytest.fixture(scope="class")
+    def deployment(self, small_internet):
+        return CdnDeployment(small_internet)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_catchment_fractions_agree(
+        self, deployment, small_prefixes, seed
+    ):
+        """Catchment shares/fractions exact; distances to round-off.
+
+        The seed perturbs prefix weights through rotation of the list,
+        exercising different per-PoP groupings from one topology.
+        """
+        rotated = small_prefixes[seed:] + small_prefixes[:seed]
+        slow = catchment_map(deployment, rotated, fast=False)
+        fast = catchment_map(deployment, rotated, fast=True)
+        assert fast.frac_unreachable == slow.frac_unreachable
+        assert fast.global_frac_misdirected == slow.global_frac_misdirected
+        assert fast.global_median_km == pytest.approx(
+            slow.global_median_km, rel=1e-9
+        )
+        assert len(fast.entries) == len(slow.entries)
+        for fe, se in zip(fast.entries, slow.entries):
+            assert fe.pop_code == se.pop_code
+            assert fe.traffic_share == se.traffic_share
+            assert fe.n_prefixes == se.n_prefixes
+            assert fe.frac_misdirected == se.frac_misdirected
+            assert fe.median_client_km == pytest.approx(
+                se.median_client_km, rel=1e-9
+            )
+            assert fe.p90_client_km == pytest.approx(
+                se.p90_client_km, rel=1e-9
+            )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_redirection_policy_bit_identical(
+        self, deployment, small_prefixes, seed
+    ):
+        """Both lanes pool the same sample multisets, so the trained
+        policy — every per-LDNS choice and ECS override — is identical."""
+        dataset = run_beacon_campaign(
+            deployment, small_prefixes, BeaconConfig(seed=seed)
+        )
+        resolvers = {p.ldns for p in dataset.prefixes if p.ldns}
+        slow = train_redirection_policy(
+            dataset, ecs_resolvers=resolvers, fast=False
+        )
+        fast = train_redirection_policy(
+            dataset, ecs_resolvers=resolvers, fast=True
+        )
+        assert dict(fast.choices) == dict(slow.choices)
+        assert dict(fast.prefix_choices) == dict(slow.prefix_choices)
+
+
+class TestCloudtiersLanes:
+    def test_campaign_bit_identical(self, small_internet):
+        """Ping bursts consume the same noise-stream positions as the
+        per-round calls, so the datasets match sample for sample."""
+        deployment = CloudDeployment(small_internet)
+        cfg = CampaignConfig(days=2, vps_per_day=25, rounds_per_day=4, seed=4)
+        slow = run_campaign(
+            SpeedcheckerPlatform(deployment, seed=4), cfg, fast=False
+        )
+        fast = run_campaign(
+            SpeedcheckerPlatform(deployment, seed=4), cfg, fast=True
+        )
+        assert len(slow.records) == len(fast.records)
+        for a, b in zip(slow.records, fast.records):
+            assert a.vp_id == b.vp_id and a.day == b.day
+            assert a.median_ms == b.median_ms
+        assert slow.eligible == fast.eligible
+        assert set(slow.traceroutes) == set(fast.traceroutes)

@@ -120,3 +120,67 @@ class TestComposites:
         assert model.link_delay("l1", times) == pytest.approx(
             model.event_delay("l1", times)
         )
+
+
+class TestBatchKernels:
+    """The vectorized lanes agree with the scalar methods row by row."""
+
+    def test_event_delay_batch_matches_scalar(self, model):
+        keys = [f"link:{i}" for i in range(12)]
+        times = np.linspace(0.0, 240.0, 973)
+        batch = model.event_delay_batch(keys, times)
+        assert batch.shape == (len(keys), times.size)
+        for row, key in enumerate(keys):
+            np.testing.assert_allclose(
+                batch[row], model.event_delay(key, times), rtol=0, atol=1e-9
+            )
+
+    def test_event_delay_batch_handles_edges(self, model):
+        # Events straddling the grid boundaries must not spill: an event
+        # ending past the last sample stays active to the end, and one
+        # starting before the first sample is active from the start.
+        events = model.events("link:edge")
+        times = np.linspace(50.0, 60.0, 101)
+        batch = model.event_delay_batch(["link:edge"], times)
+        np.testing.assert_allclose(
+            batch[0], model.event_delay("link:edge", times), atol=1e-9
+        )
+        assert events == model.events("link:edge")  # cache untouched
+
+    def test_event_delay_batch_empty(self, model):
+        assert model.event_delay_batch([], np.linspace(0, 1, 5)).shape == (0, 5)
+        assert model.event_delay_batch(["k"], np.array([])).shape == (1, 0)
+
+    def test_event_delay_batch_rejects_unsorted(self, model):
+        with pytest.raises(MeasurementError):
+            model.event_delay_batch(["k"], np.array([2.0, 1.0, 3.0]))
+
+    def test_diurnal_batch_bit_identical(self, model):
+        times = np.linspace(0.0, 48.0, 500)
+        lons = np.array([-120.0, -30.0, 0.0, 77.5, 151.2])
+        batch = model.diurnal_delay_batch(times, lons)
+        for row, lon in enumerate(lons):
+            assert (batch[row] == model.diurnal_delay(times, lon)).all()
+
+    def test_shared_delay_batch_matches_scalar(self, model):
+        times = np.linspace(0.0, 240.0, 401)
+        keys = [f"dest:p{i}" for i in range(6)]
+        lons = np.linspace(-150.0, 150.0, 6)
+        batch = model.shared_delay_batch(keys, lons, times)
+        for row, (key, lon) in enumerate(zip(keys, lons)):
+            np.testing.assert_allclose(
+                batch[row], model.shared_delay(key, lon, times), atol=1e-9
+            )
+
+    def test_shared_delay_batch_alignment_checked(self, model):
+        with pytest.raises(MeasurementError):
+            model.shared_delay_batch(["a", "b"], np.array([1.0]), np.arange(3.0))
+
+    def test_link_delay_batch_matches_scalar(self, model):
+        times = np.linspace(0.0, 240.0, 300)
+        keys = ["l1", "l2", "l3"]
+        batch = model.link_delay_batch(keys, times)
+        for row, key in enumerate(keys):
+            np.testing.assert_allclose(
+                batch[row], model.link_delay(key, times), atol=1e-9
+            )

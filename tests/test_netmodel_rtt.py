@@ -7,10 +7,12 @@ import pytest
 
 from repro.errors import MeasurementError
 from repro.netmodel import (
+    ci_halfwidth_matrix,
     median_min_rtt,
     median_min_rtt_ci_halfwidth,
     noisy_medians,
     sample_min_rtts,
+    sampled_median_matrix,
 )
 
 
@@ -98,3 +100,43 @@ class TestNoisyMedians:
         rng = np.random.default_rng(0)
         with pytest.raises(MeasurementError):
             noisy_medians(np.zeros(3), 0, rng)
+
+
+class TestBatchHelpers:
+    def test_ci_halfwidth_matrix_matches_scalar(self):
+        counts = np.array([[1, 4], [25, 100]])
+        matrix = ci_halfwidth_matrix(2.0, counts)
+        assert matrix.shape == counts.shape
+        for idx in np.ndindex(counts.shape):
+            assert matrix[idx] == median_min_rtt_ci_halfwidth(
+                2.0, int(counts[idx])
+            )
+
+    def test_ci_halfwidth_matrix_rejects_nonpositive(self):
+        with pytest.raises(MeasurementError):
+            ci_halfwidth_matrix(1.0, np.array([5, 0]))
+        with pytest.raises(MeasurementError):
+            ci_halfwidth_matrix(1.0, np.array([]))
+
+    def test_sampled_median_matrix_statistics(self):
+        rng = np.random.default_rng(11)
+        floor = np.full((200, 250), 40.0)
+        medians = sampled_median_matrix(floor, 25, rng, noise_scale_ms=2.0)
+        assert medians.shape == floor.shape
+        assert medians.mean() == pytest.approx(median_min_rtt(40.0, 2.0), abs=0.02)
+        assert medians.std() == pytest.approx(2.0 / math.sqrt(25), rel=0.05)
+
+    def test_sampled_median_matrix_broadcast_counts(self):
+        rng = np.random.default_rng(12)
+        floor = np.zeros((3, 50_000))
+        counts = np.array([[4], [25], [100]])
+        medians = sampled_median_matrix(floor, counts, rng, noise_scale_ms=2.0)
+        for row, n in enumerate(counts[:, 0]):
+            assert medians[row].std() == pytest.approx(
+                2.0 / math.sqrt(n), rel=0.05
+            )
+
+    def test_sampled_median_matrix_rejects_nonpositive(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(MeasurementError):
+            sampled_median_matrix(np.zeros((2, 2)), 0, rng)

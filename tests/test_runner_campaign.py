@@ -143,6 +143,35 @@ class TestExecution:
             CampaignRunner(jobs=0)
         with pytest.raises(RunnerError):
             CampaignRunner(retries=-1)
+        with pytest.raises(RunnerError):
+            CampaignRunner(batch_size=0)
+
+    def test_batched_matches_serial(self, tmp_path):
+        specs, _ = _specs(tmp_path, range(7))
+        serial = CampaignRunner(jobs=1).run(specs)
+        batched = CampaignRunner(jobs=2, batch_size=3).run(specs)
+        assert [r.summary for r in batched.results] == [
+            r.summary for r in serial.results
+        ]
+        assert batched.n_ran == 7
+        assert [m.index for m in batched.metrics] == list(range(7))
+
+    def test_batched_preserves_per_spec_cache_entries(self, tmp_path):
+        specs, _ = _specs(tmp_path, range(5))
+        store = ResultStore(tmp_path / "cache")
+        first = CampaignRunner(jobs=2, batch_size=2, store=store).run(specs)
+        assert first.n_ran == 5
+        # Every spec got its own cache entry despite batched submission:
+        # a serial re-run hits for all of them.
+        again = CampaignRunner(jobs=1, store=ResultStore(tmp_path / "cache")).run(
+            specs
+        )
+        assert again.n_hits == 5 and again.n_ran == 0
+
+    def test_batch_larger_than_pending(self, tmp_path):
+        specs, _ = _specs(tmp_path, range(3))
+        report = CampaignRunner(jobs=2, batch_size=10).run(specs)
+        assert [r.summary["seed"] for r in report.results] == [0.0, 1.0, 2.0]
 
     def test_run_campaign_wrapper(self, tmp_path):
         report = run_campaign(

@@ -107,3 +107,42 @@ class TestMissesAreSafe:
         del document["result"]["summary"]
         path.write_text(json.dumps(document), encoding="utf-8")
         assert store.get(spec) is None
+
+
+class TestStaleTmpSweep:
+    def test_stale_tmp_removed_on_open(self, tmp_path, spec, result):
+        import os
+        import time
+
+        store = ResultStore(tmp_path)
+        path = store.put(spec, result, elapsed_s=0.0)
+        orphan = path.with_name(f"{path.name}.tmp99999")
+        orphan.write_text("{half-written", encoding="utf-8")
+        old = time.time() - 7200.0
+        os.utime(orphan, (old, old))
+        ResultStore(tmp_path)  # reopening sweeps the orphan
+        assert not orphan.exists()
+        assert path.exists()  # the real entry is untouched
+        assert store.get(spec) is not None
+
+    def test_fresh_tmp_survives_sweep(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        path = store.put(spec, result, elapsed_s=0.0)
+        live = path.with_name(f"{path.name}.tmp88888")
+        live.write_text("{concurrent-writer", encoding="utf-8")
+        ResultStore(tmp_path)
+        assert live.exists()  # recent: may belong to a live writer
+        live.unlink()
+
+    def test_sweep_counts_and_age_override(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        path = store.put(spec, result, elapsed_s=0.0)
+        orphan = path.with_name(f"{path.name}.tmp77777")
+        orphan.write_text("x", encoding="utf-8")
+        # With a zero age threshold even a fresh temp file is stale.
+        assert ResultStore(tmp_path, stale_tmp_age_s=0.0).sweep_stale_tmp() >= 0
+        assert not orphan.exists()
+
+    def test_open_on_missing_root_is_fine(self, tmp_path):
+        store = ResultStore(tmp_path / "never-created")
+        assert store.sweep_stale_tmp() == 0
