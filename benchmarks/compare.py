@@ -1,0 +1,126 @@
+"""Compare a fresh benchmark run against the committed baseline.
+
+CI's ``bench-smoke`` job regenerates ``BENCH_perf.small.json`` and runs::
+
+    python benchmarks/compare.py BENCH_perf.small.json fresh.json
+
+The comparison is deliberately coarse: per kernel, take the median
+ratio of fresh over baseline wall time across the scales both files
+share, and fail only when that median exceeds ``--threshold`` (2.0 by
+default).  The median absorbs one noisy scale on a shared CI runner;
+a genuine regression slows every scale of a kernel and pushes the
+median over the line.
+
+Kernels or scales present on only one side are reported but never
+fatal — adding a kernel must not require regenerating the baseline in
+the same commit.  Exit status: 0 when every shared kernel is within
+threshold, 1 otherwise, 2 for unusable inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+from typing import Dict, Tuple
+
+#: Timing field compared; the fast lane is the production code path.
+DEFAULT_METRIC = "fast_s"
+
+
+def load_kernels(path: Path, metric: str) -> Dict[str, Dict[str, float]]:
+    """``{kernel: {scale: seconds}}`` from a BENCH_perf document."""
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read benchmark file {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    if document.get("schema_version") != 1:
+        print(
+            f"{path}: unsupported schema_version "
+            f"{document.get('schema_version')!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    kernels: Dict[str, Dict[str, float]] = {}
+    for kernel in document.get("kernels", []):
+        timings = {}
+        for entry in kernel.get("scales", []):
+            value = entry.get(metric)
+            if isinstance(value, (int, float)) and value > 0:
+                timings[entry["scale"]] = float(value)
+        kernels[kernel["name"]] = timings
+    if not kernels:
+        print(f"{path}: no kernels with usable {metric!r} timings", file=sys.stderr)
+        raise SystemExit(2)
+    return kernels
+
+
+def median_ratio(
+    baseline: Dict[str, float], fresh: Dict[str, float]
+) -> Tuple[float, int]:
+    """Median fresh/baseline ratio over shared scales, plus the count."""
+    shared = sorted(set(baseline) & set(fresh))
+    ratios = [fresh[scale] / baseline[scale] for scale in shared]
+    return (statistics.median(ratios) if ratios else 0.0, len(ratios))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed benchmark JSON")
+    parser.add_argument("fresh", type=Path, help="newly generated benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="fail when a kernel's median slowdown exceeds this factor "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--metric",
+        default=DEFAULT_METRIC,
+        choices=("fast_s", "scalar_s"),
+        help="which timing to compare (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 1.0:
+        parser.error(f"--threshold must be > 1.0, got {args.threshold}")
+
+    baseline = load_kernels(args.baseline, args.metric)
+    fresh = load_kernels(args.fresh, args.metric)
+
+    failures = []
+    for name in sorted(set(baseline) | set(fresh)):
+        if name not in baseline:
+            print(f"  new    {name}: not in baseline, skipping")
+            continue
+        if name not in fresh:
+            print(f"  gone   {name}: not in fresh run, skipping")
+            continue
+        ratio, n_scales = median_ratio(baseline[name], fresh[name])
+        if n_scales == 0:
+            print(f"  ?      {name}: no shared scales, skipping")
+            continue
+        verdict = "SLOW" if ratio > args.threshold else "ok"
+        print(
+            f"  {verdict:<6} {name}: median {args.metric} ratio "
+            f"{ratio:.2f}x over {n_scales} scale(s)"
+        )
+        if ratio > args.threshold:
+            failures.append((name, ratio))
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} kernel(s) regressed beyond "
+            f"{args.threshold:.1f}x: "
+            + ", ".join(f"{name} ({ratio:.2f}x)" for name, ratio in failures)
+        )
+        return 1
+    print(f"\nOK: no kernel exceeded the {args.threshold:.1f}x threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,6 @@ controller can improve — with shared congestion alone, there is nothing
 to exploit, which is the paper's §3.1.1 explanation.
 """
 
-import pytest
 
 from repro.core import edgefabric_topology
 from repro.netmodel import CongestionConfig

@@ -7,7 +7,6 @@ the Figure 4 policy with ECS off (the measured world), on for public
 resolvers only, and on universally.
 """
 
-import pytest
 
 from repro.cdn import redirection_improvement, train_redirection_policy
 

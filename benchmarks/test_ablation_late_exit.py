@@ -12,7 +12,6 @@ scope, not by exit-policy courtesy.
 import dataclasses
 
 import numpy as np
-import pytest
 
 from repro.core import cloud_topology
 from repro.cloudtiers import (

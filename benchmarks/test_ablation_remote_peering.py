@@ -10,7 +10,6 @@ question.
 
 import dataclasses
 
-import pytest
 
 from repro.core import cdn_topology
 from repro.cdn import BeaconConfig, CdnDeployment, anycast_vs_best_unicast, run_beacon_campaign

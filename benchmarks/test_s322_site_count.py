@@ -6,7 +6,6 @@ number of reasonably performing ones increases. How do those factors
 relate?"
 """
 
-import pytest
 
 from repro.core import cdn_topology
 from repro.cdn import site_count_study

@@ -5,7 +5,6 @@ model, not of one random draw: Figure 1's "little benefit over BGP"
 must hold at every seed.
 """
 
-import pytest
 
 from repro.core import PopRoutingStudy, sweep_seeds
 

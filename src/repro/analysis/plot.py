@@ -7,7 +7,7 @@ a crossover or a tail against the paper's figure.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence, Tuple
+from typing import Mapping, Optional, Tuple
 
 import numpy as np
 

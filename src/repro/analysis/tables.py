@@ -6,7 +6,7 @@ helpers keep that output aligned and readable in a terminal.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 

@@ -12,7 +12,7 @@ from repro.bgp import Grooming
 from repro.topology import Internet, PeeringKind, Relationship
 from repro.workloads import ClientPrefix
 from repro.cdn.deployment import CdnDeployment
-from repro.cdn.dns_redirection import ANYCAST, RedirectionPolicy
+from repro.cdn.dns_redirection import RedirectionPolicy
 from repro.availability.failures import fail_pop_site
 
 

@@ -10,10 +10,10 @@ and shared by the measurement campaign.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.errors import RoutingError
-from repro.geo import City, great_circle_km
+from repro.geo import great_circle_km
 from repro.topology import Internet, PointOfPresence
 from repro.bgp import propagate
 from repro.bgp.propagation import RoutingTable

@@ -12,8 +12,14 @@ Examples::
     repro-bgp report --setting A --trace-out t.jsonl     # + telemetry stream
     repro-bgp trace summarize t.jsonl                    # where the time went
     repro-bgp campaign --study pop --seeds 0,1,2,3,4 --jobs 4
+    repro-bgp campaign --seeds 0,1,2 --cache-dir .c --resume   # after a crash
+    repro-bgp campaign --faults crash=0.2,timeout=0.1 --allow-partial
     repro-bgp -v report           # INFO-level diagnostics on stderr
     repro-bgp list                # everything available
+
+A campaign that finishes degraded (``--allow-partial``) exits with
+status 3, distinguishing "partial results printed" from success (0)
+and usage errors (2).
 
 Every subcommand takes the runtime flags ``--log-level``, ``-v``,
 ``-q``, ``--log-json``, and ``--trace-out FILE``; they are also
@@ -335,6 +341,37 @@ def cmd_peering(args) -> None:
         print(report.render())
 
 
+def _campaign_runner_kwargs(args) -> dict:
+    """Map the campaign subcommand's resilience flags to runner kwargs."""
+    kwargs = dict(timeout_s=args.timeout, retries=args.retries)
+    if getattr(args, "faults", None):
+        from repro.errors import FaultError
+        from repro.faults import parse_fault_spec
+
+        try:
+            kwargs["fault_plan"] = parse_fault_spec(
+                args.faults, seed=getattr(args, "fault_seed", 0)
+            )
+        except FaultError as exc:
+            raise SystemExit(f"--faults: {exc}")
+    checkpoint_dir = getattr(args, "checkpoint_dir", None) or getattr(
+        args, "cache_dir", None
+    )
+    if checkpoint_dir:
+        kwargs["checkpoint_dir"] = checkpoint_dir
+    if getattr(args, "resume", False):
+        if not checkpoint_dir:
+            raise SystemExit("--resume requires --checkpoint-dir or --cache-dir")
+        kwargs["resume"] = True
+    if getattr(args, "retry_budget", None) is not None:
+        kwargs["retry_budget"] = args.retry_budget
+    if getattr(args, "breaker_threshold", None) is not None:
+        kwargs["breaker_threshold"] = args.breaker_threshold
+    if getattr(args, "allow_partial", False):
+        kwargs["allow_partial"] = True
+    return kwargs
+
+
 def cmd_campaign(args) -> None:
     from repro.core import render_report
     from repro.core.sweep import aggregate_results
@@ -354,18 +391,25 @@ def cmd_campaign(args) -> None:
     studies = [
         _build_study(kind, args, seed=seed) for kind in kinds for seed in seeds
     ]
-    report = _run_campaign(
-        args, studies, timeout_s=args.timeout, retries=args.retries
-    )
+    report = _run_campaign(args, studies, **_campaign_runner_kwargs(args))
     print(report.render())
     # One result group per study kind, in submission order.
     for position, kind in enumerate(kinds):
         group = report.results[position * len(seeds) : (position + 1) * len(seeds)]
         print()
-        if len(seeds) > 1:
+        if any(result is None for result in group):
+            print(
+                f"[{kind}] {sum(1 for r in group if r is None)}/{len(group)} "
+                "jobs degraded; skipping aggregation for this study"
+            )
+        elif len(seeds) > 1:
             print(aggregate_results(group, seeds).render())
         else:
             print(render_report(group))
+    if report.partial:
+        # Partial results were printed, but the campaign did not finish
+        # clean: exit 3 so scripts can tell the difference.
+        raise SystemExit(3)
 
 
 def cmd_grooming(args) -> None:
@@ -618,6 +662,56 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="extra attempts for a crashed or timed-out job",
+    )
+    campaign_cmd.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="PATH",
+        help="journal completed jobs here so a killed campaign can "
+        "--resume (default: --cache-dir when given)",
+    )
+    campaign_cmd.add_argument(
+        "--resume",
+        action="store_true",
+        default=False,
+        help="restore completed jobs from this campaign's checkpoint "
+        "before running the remainder",
+    )
+    campaign_cmd.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic faults, e.g. "
+        "'crash=0.2,timeout=0.1,corrupt=0.3' (kinds: timeout, crash, "
+        "error, slow, corrupt; also hang_s=, slow_s=, max_attempts=)",
+    )
+    campaign_cmd.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the fault plan's decision stream (default: 0)",
+    )
+    campaign_cmd.add_argument(
+        "--retry-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="campaign-wide cap on total retries (default: unlimited)",
+    )
+    campaign_cmd.add_argument(
+        "--breaker-threshold",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="open the per-platform circuit breaker at this failure "
+        "rate in (0, 1] (default: off)",
+    )
+    campaign_cmd.add_argument(
+        "--allow-partial",
+        action="store_true",
+        default=False,
+        help="finish with degraded jobs instead of aborting; a partial "
+        "campaign exits with status 3",
     )
     trace_cmd = sub.add_parser("trace", help=descriptions["trace"])
     trace_sub = trace_cmd.add_subparsers(dest="trace_command")

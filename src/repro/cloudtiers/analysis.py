@@ -9,7 +9,7 @@ Tier (BGP on the public Internet) performed better.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

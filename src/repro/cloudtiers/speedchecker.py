@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import MeasurementError, RoutingError
+from repro.faults.domain import VantagePointChurn
 from repro.geo import City
 from repro.netmodel import CongestionConfig, CongestionModel
 from repro.topology import ASRole
@@ -118,6 +119,11 @@ class SpeedcheckerPlatform:
         seed: Randomness seed for noise and VP inventory.
         congestion: Optional congestion parameter override.
         horizon_days: Campaign horizon for the congestion processes.
+        churn: Optional :class:`~repro.faults.VantagePointChurn` fault
+            model.  Home-router vantage points go offline for days at a
+            time on the real platform; with churn enabled, the daily
+            rotation silently skips unavailable VPs — exactly how the
+            real API degrades (fewer results, no error).
     """
 
     def __init__(
@@ -127,6 +133,7 @@ class SpeedcheckerPlatform:
         seed: int = 0,
         congestion: Optional[CongestionConfig] = None,
         horizon_days: float = 300.0,
+        churn: Optional[VantagePointChurn] = None,
     ) -> None:
         if credits <= 0:
             raise MeasurementError("credit budget must be positive")
@@ -140,6 +147,7 @@ class SpeedcheckerPlatform:
             event_magnitude_median_ms=8.0,
         )
         self._congestion = CongestionModel(seed, cfg)
+        self.churn = churn
         self._vps = self._build_inventory()
         self._path_cache: Dict[Tuple[str, Tier], Optional[object]] = {}
         self._last_mile: Dict[str, float] = {}
@@ -175,6 +183,12 @@ class SpeedcheckerPlatform:
         The paper selects ~800 VPs per day "to rotate across ⟨City, AS⟩
         locations over time"; we rotate a window over the shuffled
         inventory the same way.
+
+        With a churn model installed, VPs offline that day are skipped
+        silently — the selection may come back short, the way the real
+        platform hands out fewer probes than requested.  Churn draws
+        are independent of the measurement noise streams, so the VPs
+        that remain measure exactly what they would have without churn.
         """
         if count <= 0:
             raise MeasurementError("count must be positive")
@@ -190,6 +204,10 @@ class SpeedcheckerPlatform:
             if vp.vp_id not in seen:
                 seen.add(vp.vp_id)
                 unique.append(vp)
+        if self.churn is not None:
+            unique = [
+                vp for vp in unique if self.churn.available(day, vp.vp_id)
+            ]
         return unique
 
     # --- measurement internals -----------------------------------------------

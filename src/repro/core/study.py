@@ -8,7 +8,7 @@ pipelines by hand.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import ClassVar, Dict, List, Optional, Tuple
 
 from repro.errors import AnalysisError
 from repro.obs.trace import span
@@ -54,6 +54,9 @@ class PopRoutingStudy:
         topology: Optional topology override (defaults to the Facebook-
             style canonical config).
     """
+
+    #: Simulated measurement platform (circuit-breaker grouping key).
+    platform: ClassVar[str] = "edgefabric"
 
     seed: int = 0
     n_prefixes: int = 300
@@ -123,6 +126,9 @@ class PopRoutingStudy:
 @dataclass
 class AnycastCdnStudy:
     """Setting B: anycast vs DNS redirection (Figs 3-4)."""
+
+    #: Simulated measurement platform (circuit-breaker grouping key).
+    platform: ClassVar[str] = "cdn"
 
     seed: int = 0
     n_prefixes: int = 300
@@ -211,6 +217,9 @@ class PeeringReductionStudy:
         topology: Optional topology override.
     """
 
+    #: Simulated measurement platform (circuit-breaker grouping key).
+    platform: ClassVar[str] = "edgefabric"
+
     seed: int = 0
     n_prefixes: int = 150
     retentions: Tuple[float, ...] = (1.0, 0.75, 0.5, 0.25, 0.1, 0.0)
@@ -251,6 +260,9 @@ class PeeringReductionStudy:
 @dataclass
 class CloudTiersStudy:
     """Setting C: private WAN vs public Internet (Fig 5)."""
+
+    #: Simulated measurement platform (circuit-breaker grouping key).
+    platform: ClassVar[str] = "cloudtiers"
 
     seed: int = 0
     days: int = 10

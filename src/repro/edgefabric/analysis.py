@@ -9,7 +9,7 @@ values mean BGP's choice was already the fastest.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

@@ -16,7 +16,7 @@ and model queueing delay as a function of per-link utilization.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -73,8 +73,6 @@ class PeeringStudyResult:
             if abs(point.retention - retention) < 1e-9:
                 return point.median_rtt_ms - full.median_rtt_ms
         raise AnalysisError(f"no sweep point at retention {retention}")
-
-
 
 
 def peering_reduction_study(

@@ -12,7 +12,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import RoutingError
-from repro.geo import great_circle_km
 from repro.topology import Internet, PointOfPresence
 from repro.bgp import EgressDecisionProcess, RouteClass
 from repro.bgp.propagation import RoutingTable

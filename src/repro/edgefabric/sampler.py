@@ -21,12 +21,13 @@ Latency decomposition per route and window::
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import MeasurementError
+from repro.faults.domain import ProbeLoss
 from repro.obs.trace import gauge, traced
 from repro.netmodel import CongestionConfig, CongestionModel
 from repro.netmodel.rtt import (
@@ -72,6 +73,12 @@ class MeasurementConfig:
             that degradations mostly hit all routes to a destination at
             once, which happens when the bottleneck is the last mile or
             the destination network.
+        probe_loss: Optional :class:`~repro.faults.ProbeLoss` fault
+            model.  Lost ⟨pair, window, route⟩ cells come back NaN in
+            the dataset — exactly the holes unrouted spray slots
+            already leave.  The loss mask is applied *after* either
+            synthesis lane runs, so the surviving cells stay
+            bit-identical across lanes and across loss-free runs.
     """
 
     days: float = 10.0
@@ -83,6 +90,7 @@ class MeasurementConfig:
     last_mile_ms_range: tuple = (2.0, 10.0)
     congestion: Optional[CongestionConfig] = None
     dest_congestion: Optional[CongestionConfig] = None
+    probe_loss: Optional[ProbeLoss] = None
 
     def __post_init__(self) -> None:
         if self.days <= 0 or self.window_minutes <= 0:
@@ -398,6 +406,17 @@ def synthesize_dataset(
         medians,
         ci_half,
     )
+
+    if cfg.probe_loss is not None:
+        # Post-lane so losses only blank cells: the measurement streams
+        # under every surviving cell are untouched, keeping the two
+        # lanes (and loss-free runs) bit-identical where data survives.
+        lost = cfg.probe_loss.lost_mask(
+            [f"{p.pop_code}:{p.prefix.pid}" for p in pairs], n_windows, k
+        )
+        medians[lost] = np.nan
+        ci_half[lost] = np.nan
+        gauge("edgefabric.cells_lost", int(lost.sum()))
 
     return EgressDataset(
         pairs=pairs,

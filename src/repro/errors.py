@@ -43,6 +43,29 @@ class RunnerError(ReproError):
     """
 
 
+class CacheCorruptionError(RunnerError):
+    """Raised when a cache or checkpoint entry exists but cannot be trusted.
+
+    Examples: a truncated or garbled JSON entry in a
+    :class:`~repro.runner.store.ResultStore`, a payload whose recorded
+    checksum no longer matches its content, or a campaign checkpoint
+    whose body fails validation.  Distinct from a plain cache *miss*
+    (the entry was never written) so callers can quarantine the bad
+    file instead of silently re-reading it forever.
+    """
+
+
+class FaultError(ReproError):
+    """Raised for invalid fault-injection configuration.
+
+    Examples: a :class:`~repro.faults.FaultPlan` probability outside
+    ``[0, 1]``, an unknown fault kind in a CLI ``--faults`` spec, or a
+    domain fault model with a negative rate.  The *injected* failures
+    themselves deliberately do not use this type — they must look like
+    organic crashes, timeouts, and transient errors to the runner.
+    """
+
+
 class ObsError(ReproError):
     """Raised for telemetry failures.
 

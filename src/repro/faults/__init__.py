@@ -1,0 +1,51 @@
+"""repro.faults — deterministic fault injection for campaigns.
+
+The paper's campaigns live with partial failure (vantage-point churn,
+probe timeouts, front-ends draining mid-window); this package makes
+that failure *reproducible* so the runner's recovery machinery can be
+exercised on demand:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, seeded per-attempt
+  fault decisions (timeout, crash, transient error, slowdown) plus
+  per-spec cache corruption, pure in ``(seed, spec hash, attempt)``.
+* :mod:`repro.faults.inject` — the side effects behind each decision,
+  and :class:`InjectedFault`, the transient-error type.
+* :mod:`repro.faults.domain` — platform-flavored degradation:
+  :class:`VantagePointChurn` (Speedchecker), :class:`FrontEndDrain`
+  (anycast CDN), :class:`ProbeLoss` (Edge Fabric windows).
+* :mod:`repro.faults.chaos_smoke` — the end-to-end chaos scenario CI
+  runs: a campaign under a seeded plan, SIGKILL'd mid-run, resumed,
+  and checked byte-for-byte against an uninterrupted reference.
+
+See ``docs/robustness.md`` for the fault model and resume semantics.
+"""
+
+from repro.faults.plan import (
+    CORRUPT_KIND,
+    FAULT_KINDS,
+    FaultPlan,
+    parse_fault_spec,
+)
+from repro.faults.inject import (
+    CRASH_EXIT_STATUS,
+    InjectedFault,
+    apply_fault,
+    corrupt_file,
+    maybe_inject,
+)
+from repro.faults.domain import FrontEndDrain, ProbeLoss, VantagePointChurn
+
+__all__ = [
+    "CORRUPT_KIND",
+    "CRASH_EXIT_STATUS",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FrontEndDrain",
+    "InjectedFault",
+    "ProbeLoss",
+    "VantagePointChurn",
+    "apply_fault",
+    "corrupt_file",
+    "maybe_inject",
+    "parse_fault_spec",
+]

@@ -1,0 +1,97 @@
+"""Applying a fault decision: the side effects behind each kind.
+
+Split from :mod:`repro.faults.plan` so the *decision* (pure, seeded,
+picklable) and the *damage* (sleeps, raises, process exits, file
+garbling) stay separable — tests exercise decisions exhaustively
+without ever killing a process.
+
+Injected transient failures raise :class:`InjectedFault`, a plain
+``RuntimeError`` subclass: to the campaign runner they must be
+indistinguishable from organic study failures, so they deliberately do
+*not* derive from :class:`repro.errors.ReproError`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import FaultError
+from repro.obs import trace as obs
+from repro.faults.plan import FAULT_KINDS, FaultPlan
+
+#: Exit status used by injected worker crashes; chosen to be visibly
+#: distinct from real segfault/oom statuses when debugging chaos runs.
+CRASH_EXIT_STATUS = 113
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected transient failure."""
+
+
+def apply_fault(
+    kind: str, plan: FaultPlan, spec_hash: str, attempt: int
+) -> None:
+    """Execute one fault decision inside the current (worker) process.
+
+    Emits a ``runner.fault.injected`` counter and a log event *before*
+    the damage, so even a crash leaves a cross-process breadcrumb when
+    the orchestrator's trace stream is consulted afterwards (events
+    from a killed worker die with it; inline runs keep them).
+    """
+    if kind not in FAULT_KINDS:
+        raise FaultError(f"unknown fault kind {kind!r}")
+    obs.counter("runner.fault.injected")
+    obs.log_event(
+        "warning",
+        f"injected {kind} fault (spec {spec_hash[:12]}, attempt {attempt})",
+        name="runner.fault",
+    )
+    if kind == "slow":
+        time.sleep(plan.slow_s)
+        return
+    if kind == "timeout":
+        time.sleep(plan.hang_s)
+        raise InjectedFault(
+            f"injected timeout after {plan.hang_s}s "
+            f"(spec {spec_hash[:12]}, attempt {attempt})"
+        )
+    if kind == "error":
+        raise InjectedFault(
+            f"injected transient error (spec {spec_hash[:12]}, "
+            f"attempt {attempt})"
+        )
+    # kind == "crash": hard-kill this process, exactly like a SIGKILL'd
+    # or OOM'd worker — no exception, no cleanup, no flushed buffers.
+    os._exit(CRASH_EXIT_STATUS)
+
+
+def maybe_inject(
+    plan: Optional[FaultPlan], spec_hash: str, attempt: int
+) -> None:
+    """Decide and apply the fault (if any) for one job attempt."""
+    if plan is None:
+        return
+    kind = plan.decide(spec_hash, attempt)
+    if kind is not None:
+        apply_fault(kind, plan, spec_hash, attempt)
+
+
+def corrupt_file(path: Union[str, Path], keep_bytes: int = 64) -> bool:
+    """Garble a file in place: keep a prefix, append junk.
+
+    Models a torn write / partial flush: the file still exists and
+    still starts plausibly, but no longer parses (or no longer matches
+    its recorded checksum).  Returns whether anything was damaged;
+    a missing file is left alone — there is nothing to tear.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        return False
+    truncated = raw[: max(0, min(keep_bytes, len(raw) // 2))]
+    path.write_bytes(truncated + b'\xde\xad{"torn write"')
+    return True

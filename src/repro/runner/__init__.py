@@ -14,15 +14,25 @@ reproduction the same shape:
   specs out over worker processes with per-job timeout and bounded
   retry, merges deterministically, and reports per-job metrics in a
   :class:`CampaignReport`.
+* :mod:`repro.runner.checkpoint` — :class:`CampaignCheckpoint`, the
+  atomic journal of completed jobs behind crash-safe ``resume=True``.
 
-See ``docs/runner.md`` for concepts and the cache invalidation rules.
+See ``docs/runner.md`` for concepts and the cache invalidation rules,
+and ``docs/robustness.md`` for the fault model, checkpoint format, and
+resume semantics.
 """
 
 from repro.runner.spec import JobSpec, SPEC_HASH_VERSION, canonicalize, resolve_study
 from repro.runner.store import CachedResult, ResultStore
+from repro.runner.checkpoint import (
+    CampaignCheckpoint,
+    CheckpointEntry,
+    campaign_fingerprint,
+)
 from repro.runner.campaign import (
     CampaignReport,
     CampaignRunner,
+    DegradedJob,
     JobMetrics,
     run_campaign,
 )
@@ -34,8 +44,12 @@ __all__ = [
     "resolve_study",
     "CachedResult",
     "ResultStore",
+    "CampaignCheckpoint",
+    "CheckpointEntry",
+    "campaign_fingerprint",
     "CampaignReport",
     "CampaignRunner",
+    "DegradedJob",
     "JobMetrics",
     "run_campaign",
 ]

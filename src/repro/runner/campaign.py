@@ -14,25 +14,68 @@ verdicts, no figure objects — whether they come from the cache, a
 worker process, or an inline run (see
 :mod:`repro.runner.store` for why).  Callers that need figures run the
 study directly.
+
+The runner also degrades gracefully instead of assuming every job
+either succeeds or retries to death:
+
+* **Checkpoints** — with a ``checkpoint_dir``, completed jobs are
+  journaled atomically (see :mod:`repro.runner.checkpoint`); a
+  campaign killed mid-run and re-run with ``resume=True`` restores
+  completed jobs verbatim and executes only the remainder.
+* **Fault injection** — a seeded
+  :class:`~repro.faults.FaultPlan` wraps every job attempt, so chaos
+  testing exercises timeouts, worker crashes, transient errors, and
+  cache corruption deterministically.
+* **Retry budget** — ``retry_budget`` caps total retries across the
+  whole campaign, the way a measurement platform caps credits.
+* **Circuit breaker** — with ``breaker_threshold``, a platform whose
+  failure rate crosses the threshold stops receiving jobs.
+* **Partial completion** — with ``allow_partial=True``, jobs that
+  exhaust their retries (or hit an open breaker) become entries in
+  ``CampaignReport.degraded`` and the campaign finishes with
+  ``partial=True`` instead of raising.
+
+See ``docs/robustness.md`` for the full fault model and resume
+semantics.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import logging
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.analysis import format_table
-from repro.errors import RunnerError
+from repro.errors import CacheCorruptionError, RunnerError
+from repro.faults.inject import corrupt_file, maybe_inject
+from repro.faults.plan import FaultPlan
 from repro.obs import trace as obs
+from repro.runner.checkpoint import (
+    CampaignCheckpoint,
+    CheckpointEntry,
+    campaign_fingerprint,
+)
 from repro.runner.spec import JobSpec
 from repro.runner.store import ResultStore, payload_to_result, result_to_payload
 
+logger = logging.getLogger(__name__)
 
-def _run_job(spec: JobSpec, trace: bool = False, run_id=None):
+PathLike = Union[str, Path]
+
+
+def _run_job(
+    spec: JobSpec,
+    trace: bool = False,
+    run_id=None,
+    fault_plan: Optional[FaultPlan] = None,
+    attempt: int = 1,
+):
     """Worker entry point: build and run one study, return its payload.
 
     Module-level so it pickles by reference into worker processes; the
@@ -45,6 +88,10 @@ def _run_job(spec: JobSpec, trace: bool = False, run_id=None):
     the ``ProcessPoolExecutor`` boundary.  In a fresh worker the
     capture enables a private tracer under the orchestrator's *run_id*;
     inline (same process) it tees from the ambient stream.
+
+    A *fault_plan* is consulted before the study runs: the plan's
+    decision for ``(spec hash, attempt)`` may sleep, raise, or
+    hard-kill this process (see :mod:`repro.faults`).
     """
     start = time.perf_counter()
     if trace:
@@ -52,16 +99,24 @@ def _run_job(spec: JobSpec, trace: bool = False, run_id=None):
             with obs.span(
                 "runner.job", study=spec.describe(), spec=spec.content_hash[:12]
             ):
+                maybe_inject(fault_plan, spec.content_hash, attempt)
                 result = spec.build().run()
         events = captured.events
     else:
+        maybe_inject(fault_plan, spec.content_hash, attempt)
         result = spec.build().run()
         events = []
     elapsed_s = time.perf_counter() - start
     return result_to_payload(result), elapsed_s, events
 
 
-def _run_job_batch(specs: Sequence[JobSpec], trace: bool = False, run_id=None):
+def _run_job_batch(
+    specs: Sequence[JobSpec],
+    trace: bool = False,
+    run_id=None,
+    fault_plan: Optional[FaultPlan] = None,
+    attempt: int = 1,
+):
     """Worker entry point for a spec batch: one :func:`_run_job` each.
 
     Batched submission amortizes process-pool dispatch and study-import
@@ -69,7 +124,7 @@ def _run_job_batch(specs: Sequence[JobSpec], trace: bool = False, run_id=None):
     per spec, in order, so the orchestrator still records (and caches)
     every spec individually.
     """
-    return [_run_job(spec, trace, run_id) for spec in specs]
+    return [_run_job(spec, trace, run_id, fault_plan, attempt) for spec in specs]
 
 
 @dataclass(frozen=True)
@@ -81,7 +136,9 @@ class JobMetrics:
         study: Short study label from the spec.
         seed: The job's seed.
         spec_hash: Full content hash (tables show a prefix).
-        status: ``"hit"`` (served from cache) or ``"ran"`` (simulated).
+        status: ``"hit"`` (served from cache), ``"ran"`` (simulated —
+            in this invocation or one restored from a checkpoint), or
+            ``"failed"`` (degraded; see ``CampaignReport.degraded``).
         attempts: Execution attempts; 0 for hits, >1 means retries.
         elapsed_s: Wall time spent obtaining the result this campaign,
             including retry attempts and backoff sleeps.
@@ -106,11 +163,48 @@ class JobMetrics:
 
 
 @dataclass(frozen=True)
+class DegradedJob:
+    """One job the campaign gave up on without aborting.
+
+    Attributes:
+        index: Position in the submitted spec sequence.
+        study: Short study label.
+        seed: The job's seed.
+        spec_hash: Full content hash.
+        reason: Why it degraded — ``"retries-exhausted"``,
+            ``"retry-budget-exhausted"``, or
+            ``"breaker-open:<platform>"``.
+        attempts: Attempts consumed before giving up (0 when the job
+            was never dispatched).
+        error: Rendering of the last failure, empty when skipped.
+    """
+
+    index: int
+    study: str
+    seed: int
+    spec_hash: str
+    reason: str
+    attempts: int
+    error: str = ""
+
+
+@dataclass(frozen=True)
 class CampaignReport:
-    """Outcome of one campaign: ordered results plus per-job metrics."""
+    """Outcome of one campaign: ordered results plus per-job metrics.
+
+    ``results[i]`` is ``None`` exactly when job *i* appears in
+    ``degraded`` — a campaign run with ``allow_partial=True`` finishes
+    with what it could get (``partial=True``) rather than raising.
+    """
 
     results: Tuple[object, ...]
     metrics: Tuple[JobMetrics, ...]
+    degraded: Tuple[DegradedJob, ...] = ()
+
+    @property
+    def partial(self) -> bool:
+        """Whether any job was given up on (see ``degraded``)."""
+        return bool(self.degraded)
 
     @property
     def n_hits(self) -> int:
@@ -121,6 +215,11 @@ class CampaignReport:
     def n_ran(self) -> int:
         """Jobs that actually simulated."""
         return sum(1 for m in self.metrics if m.status == "ran")
+
+    @property
+    def n_degraded(self) -> int:
+        """Jobs the campaign gave up on."""
+        return len(self.degraded)
 
     @property
     def n_retries(self) -> int:
@@ -165,6 +264,8 @@ class CampaignReport:
             f"({self.n_retries} retries, {self.n_timeouts} timeouts); "
             f"run time {self.elapsed_s:.1f}s, saved {self.saved_s:.1f}s"
         )
+        if self.partial:
+            headline += f"; PARTIAL — {self.n_degraded} degraded"
         table = format_table(
             [
                 "job",
@@ -180,7 +281,50 @@ class CampaignReport:
             rows,
             float_fmt="{:.2f}",
         )
-        return headline + "\n" + table
+        text = headline + "\n" + table
+        if self.partial:
+            lines = ["degraded jobs:"]
+            for d in self.degraded:
+                line = (
+                    f"  #{d.index} {d.study} [{d.spec_hash[:12]}] — "
+                    f"{d.reason} after {d.attempts} attempt(s)"
+                )
+                if d.error:
+                    line += f": {d.error}"
+                lines.append(line)
+            text += "\n" + "\n".join(lines)
+        return text
+
+
+class _RunState:
+    """Mutable per-``run()`` bookkeeping, kept off the (reusable) runner."""
+
+    __slots__ = (
+        "specs",
+        "results",
+        "metrics",
+        "degraded",
+        "pending",
+        "checkpoint",
+        "completed_since_write",
+        "budget_left",
+        "platform_attempts",
+        "platform_failures",
+        "open_platforms",
+    )
+
+    def __init__(self, specs: List[JobSpec], budget: Optional[int]):
+        self.specs = specs
+        self.results: List[Optional[object]] = [None] * len(specs)
+        self.metrics: List[Optional[JobMetrics]] = [None] * len(specs)
+        self.degraded: Dict[int, DegradedJob] = {}
+        self.pending: List[int] = []
+        self.checkpoint: Optional[CampaignCheckpoint] = None
+        self.completed_since_write = 0
+        self.budget_left = budget
+        self.platform_attempts: Dict[str, int] = {}
+        self.platform_failures: Dict[str, int] = {}
+        self.open_platforms: Set[str] = set()
 
 
 class CampaignRunner:
@@ -191,11 +335,13 @@ class CampaignRunner:
             in the current process, preserving strictly serial
             behavior.
         store: Optional result cache consulted before running and
-            updated after every successful run.
+            updated after every successful run.  Corrupted entries are
+            quarantined and recomputed (see
+            :class:`~repro.runner.store.ResultStore`).
         timeout_s: Per-job wall-time limit, enforced in pool mode only
             (an inline job cannot be preempted).  ``None`` disables.
         retries: Extra attempts after a failed or timed-out job before
-            the campaign raises.
+            the job is given up on.
         backoff_s: Base of the exponential backoff between attempts
             (``backoff_s * 2**(attempt-1)`` seconds).
         batch_size: Pending specs grouped per worker submission (pool
@@ -204,6 +350,27 @@ class CampaignRunner:
             cache entry and metrics row.  The per-job ``timeout_s``
             scales to ``timeout_s * len(batch)`` for a batch, and a
             failure retries the whole batch.
+        fault_plan: Optional seeded :class:`~repro.faults.FaultPlan`;
+            every job attempt consults it (and may time out, crash,
+            fail, or slow down), and cache entries written for
+            ``corrupt``-marked specs are garbled after the fact.
+        checkpoint_dir: When given, completed jobs are journaled there
+            (one checkpoint file per campaign fingerprint) so a killed
+            campaign can resume.  Conventionally the cache directory.
+        checkpoint_every: Completed jobs between checkpoint writes
+            (1 — the default — journals after every job).
+        resume: Restore completed jobs from this campaign's checkpoint
+            before dispatching anything.  Requires ``checkpoint_dir``.
+        retry_budget: Campaign-wide cap on total retries (``None`` =
+            unlimited).  When spent, further failures degrade (or
+            abort, without ``allow_partial``) instead of retrying.
+        breaker_threshold: Per-platform failure-rate threshold in
+            ``(0, 1]`` that opens the circuit breaker: jobs for an
+            open platform stop being dispatched.  ``None`` disables.
+        breaker_min_attempts: Attempts a platform must accumulate
+            before its failure rate can trip the breaker.
+        allow_partial: Finish with ``partial=True`` and a ``degraded``
+            section instead of raising when jobs are given up on.
     """
 
     def __init__(
@@ -214,6 +381,14 @@ class CampaignRunner:
         retries: int = 2,
         backoff_s: float = 0.5,
         batch_size: int = 1,
+        fault_plan: Optional[FaultPlan] = None,
+        checkpoint_dir: Optional[PathLike] = None,
+        checkpoint_every: int = 1,
+        resume: bool = False,
+        retry_budget: Optional[int] = None,
+        breaker_threshold: Optional[float] = None,
+        breaker_min_attempts: int = 4,
+        allow_partial: bool = False,
     ):
         if jobs < 1:
             raise RunnerError(f"jobs must be >= 1, got {jobs}")
@@ -221,28 +396,57 @@ class CampaignRunner:
             raise RunnerError(f"retries must be >= 0, got {retries}")
         if batch_size < 1:
             raise RunnerError(f"batch_size must be >= 1, got {batch_size}")
+        if checkpoint_every < 1:
+            raise RunnerError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if resume and checkpoint_dir is None:
+            raise RunnerError("resume=True requires a checkpoint_dir")
+        if retry_budget is not None and retry_budget < 0:
+            raise RunnerError(
+                f"retry_budget must be >= 0, got {retry_budget}"
+            )
+        if breaker_threshold is not None and not 0.0 < breaker_threshold <= 1.0:
+            raise RunnerError(
+                f"breaker_threshold must be in (0, 1], got {breaker_threshold}"
+            )
+        if breaker_min_attempts < 1:
+            raise RunnerError(
+                f"breaker_min_attempts must be >= 1, got {breaker_min_attempts}"
+            )
         self.jobs = int(jobs)
         self.store = store
         self.timeout_s = timeout_s
         self.retries = int(retries)
         self.backoff_s = float(backoff_s)
         self.batch_size = int(batch_size)
+        self.fault_plan = fault_plan
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.checkpoint_every = int(checkpoint_every)
+        self.resume = bool(resume)
+        self.retry_budget = retry_budget
+        self.breaker_threshold = breaker_threshold
+        self.breaker_min_attempts = int(breaker_min_attempts)
+        self.allow_partial = bool(allow_partial)
 
     def run(self, specs: Sequence[JobSpec]) -> CampaignReport:
         """Execute a campaign; results come back in spec order.
 
         Raises:
-            RunnerError: When any job exhausts its retry budget.
+            RunnerError: When a job is given up on and ``allow_partial``
+                is off.
         """
-        specs = list(specs)
-        results: List[Optional[object]] = [None] * len(specs)
-        metrics: List[Optional[JobMetrics]] = [None] * len(specs)
-        pending: List[int] = []
-        for index, spec in enumerate(specs):
+        state = _RunState(list(specs), self.retry_budget)
+        restored = self._restore_from_checkpoint(state)
+        for index, spec in enumerate(state.specs):
+            if index in restored:
+                continue
             cached = self.store.get(spec) if self.store is not None else None
             if cached is not None:
-                results[index] = cached.result
-                metrics[index] = JobMetrics(
+                state.results[index] = cached.result
+                state.metrics[index] = JobMetrics(
                     index=index,
                     study=spec.describe(),
                     seed=spec.seed,
@@ -258,24 +462,235 @@ class CampaignRunner:
                     # current stream, tagged so reports can separate
                     # relived history from fresh measurement.
                     obs.ingest(cached.events, replay=True)
+                self._checkpoint_success(
+                    state, index, result_to_payload(cached.result),
+                    cached.elapsed_s,
+                )
             else:
                 if self.store is not None:
                     obs.counter("runner.cache.misses")
-                pending.append(index)
-        if pending:
-            if self.jobs == 1 or len(pending) == 1:
-                self._run_inline(specs, pending, results, metrics)
+                state.pending.append(index)
+        if state.pending:
+            if self.jobs == 1 or len(state.pending) == 1:
+                self._run_inline(state)
             else:
-                self._run_pool(specs, pending, results, metrics)
-        return CampaignReport(results=tuple(results), metrics=tuple(metrics))
+                self._run_pool(state)
+        return self._finish(state)
+
+    # -- checkpoint / resume ------------------------------------------------
+
+    def _restore_from_checkpoint(self, state: _RunState) -> Set[int]:
+        """Open (and on resume, load) this campaign's checkpoint."""
+        restored: Set[int] = set()
+        if self.checkpoint_dir is None:
+            return restored
+        fingerprint = campaign_fingerprint(state.specs)
+        state.checkpoint = CampaignCheckpoint(self.checkpoint_dir, fingerprint)
+        if not self.resume:
+            return restored
+        try:
+            n_entries = state.checkpoint.load()
+        except CacheCorruptionError as exc:
+            # A torn checkpoint cannot be half-trusted: discard it and
+            # rely on the result cache for whatever survived.
+            obs.counter("runner.checkpoint.corrupt")
+            obs.log_event("warning", str(exc), name="runner.checkpoint")
+            logger.warning("discarding corrupt checkpoint: %s", exc)
+            state.checkpoint.clear()
+            return restored
+        if not n_entries:
+            return restored
+        for index, spec in enumerate(state.specs):
+            entry = state.checkpoint.entries.get(spec.content_hash)
+            if entry is None:
+                continue
+            fields = dict(entry.metrics)
+            fields["index"] = index
+            fields["attempt_s"] = tuple(fields.get("attempt_s", ()))
+            state.results[index] = payload_to_result(entry.payload)
+            state.metrics[index] = JobMetrics(**fields)
+            restored.add(index)
+        obs.counter("runner.resume.restored", len(restored))
+        obs.log_event(
+            "info",
+            f"resumed campaign {fingerprint[:12]}: restored "
+            f"{len(restored)}/{len(state.specs)} jobs from checkpoint",
+            name="runner.resume",
+        )
+        logger.info(
+            "resume: restored %d/%d jobs from %s",
+            len(restored),
+            len(state.specs),
+            state.checkpoint.path,
+        )
+        return restored
+
+    def _checkpoint_success(
+        self, state: _RunState, index: int, payload, elapsed_s: float
+    ) -> None:
+        """Journal one completed job; flush every ``checkpoint_every``."""
+        if state.checkpoint is None:
+            return
+        metrics = dataclasses.asdict(state.metrics[index])
+        metrics["attempt_s"] = list(metrics["attempt_s"])
+        state.checkpoint.record(
+            CheckpointEntry(
+                spec_hash=state.specs[index].content_hash,
+                payload=payload,
+                elapsed_s=float(elapsed_s),
+                metrics=metrics,
+            )
+        )
+        state.completed_since_write += 1
+        if state.completed_since_write >= self.checkpoint_every:
+            state.checkpoint.write()
+            state.completed_since_write = 0
+            obs.counter("runner.checkpoint.write")
+
+    def _finish(self, state: _RunState) -> CampaignReport:
+        """Assemble the report; retire or persist the checkpoint."""
+        if state.checkpoint is not None:
+            if state.degraded:
+                # Keep the journal: a future resume retries only the
+                # degraded jobs.
+                state.checkpoint.write()
+            else:
+                state.checkpoint.clear()
+        degraded = tuple(
+            state.degraded[index] for index in sorted(state.degraded)
+        )
+        if degraded:
+            obs.gauge("runner.degraded_jobs", len(degraded))
+        return CampaignReport(
+            results=tuple(state.results),
+            metrics=tuple(state.metrics),
+            degraded=degraded,
+        )
+
+    # -- failure policy -----------------------------------------------------
+
+    def _note_attempt(self, state: _RunState, spec: JobSpec, failed: bool):
+        """Feed the circuit breaker; open it when the rate crosses."""
+        if self.breaker_threshold is None:
+            return
+        platform = spec.platform
+        state.platform_attempts[platform] = (
+            state.platform_attempts.get(platform, 0) + 1
+        )
+        if failed:
+            state.platform_failures[platform] = (
+                state.platform_failures.get(platform, 0) + 1
+            )
+        if platform in state.open_platforms:
+            return
+        attempts = state.platform_attempts[platform]
+        failures = state.platform_failures.get(platform, 0)
+        if (
+            attempts >= self.breaker_min_attempts
+            and failures / attempts >= self.breaker_threshold
+        ):
+            state.open_platforms.add(platform)
+            obs.counter("runner.breaker.open")
+            obs.log_event(
+                "warning",
+                f"circuit breaker open for platform {platform!r} "
+                f"({failures}/{attempts} attempts failed)",
+                name="runner.breaker",
+            )
+            logger.warning(
+                "circuit breaker open for platform %r (%d/%d failed)",
+                platform,
+                failures,
+                attempts,
+            )
+
+    def _breaker_blocks(self, state: _RunState, specs: Sequence[JobSpec]):
+        """Whether every spec in a (batch of) jobs hits an open breaker."""
+        if not state.open_platforms:
+            return False
+        return all(spec.platform in state.open_platforms for spec in specs)
+
+    def _can_retry(self, state: _RunState, attempts: int) -> bool:
+        """Whether one more attempt is allowed (per-job and budget)."""
+        if attempts > self.retries:
+            return False
+        if state.budget_left is not None and state.budget_left <= 0:
+            return False
+        return True
+
+    def _consume_retry(self, state: _RunState) -> None:
+        if state.budget_left is not None:
+            state.budget_left -= 1
+        obs.counter("runner.recovery.retry")
+
+    def _fail_job(
+        self,
+        state: _RunState,
+        index: int,
+        reason: str,
+        attempts: int,
+        error: Optional[BaseException],
+        attempt_s: Sequence[float] = (),
+        timeouts: int = 0,
+    ) -> None:
+        """Give up on one job: degrade it, or abort the campaign."""
+        spec = state.specs[index]
+        if not self.allow_partial:
+            if error is None:
+                raise RunnerError(
+                    f"job {spec.describe()} [{spec.content_hash[:12]}] "
+                    f"not dispatched: {reason} (allow_partial is off)"
+                )
+            raise RunnerError(
+                f"job {spec.describe()} [{spec.content_hash[:12]}] failed "
+                f"after {attempts} attempt(s): {error}"
+            ) from error
+        state.degraded[index] = DegradedJob(
+            index=index,
+            study=spec.describe(),
+            seed=spec.seed,
+            spec_hash=spec.content_hash,
+            reason=reason,
+            attempts=attempts,
+            error=str(error) if error is not None else "",
+        )
+        state.metrics[index] = JobMetrics(
+            index=index,
+            study=spec.describe(),
+            seed=spec.seed,
+            spec_hash=spec.content_hash,
+            status="failed",
+            attempts=attempts,
+            elapsed_s=float(sum(attempt_s)),
+            attempt_s=tuple(attempt_s),
+            timeouts=timeouts,
+        )
+        obs.counter("runner.job.degraded")
+        obs.log_event(
+            "warning",
+            f"degraded job {spec.describe()} [{spec.content_hash[:12]}]: "
+            f"{reason}",
+            name="runner.degraded",
+        )
+        logger.warning(
+            "giving up on %s (%s after %d attempt(s))",
+            spec.describe(),
+            reason,
+            attempts,
+        )
+
+    def _exhaustion_reason(self, state: _RunState, attempts: int) -> str:
+        if attempts <= self.retries and (
+            state.budget_left is not None and state.budget_left <= 0
+        ):
+            return "retry-budget-exhausted"
+        return "retries-exhausted"
 
     # -- execution backends -------------------------------------------------
 
     def _record_success(
         self,
-        specs,
-        results,
-        metrics,
+        state: _RunState,
         index,
         payload,
         job_s,
@@ -286,10 +701,10 @@ class CampaignRunner:
         timeouts=0,
         merge_events=False,
     ):
-        spec = specs[index]
+        spec = state.specs[index]
         result = payload_to_result(payload)
-        results[index] = result
-        metrics[index] = JobMetrics(
+        state.results[index] = result
+        state.metrics[index] = JobMetrics(
             index=index,
             study=spec.describe(),
             seed=spec.seed,
@@ -308,36 +723,38 @@ class CampaignRunner:
             obs.ingest(events)
         if self.store is not None:
             self.store.put(spec, result, job_s, events=events)
-
-    def _give_up(self, spec: JobSpec, attempts: int, error: BaseException):
-        raise RunnerError(
-            f"job {spec.describe()} [{spec.content_hash[:12]}] failed "
-            f"after {attempts} attempt(s): {error}"
-        ) from error
-
-    def _give_up_batch(
-        self, batch: Sequence[JobSpec], attempts: int, error: BaseException
-    ):
-        if len(batch) == 1:
-            self._give_up(batch[0], attempts, error)
-        labels = ", ".join(
-            f"{spec.describe()} [{spec.content_hash[:12]}]" for spec in batch
-        )
-        raise RunnerError(
-            f"batch of {len(batch)} jobs ({labels}) failed "
-            f"after {attempts} attempt(s): {error}"
-        ) from error
+            if self.fault_plan is not None and self.fault_plan.decide_corrupt(
+                spec.content_hash
+            ):
+                # The torn-write fault: the entry this campaign just
+                # persisted is garbled on disk.  The *returned* result
+                # stays good; the damage surfaces — and is quarantined —
+                # when a later campaign reads the entry back.
+                corrupt_file(self.store.path_for(spec))
+                obs.counter("runner.fault.injected")
+                obs.log_event(
+                    "warning",
+                    f"injected corrupt fault on cache entry "
+                    f"{spec.content_hash[:12]}",
+                    name="runner.fault",
+                )
+        self._checkpoint_success(state, index, payload, job_s)
 
     def _sleep_before_retry(self, attempts: int) -> None:
         delay = self.backoff_s * (2 ** (attempts - 1))
         if delay > 0:
             time.sleep(delay)
 
-    def _run_inline(self, specs, pending, results, metrics) -> None:
+    def _run_inline(self, state: _RunState) -> None:
         tracing = obs.is_enabled()
         run_id = obs.current_run_id()
-        for index in pending:
-            spec = specs[index]
+        for index in state.pending:
+            spec = state.specs[index]
+            if self._breaker_blocks(state, [spec]):
+                self._fail_job(
+                    state, index, f"breaker-open:{spec.platform}", 0, None
+                )
+                continue
             attempts = 0
             attempt_s: List[float] = []
             start = time.perf_counter()
@@ -345,19 +762,40 @@ class CampaignRunner:
                 attempts += 1
                 attempt_start = time.perf_counter()
                 try:
-                    payload, job_s, events = _run_job(spec, tracing, run_id)
+                    payload, job_s, events = _run_job(
+                        spec, tracing, run_id, self.fault_plan, attempts
+                    )
                 except Exception as exc:
                     attempt_s.append(time.perf_counter() - attempt_start)
-                    if attempts > self.retries:
-                        self._give_up(spec, attempts, exc)
+                    self._note_attempt(state, spec, failed=True)
+                    if self._breaker_blocks(state, [spec]):
+                        self._fail_job(
+                            state,
+                            index,
+                            f"breaker-open:{spec.platform}",
+                            attempts,
+                            exc,
+                            attempt_s=attempt_s,
+                        )
+                        break
+                    if not self._can_retry(state, attempts):
+                        self._fail_job(
+                            state,
+                            index,
+                            self._exhaustion_reason(state, attempts),
+                            attempts,
+                            exc,
+                            attempt_s=attempt_s,
+                        )
+                        break
+                    self._consume_retry(state)
                     self._sleep_before_retry(attempts)
                     continue
                 attempt_s.append(time.perf_counter() - attempt_start)
+                self._note_attempt(state, spec, failed=False)
                 wall_s = time.perf_counter() - start
                 self._record_success(
-                    specs,
-                    results,
-                    metrics,
+                    state,
                     index,
                     payload,
                     job_s,
@@ -368,9 +806,11 @@ class CampaignRunner:
                 )
                 break
 
-    def _run_pool(self, specs, pending, results, metrics) -> None:
+    def _run_pool(self, state: _RunState) -> None:
         tracing = obs.is_enabled()
         run_id = obs.current_run_id()
+        specs = state.specs
+        pending = state.pending
         # Batches of size 1 reduce to the original per-spec submission.
         chunks: List[List[int]] = [
             pending[i : i + self.batch_size]
@@ -388,17 +828,58 @@ class CampaignRunner:
 
         def submit(c: int):
             batch = [specs[i] for i in chunks[c]]
-            return pool.submit(_run_job_batch, batch, tracing, run_id)
+            return pool.submit(
+                _run_job_batch,
+                batch,
+                tracing,
+                run_id,
+                self.fault_plan,
+                attempts[c] + 1,
+            )
+
+        def fail_chunk(c: int, reason: str, error) -> None:
+            share = [a / len(chunks[c]) for a in attempt_s[c]]
+            for index in chunks[c]:
+                self._fail_job(
+                    state,
+                    index,
+                    reason,
+                    attempts[c],
+                    error,
+                    attempt_s=share,
+                    timeouts=timeouts[c],
+                )
+            done.add(c)
 
         try:
             futures = {c: submit(c) for c in order}
             # Collect in deterministic spec order; later jobs keep
             # executing while earlier ones are awaited.
             for c, chunk in enumerate(chunks):
+                batch_specs = [specs[i] for i in chunk]
                 limit = (
                     None if self.timeout_s is None else self.timeout_s * len(chunk)
                 )
                 while True:
+                    if self._breaker_blocks(state, batch_specs):
+                        future = futures[c]
+                        if not (
+                            future.done()
+                            and not future.cancelled()
+                            and future.exception() is None
+                        ):
+                            # Not (successfully) finished: stop waiting
+                            # on a platform the breaker gave up on.
+                            future.cancel()
+                            fail_chunk(
+                                c,
+                                f"breaker-open:"
+                                f"{batch_specs[0].platform}",
+                                None,
+                            )
+                            break
+                        # Completed before the breaker opened — a
+                        # result in hand is a result kept.
                     try:
                         outputs = futures[c].result(timeout=limit)
                     except FutureTimeoutError:
@@ -407,9 +888,38 @@ class CampaignRunner:
                         error: BaseException = RunnerError(
                             f"timed out after {limit}s"
                         )
+                        # A running worker cannot be preempted, so the
+                        # hung process would keep its slot for as long
+                        # as the job hangs — starving the retry (and
+                        # every queued chunk) behind it.  Rebuild the
+                        # pool and resubmit whatever the rebuild
+                        # orphaned; only the timed-out chunk is charged
+                        # an attempt.
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = ProcessPoolExecutor(
+                            max_workers=min(self.jobs, len(chunks))
+                        )
+                        for other in order:
+                            if other in done or other == c:
+                                continue
+                            future = futures[other]
+                            if (
+                                future.done()
+                                and not future.cancelled()
+                                and future.exception() is None
+                            ):
+                                continue
+                            futures[other] = submit(other)
+                            attempt_started[other] = time.perf_counter()
                     except BrokenProcessPool as exc:
                         # A hard worker crash poisons the whole pool:
-                        # rebuild it and resubmit every unfinished batch.
+                        # rebuild it and resubmit every unfinished
+                        # batch.  Every in-flight batch died with the
+                        # pool, so each resubmission is a genuinely new
+                        # attempt for accounting and fault decisions —
+                        # otherwise a deterministic crash fault in one
+                        # batch would replay forever while another
+                        # batch absorbs the blame.
                         error = exc
                         pool.shutdown(wait=False, cancel_futures=True)
                         pool = ProcessPoolExecutor(
@@ -417,6 +927,11 @@ class CampaignRunner:
                         )
                         for other in order:
                             if other not in done and other != c:
+                                attempts[other] += 1
+                                attempt_s[other].append(
+                                    time.perf_counter()
+                                    - attempt_started[other]
+                                )
                                 futures[other] = submit(other)
                                 attempt_started[other] = time.perf_counter()
                     except Exception as exc:
@@ -425,6 +940,8 @@ class CampaignRunner:
                         attempt_s[c].append(
                             time.perf_counter() - attempt_started[c]
                         )
+                        for spec in batch_specs:
+                            self._note_attempt(state, spec, failed=False)
                         wall_s = time.perf_counter() - started[c]
                         for (payload, job_s, events), index in zip(
                             outputs, chunk
@@ -433,9 +950,7 @@ class CampaignRunner:
                             # time; inside larger batches each spec is
                             # attributed its own worker-side run time.
                             self._record_success(
-                                specs,
-                                results,
-                                metrics,
+                                state,
                                 index,
                                 payload,
                                 job_s,
@@ -456,10 +971,14 @@ class CampaignRunner:
                         time.perf_counter() - attempt_started[c]
                     )
                     attempts[c] += 1
-                    if attempts[c] > self.retries:
-                        self._give_up_batch(
-                            [specs[i] for i in chunk], attempts[c], error
+                    for spec in batch_specs:
+                        self._note_attempt(state, spec, failed=True)
+                    if not self._can_retry(state, attempts[c]):
+                        fail_chunk(
+                            c, self._exhaustion_reason(state, attempts[c]), error
                         )
+                        break
+                    self._consume_retry(state)
                     self._sleep_before_retry(attempts[c])
                     futures[c] = submit(c)
                     attempt_started[c] = time.perf_counter()
@@ -484,7 +1003,9 @@ def run_campaign(
         jobs: Worker processes (1 = inline serial).
         cache_dir: When given, a :class:`ResultStore` rooted there.
         **runner_kwargs: Passed through to :class:`CampaignRunner`
-            (``timeout_s``, ``retries``, ``backoff_s``, ``batch_size``).
+            (``timeout_s``, ``retries``, ``backoff_s``, ``batch_size``,
+            ``fault_plan``, ``checkpoint_dir``, ``resume``,
+            ``retry_budget``, ``breaker_threshold``, ``allow_partial``).
     """
     store = ResultStore(cache_dir) if cache_dir is not None else None
     runner = CampaignRunner(jobs=jobs, store=store, **runner_kwargs)

@@ -195,6 +195,30 @@ class JobSpec:
         name = self.study.rpartition(":")[2]
         return f"{name}(seed={self.seed})"
 
+    @cached_property
+    def platform(self) -> str:
+        """The measurement platform a spec dispatches to.
+
+        Used by the campaign circuit breaker to stop dispatching to a
+        platform whose failure rate crosses the threshold.  A study
+        class may declare its platform explicitly via a ``platform``
+        class attribute (the three paper studies do — they all live in
+        ``repro.core`` but drive different simulated platforms);
+        otherwise the study's module path decides, with
+        ``repro.<pkg>.*`` mapping to ``"<pkg>"``.
+        """
+        try:
+            declared = getattr(resolve_study(self.study), "platform", None)
+            if isinstance(declared, str) and declared:
+                return declared
+        except RunnerError:
+            pass
+        module = self.study.partition(":")[0]
+        parts = module.split(".")
+        if len(parts) >= 2 and parts[0] == "repro":
+            return parts[1]
+        return parts[0]
+
     def build(self) -> Any:
         """Instantiate the configured study.
 

@@ -9,13 +9,13 @@ for describing a hand-built topology.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from repro.errors import TopologyError
 from repro.analysis import format_table
-from repro.topology.asgraph import ASRole, PeeringKind, Relationship
+from repro.topology.asgraph import PeeringKind, Relationship
 from repro.topology.generator import Internet
 
 

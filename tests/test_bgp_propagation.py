@@ -9,7 +9,7 @@ import pytest
 
 from repro.errors import RoutingError
 from repro.geo import city_named
-from repro.bgp import Route, RoutePref, propagate
+from repro.bgp import RoutePref, propagate
 
 from conftest import E1, E2, PROVIDER, T1A, T1B, TR1, TR2
 

@@ -6,7 +6,6 @@ import pytest
 from repro.errors import AnalysisError
 from repro.cdn import BeaconConfig, CdnDeployment, run_beacon_campaign, train_redirection_policy
 from repro.cdn.dns_redirection import ANYCAST, RedirectionPolicy, evaluation_slice
-from repro.workloads import generate_client_prefixes
 
 
 @pytest.fixture(scope="module")

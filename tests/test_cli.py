@@ -136,6 +136,125 @@ class TestCampaign:
         assert "campaign" in capsys.readouterr().out
 
 
+class TestResilienceFlags:
+    """The campaign subcommand's fault/checkpoint/breaker surface."""
+
+    def test_flags_parsed(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "campaign",
+                "--study",
+                "pop",
+                "--checkpoint-dir",
+                "/tmp/ckpt",
+                "--resume",
+                "--faults",
+                "error=0.2,slow=0.1",
+                "--fault-seed",
+                "7",
+                "--retry-budget",
+                "5",
+                "--breaker-threshold",
+                "0.8",
+                "--allow-partial",
+            ]
+        )
+        assert args.checkpoint_dir == "/tmp/ckpt"
+        assert args.resume is True
+        assert args.faults == "error=0.2,slow=0.1"
+        assert args.fault_seed == 7
+        assert args.retry_budget == 5
+        assert args.breaker_threshold == 0.8
+        assert args.allow_partial is True
+
+    def test_kwargs_mapping(self):
+        from repro.cli import _campaign_runner_kwargs
+        from repro.faults import FaultPlan
+
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "campaign",
+                "--study",
+                "pop",
+                "--checkpoint-dir",
+                "/tmp/ckpt",
+                "--resume",
+                "--faults",
+                "error=0.2",
+                "--fault-seed",
+                "7",
+                "--retry-budget",
+                "5",
+                "--breaker-threshold",
+                "0.8",
+                "--allow-partial",
+            ]
+        )
+        kwargs = _campaign_runner_kwargs(args)
+        assert kwargs["fault_plan"] == FaultPlan(seed=7, p_error=0.2)
+        assert kwargs["checkpoint_dir"] == "/tmp/ckpt"
+        assert kwargs["resume"] is True
+        assert kwargs["retry_budget"] == 5
+        assert kwargs["breaker_threshold"] == 0.8
+        assert kwargs["allow_partial"] is True
+
+    def test_checkpoint_dir_defaults_to_cache_dir(self):
+        from repro.cli import _campaign_runner_kwargs
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["campaign", "--study", "pop", "--cache-dir", "/tmp/cache", "--resume"]
+        )
+        kwargs = _campaign_runner_kwargs(args)
+        assert kwargs["checkpoint_dir"] == "/tmp/cache"
+        assert kwargs["resume"] is True
+
+    def test_resume_without_directories_exits(self):
+        from repro.cli import _campaign_runner_kwargs
+
+        parser = build_parser()
+        args = parser.parse_args(["campaign", "--study", "pop", "--resume"])
+        with pytest.raises(SystemExit, match="--resume requires"):
+            _campaign_runner_kwargs(args)
+
+    def test_bad_fault_spec_exits(self):
+        from repro.cli import _campaign_runner_kwargs
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["campaign", "--study", "pop", "--faults", "bogus=1"]
+        )
+        with pytest.raises(SystemExit, match="--faults"):
+            _campaign_runner_kwargs(args)
+
+    def test_campaign_with_faults_and_checkpoint_runs(self, capsys, tmp_path):
+        argv = [
+            "campaign",
+            "--study",
+            "pop",
+            "--seeds",
+            "1,2",
+            "--scale",
+            "25",
+            "--days",
+            "0.25",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--faults",
+            "error=0.4",
+            "--retries",
+            "4",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "pop-routing: 2 seeds" in out
+        # A clean finish retires the checkpoint (which defaulted to the
+        # cache directory).
+        assert not list((tmp_path / "cache").glob("campaign-*.ckpt.json"))
+
+
 class TestTelemetry:
     def test_runtime_flags_parse_after_subcommand(self):
         parser = build_parser()

@@ -1,7 +1,5 @@
 """Tests for the hypothesis evaluators."""
 
-import numpy as np
-import pytest
 
 from repro.analysis import weighted_cdf
 from repro.core import (

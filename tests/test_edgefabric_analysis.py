@@ -1,6 +1,5 @@
 """Tests for the Figure 1/2 analyses and the §3.1.1 decomposition."""
 
-import numpy as np
 import pytest
 
 from repro.errors import AnalysisError
@@ -52,7 +51,6 @@ class TestFig1:
         assert result.frac_alternate_better_5ms < 0.2
 
     def test_requires_alternates(self, dataset):
-        from dataclasses import replace
 
         import repro.edgefabric.dataset as ds_mod
 

@@ -1,11 +1,9 @@
 """Tests for the §3.1.3 peering-reduction emulation."""
 
-import dataclasses
-
 import pytest
 
 from repro.errors import AnalysisError
-from repro.topology import Relationship, TopologyConfig, build_internet
+from repro.topology import Relationship, build_internet
 from repro.edgefabric import peering_reduction_study
 from repro.edgefabric.peering_study import _depeer
 from repro.workloads import generate_client_prefixes

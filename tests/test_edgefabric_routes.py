@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import RoutingError
-from repro.bgp import RouteClass, propagate
+from repro.bgp import RouteClass
 from repro.edgefabric import egress_routes_at_pop, serving_pop
 from repro.edgefabric.routes import tables_for_destinations
 from repro.workloads import generate_client_prefixes

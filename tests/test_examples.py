@@ -6,7 +6,6 @@ and otherwise verify the module imports and exposes ``main``.
 """
 
 import importlib.util
-import sys
 from pathlib import Path
 
 import pytest

@@ -5,7 +5,6 @@ cross-setting claims the paper builds its argument on, plus bit-for-bit
 determinism of every pipeline.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -8,7 +8,7 @@ from repro.bgp import propagate
 from repro.netmodel import AS_HOP_PENALTY_MS, trace
 from repro.netmodel.paths import ForwardingPath, Segment
 
-from conftest import E1, E2, PROVIDER, T1A, T1B, TR1, TR2
+from conftest import E1, E2, PROVIDER, T1A, TR1, TR2
 
 NY = city_named("New York")
 CHI = city_named("Chicago")

@@ -1,6 +1,5 @@
 """Tests for repro.obs: event schema, tracer lifecycle, collection API."""
 
-import json
 import logging
 import threading
 

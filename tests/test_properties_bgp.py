@@ -6,7 +6,6 @@ tier sizes, random multihoming, random peering.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.geo import WORLD_CITIES

@@ -370,3 +370,219 @@ class TestReport:
         assert "AddStudy(seed=1)" in text and "AddStudy(seed=2)" in text
         for metric in report.metrics:
             assert metric.spec_hash[:12] in text
+
+
+class TestDegradedJobs:
+    """allow_partial: jobs that exhaust their retries become entries in
+    the report's degraded section instead of aborting the campaign."""
+
+    def test_allow_partial_records_degraded_job(self, tmp_path):
+        specs, trace = _specs(tmp_path, [0])
+        specs.insert(1, JobSpec.from_study(AlwaysFailsStudy()))
+        specs.append(JobSpec.from_study(AddStudy(seed=1, trace_dir=str(trace))))
+        report = CampaignRunner(
+            retries=1, backoff_s=0.0, allow_partial=True
+        ).run(specs)
+        assert report.partial and report.n_degraded == 1
+        degraded = report.degraded[0]
+        assert degraded.index == 1
+        assert degraded.reason == "retries-exhausted"
+        assert degraded.attempts == 2
+        assert "permanent failure" in degraded.error
+        # The healthy jobs still completed around the failure.
+        assert report.results[0].summary["value"] == 1.0
+        assert report.results[1] is None
+        assert report.results[2].summary["value"] == 2.0
+        assert report.metrics[1].status == "failed"
+        assert "PARTIAL" in report.render()
+        assert "retries-exhausted" in report.render()
+
+    def test_allow_partial_in_pool_mode(self, tmp_path):
+        specs, _ = _specs(tmp_path, [0, 1])
+        specs.append(JobSpec.from_study(AlwaysFailsStudy()))
+        report = CampaignRunner(
+            jobs=2, retries=0, backoff_s=0.0, allow_partial=True
+        ).run(specs)
+        assert report.n_degraded == 1 and report.n_ran == 2
+        assert report.degraded[0].index == 2
+
+    def test_retry_budget_exhausted_reason(self, tmp_path):
+        spec = JobSpec.from_study(
+            FlakyStudy(sentinel=str(tmp_path / "budgeted"))
+        )
+        report = CampaignRunner(
+            retries=2, retry_budget=0, backoff_s=0.0, allow_partial=True
+        ).run([spec])
+        assert report.degraded[0].reason == "retry-budget-exhausted"
+        assert report.degraded[0].attempts == 1
+
+    def test_retry_budget_is_campaign_wide(self, tmp_path):
+        specs = [
+            JobSpec.from_study(FlakyStudy(seed=s, sentinel=str(tmp_path / f"b{s}")))
+            for s in range(2)
+        ]
+        report = CampaignRunner(
+            retries=2, retry_budget=1, backoff_s=0.0, allow_partial=True
+        ).run(specs)
+        # The first flaky job consumed the only retry and succeeded; the
+        # second had nothing left to retry with.
+        assert report.metrics[0].status == "ran"
+        assert report.metrics[0].attempts == 2
+        assert report.degraded[0].index == 1
+        assert report.degraded[0].reason == "retry-budget-exhausted"
+
+    def test_without_allow_partial_failure_still_aborts(self):
+        runner = CampaignRunner(retries=0, backoff_s=0.0)
+        with pytest.raises(RunnerError, match="after 1 attempt"):
+            runner.run([JobSpec.from_study(AlwaysFailsStudy())])
+
+
+class TestCircuitBreaker:
+    """A platform failing consistently is dropped, not hammered."""
+
+    def test_breaker_opens_and_degrades_remaining_jobs(self, tmp_path):
+        specs = [JobSpec.from_study(AlwaysFailsStudy(seed=s)) for s in range(5)]
+        report = CampaignRunner(
+            retries=0,
+            backoff_s=0.0,
+            allow_partial=True,
+            breaker_threshold=1.0,
+            breaker_min_attempts=2,
+        ).run(specs)
+        assert report.n_degraded == 5
+        reasons = [d.reason for d in report.degraded]
+        platform = specs[0].platform
+        # Job 0 exhausts normally; job 1's failure trips the breaker (2/2
+        # attempts failed), so it and everything after degrade as blocked.
+        assert reasons[0] == "retries-exhausted"
+        assert reasons[1:] == [f"breaker-open:{platform}"] * 4
+        # Jobs behind the open breaker were never even dispatched.
+        assert all(d.attempts == 0 for d in report.degraded[2:])
+
+    def test_breaker_counts_recovered_attempts(self, tmp_path):
+        # Flaky jobs fail once each; enough first-attempt failures push
+        # the platform's rate over the threshold even though every job
+        # eventually succeeded — the breaker then blocks the remainder.
+        specs = [
+            JobSpec.from_study(FlakyStudy(seed=s, sentinel=str(tmp_path / f"f{s}")))
+            for s in range(3)
+        ]
+        specs.append(JobSpec.from_study(AddStudy(seed=0)))
+        report = CampaignRunner(
+            retries=2,
+            backoff_s=0.0,
+            allow_partial=True,
+            breaker_threshold=0.5,
+            breaker_min_attempts=4,
+        ).run(specs)
+        blocked = [d for d in report.degraded if d.reason.startswith("breaker-open")]
+        assert blocked, report.render()
+
+    def test_breaker_without_allow_partial_raises_not_dispatched(self):
+        specs = [JobSpec.from_study(AlwaysFailsStudy(seed=s)) for s in range(4)]
+        runner = CampaignRunner(
+            retries=1,
+            backoff_s=0.0,
+            breaker_threshold=1.0,
+            breaker_min_attempts=2,
+        )
+        with pytest.raises(RunnerError, match="after 2 attempt"):
+            runner.run(specs)
+
+    def test_breaker_in_pool_mode(self, tmp_path):
+        specs = [JobSpec.from_study(AlwaysFailsStudy(seed=s)) for s in range(6)]
+        report = CampaignRunner(
+            jobs=2,
+            retries=0,
+            backoff_s=0.0,
+            allow_partial=True,
+            breaker_threshold=1.0,
+            breaker_min_attempts=2,
+        ).run(specs)
+        assert report.n_degraded == 6
+        assert any(
+            d.reason.startswith("breaker-open") for d in report.degraded
+        ), report.render()
+
+
+class TestBatchFailurePaths:
+    def test_worker_killed_mid_batch_retries_and_completes(self, tmp_path):
+        specs, _ = _specs(tmp_path, range(3))
+        specs.insert(
+            1,
+            JobSpec.from_study(
+                CrashOnceStudy(sentinel=str(tmp_path / "batch-crash"))
+            ),
+        )
+        report = CampaignRunner(
+            jobs=2, batch_size=2, retries=3, backoff_s=0.0
+        ).run(specs)
+        assert report.n_ran == 4
+        assert report.results[1].summary == {"ok": 1.0}
+        # The crash charged an attempt to the batch that died.
+        assert report.metrics[1].attempts >= 2
+
+    def test_exhausted_batch_degrades_every_member(self, tmp_path):
+        specs, _ = _specs(tmp_path, [0])
+        specs.append(JobSpec.from_study(AlwaysFailsStudy()))
+        report = CampaignRunner(
+            jobs=2,
+            batch_size=2,
+            retries=0,
+            backoff_s=0.0,
+            allow_partial=True,
+        ).run(specs)
+        # One bad apple fails its whole batch: both specs degraded.
+        assert report.n_degraded == 2
+        assert {d.index for d in report.degraded} == {0, 1}
+
+
+class TestFaultPlanIntegration:
+    def test_injected_faults_are_retried_deterministically(self, tmp_path):
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(seed=11, p_error=0.4, max_faulty_attempts=1)
+        specs, _ = _specs(tmp_path, range(6))
+        first = CampaignRunner(
+            fault_plan=plan, retries=2, backoff_s=0.0
+        ).run(specs)
+        second = CampaignRunner(
+            fault_plan=plan, retries=2, backoff_s=0.0
+        ).run(specs)
+        assert [r.summary for r in first.results] == [
+            r.summary for r in second.results
+        ]
+        assert [m.attempts for m in first.metrics] == [
+            m.attempts for m in second.metrics
+        ]
+        assert any(m.attempts > 1 for m in first.metrics)  # faults landed
+        assert all(m.status == "ran" for m in first.metrics)
+
+    def test_corrupt_marked_entries_are_garbled_after_put(self, tmp_path):
+        from repro.errors import CacheCorruptionError
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(seed=1, p_corrupt=1.0)
+        specs, trace = _specs(tmp_path, [0, 1])
+        store = ResultStore(tmp_path / "cache")
+        CampaignRunner(fault_plan=plan, store=store).run(specs)
+        for spec in specs:
+            with pytest.raises(CacheCorruptionError):
+                store.read_entry(spec)
+        # A faultless replay quarantines and recomputes them.
+        replay = CampaignRunner(store=store).run(specs)
+        assert replay.n_ran == 2 and _count_runs(trace) == 4
+        assert len(store.quarantined()) == 2
+
+    def test_crash_fault_in_pool_recovers(self, tmp_path):
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(seed=3, p_crash=0.3, max_faulty_attempts=1)
+        specs, _ = _specs(tmp_path, range(5))
+        report = CampaignRunner(
+            jobs=2, fault_plan=plan, retries=4, backoff_s=0.0
+        ).run(specs)
+        assert all(m.status == "ran" for m in report.metrics)
+        assert [r.summary["value"] for r in report.results] == [
+            1.0, 2.0, 3.0, 4.0, 5.0
+        ]

@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.hypotheses import HypothesisVerdict, Verdict
 from repro.core.study import StudyResult
+from repro.errors import CacheCorruptionError
 from repro.runner import JobSpec, ResultStore
 
 
@@ -107,6 +108,89 @@ class TestMissesAreSafe:
         del document["result"]["summary"]
         path.write_text(json.dumps(document), encoding="utf-8")
         assert store.get(spec) is None
+
+
+class TestCorruptionQuarantine:
+    """Regression tests: damage is typed, quarantined, recomputed once."""
+
+    def test_read_entry_raises_on_garbled_json(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        path = store.put(spec, result, elapsed_s=0.0)
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(CacheCorruptionError, match="not valid JSON"):
+            store.read_entry(spec)
+
+    def test_read_entry_raises_on_checksum_mismatch(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        path = store.put(spec, result, elapsed_s=0.0)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["result"]["summary"]["n_pairs"] = 26.0  # flipped digit
+        path.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(CacheCorruptionError, match="checksum"):
+            store.read_entry(spec)
+
+    def test_read_entry_raises_on_missing_fields(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        path = store.put(spec, result, elapsed_s=0.0)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        del document["result"]
+        path.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(CacheCorruptionError):
+            store.read_entry(spec)
+
+    def test_missing_checksum_is_tolerated(self, tmp_path, spec, result):
+        """Entries written before checksums existed still read cleanly."""
+        store = ResultStore(tmp_path)
+        path = store.put(spec, result, elapsed_s=1.5)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        del document["checksum"]
+        path.write_text(json.dumps(document), encoding="utf-8")
+        cached = store.read_entry(spec)
+        assert cached is not None and cached.elapsed_s == 1.5
+
+    def test_get_quarantines_damaged_entry(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        path = store.put(spec, result, elapsed_s=0.0)
+        path.write_text("\xde\xad garbage", encoding="utf-8")
+        assert store.get(spec) is None
+        assert not path.exists()
+        pen = store.quarantined()
+        assert [p.name for p in pen] == [f"{spec.content_hash}.json"]
+
+    def test_quarantined_entry_stays_a_miss_then_recomputes(
+        self, tmp_path, spec, result
+    ):
+        store = ResultStore(tmp_path)
+        path = store.put(spec, result, elapsed_s=0.0)
+        path.write_text("{torn", encoding="utf-8")
+        assert store.get(spec) is None  # quarantined here
+        assert store.get(spec) is None  # plain miss now, no error
+        # Recompute: a fresh put makes the entry good again.
+        store.put(spec, result, elapsed_s=3.0)
+        assert store.get(spec).elapsed_s == 3.0
+        assert len(store.quarantined()) == 1  # post-mortem copy kept
+
+    def test_foreign_entry_is_not_quarantined(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        path = store.put(spec, result, elapsed_s=0.0)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["schema"] = 999
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert store.read_entry(spec) is None  # miss, not an exception
+        assert store.get(spec) is None
+        assert path.exists()  # the other build's entry is left alone
+        assert store.quarantined() == []
+
+    def test_quarantine_missing_entry_returns_none(self, tmp_path, spec):
+        assert ResultStore(tmp_path).quarantine(spec) is None
+
+    def test_checksum_written_on_put(self, tmp_path, spec, result):
+        from repro.runner.store import payload_checksum
+
+        store = ResultStore(tmp_path)
+        path = store.put(spec, result, elapsed_s=0.0)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["checksum"] == payload_checksum(document["result"])
 
 
 class TestStaleTmpSweep:

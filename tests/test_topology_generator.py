@@ -10,12 +10,7 @@ from repro.topology import (
     TopologyConfig,
     build_internet,
 )
-from repro.topology.generator import (
-    DEFAULT_POP_CITIES,
-    DEFAULT_WAN_BACKBONE,
-    EYEBALL_ASN_BASE,
-    PROVIDER_ASN,
-)
+from repro.topology.generator import EYEBALL_ASN_BASE, PROVIDER_ASN
 
 
 class TestConfigValidation:

@@ -6,7 +6,6 @@ import pytest
 
 from repro.errors import TopologyError
 from repro.topology import (
-    build_internet,
     internet_from_dict,
     internet_to_dict,
     load_internet,

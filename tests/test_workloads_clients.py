@@ -1,6 +1,5 @@
 """Tests for client prefix generation."""
 
-import numpy as np
 import pytest
 
 from repro.errors import MeasurementError
