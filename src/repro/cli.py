@@ -504,6 +504,49 @@ def cmd_trace_summarize(args) -> None:
     print(summarize_events(events).render())
 
 
+def cmd_lint(args) -> None:
+    from pathlib import Path
+
+    from repro.lint import (
+        BaselineError,
+        lint_paths,
+        load_baseline,
+        render_json,
+        render_text,
+        split_baselined,
+        write_baseline,
+    )
+
+    root = Path(args.root) if getattr(args, "root", None) else Path.cwd()
+    paths = [Path(p) for p in args.paths] if args.paths else [root / "src"]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        raise SystemExit(f"lint: no such path: {', '.join(map(str, missing))}")
+    findings = lint_paths(paths, root=root)
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / "lint-baseline.json"
+    )
+    if args.write_baseline:
+        write_baseline(baseline_path, findings)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return
+    baseline = set()
+    if baseline_path.exists():
+        try:
+            baseline = load_baseline(baseline_path)
+        except BaselineError as exc:
+            raise SystemExit(f"lint: {exc}")
+    elif args.baseline:
+        raise SystemExit(f"lint: baseline {baseline_path} does not exist")
+    fresh, grandfathered = split_baselined(findings, baseline)
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(fresh, baselined=len(grandfathered)))
+    if fresh:
+        # Exit 1, distinct from argparse usage errors (2) and degraded
+        # campaigns (3): "the tree violates an invariant".
+        raise SystemExit(1)
+
+
 COMMANDS: Dict[str, Callable] = {
     "fig1": cmd_fig1,
     "fig2": cmd_fig2,
@@ -594,6 +637,7 @@ def build_parser() -> argparse.ArgumentParser:
         "catchments": "Anycast catchment map (the operator's view)",
         "validate": "Self-check: verify every headline claim",
         "trace": "Inspect recorded telemetry streams (trace summarize FILE)",
+        "lint": "Invariant lint: RNG/time purity, lane parity, taxonomy",
     }
     for name, handler in COMMANDS.items():
         cmd = sub.add_parser(name, help=descriptions[name])
@@ -713,6 +757,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="finish with degraded jobs instead of aborting; a partial "
         "campaign exits with status 3",
     )
+    lint_cmd = sub.add_parser("lint", help=descriptions["lint"])
+    lint_cmd.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: <root>/src)",
+    )
+    lint_cmd.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint_cmd.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="grandfathered-findings file (default: <root>/lint-baseline.json "
+        "when present)",
+    )
+    lint_cmd.add_argument(
+        "--write-baseline",
+        action="store_true",
+        default=False,
+        help="record the current findings as the new baseline and exit 0",
+    )
+    lint_cmd.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="repo root for relative paths, baseline discovery, and the "
+        "lane-agreement test (default: current directory)",
+    )
+    _add_runtime_flags(lint_cmd, suppress=True)
+    lint_cmd.set_defaults(handler=cmd_lint)
     trace_cmd = sub.add_parser("trace", help=descriptions["trace"])
     trace_sub = trace_cmd.add_subparsers(dest="trace_command")
     summarize_cmd = trace_sub.add_parser(

@@ -40,6 +40,7 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
+from repro.errors import CacheCorruptionError
 from repro.faults.plan import FaultPlan
 from repro.runner.campaign import CampaignReport, CampaignRunner
 from repro.runner.checkpoint import CampaignCheckpoint, campaign_fingerprint
@@ -112,7 +113,9 @@ def _checkpoint_entries(workdir: Path) -> int:
     )
     try:
         return checkpoint.load()
-    except Exception:
+    except (CacheCorruptionError, OSError):
+        # Mid-write or damaged journal: the poller treats it as "no
+        # progress yet" and keeps watching.
         return 0
 
 

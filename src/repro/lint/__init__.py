@@ -1,0 +1,64 @@
+"""repro.lint — AST-based invariant checker for the reproduction.
+
+The repo's headline claims rest on contracts tests can only
+spot-check: seeded RNGs threaded explicitly, fast/scalar lanes that
+agree, resume ≡ uninterrupted, crashes only where injected.  This
+package enforces them at the source level, the way large measurement
+platforms (Edge Fabric, Odin) encode operational rules as custom
+configuration checkers rather than after-the-fact audits:
+
+* :mod:`repro.lint.findings` — :class:`Finding` and the text/JSON
+  renderings.
+* :mod:`repro.lint.rules` — the rule framework: file contexts,
+  alias-aware import resolution, per-line suppression.
+* :mod:`repro.lint.checks` — the shipped rules: RNG discipline
+  (RNG001/RNG002), wall-clock purity (TIME001), lane-parity coverage
+  (LANE001), crash-call containment (CRASH001), exception taxonomy
+  (EXC001), serialization safety (SER001).
+* :mod:`repro.lint.engine` — :func:`lint_paths`, the driver.
+* :mod:`repro.lint.baseline` — grandfathered findings, committed as
+  ``lint-baseline.json``.
+
+Run it as ``repro-bgp lint [--format json] [--baseline FILE]``; see
+``docs/static-analysis.md`` for each rule's rationale and the
+suppression / baseline workflow.
+"""
+
+from repro.lint.baseline import (
+    BaselineError,
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+from repro.lint.checks import ALL_RULE_CLASSES, build_rules
+from repro.lint.engine import LintConfig, SYNTAX_RULE_ID, lint_paths
+from repro.lint.findings import (
+    ERROR,
+    SEVERITIES,
+    WARNING,
+    Finding,
+    render_json,
+    render_text,
+)
+from repro.lint.rules import FileContext, ImportMap, Rule
+
+__all__ = [
+    "ALL_RULE_CLASSES",
+    "BaselineError",
+    "ERROR",
+    "FileContext",
+    "Finding",
+    "ImportMap",
+    "LintConfig",
+    "Rule",
+    "SEVERITIES",
+    "SYNTAX_RULE_ID",
+    "WARNING",
+    "build_rules",
+    "lint_paths",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "split_baselined",
+    "write_baseline",
+]

@@ -1,0 +1,80 @@
+"""Baseline files: grandfathered findings, declared not hidden.
+
+A baseline is the escape hatch that lets the lint gate turn on *now*
+while legacy findings are burned down incrementally: CI fails only on
+findings absent from the committed baseline.  Identity is the
+``(rule, path, line)`` triple — message wording changes never
+un-grandfather code, but any edit that moves a finding does, which is
+the ratchet working as intended: touch the file, fix the finding.
+
+The format is versioned JSON so the file diffs reviewably::
+
+    {"version": 1, "findings": [{"rule": "EXC001", "path": "...", "line": 42}]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+from repro.errors import ReproError
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: The identity triple a baseline entry pins.
+BaselineKey = Tuple[str, str, int]
+
+
+class BaselineError(ReproError):
+    """A baseline file is unreadable or structurally invalid."""
+
+
+def load_baseline(path: Path) -> Set[BaselineKey]:
+    """Read a baseline file into its set of grandfathered keys.
+
+    Raises:
+        BaselineError: On unreadable JSON, a version mismatch, or
+            entries missing the identity fields — a half-trusted
+            baseline would silently pass fresh findings.
+    """
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(document, dict) or document.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported version "
+            f"{document.get('version') if isinstance(document, dict) else document!r}"
+        )
+    keys: Set[BaselineKey] = set()
+    for entry in document.get("findings", []):
+        try:
+            keys.add((str(entry["rule"]), str(entry["path"]), int(entry["line"])))
+        except (TypeError, KeyError, ValueError) as exc:
+            raise BaselineError(
+                f"baseline {path} has a malformed entry {entry!r}"
+            ) from exc
+    return keys
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Write the current findings as the new baseline, sorted for diffs."""
+    entries = [
+        {"rule": rule, "path": rel, "line": line}
+        for rule, rel, line in sorted({f.key for f in findings})
+    ]
+    document = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+
+def split_baselined(
+    findings: Iterable[Finding], baseline: Set[BaselineKey]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition findings into (fresh, grandfathered)."""
+    fresh: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in findings:
+        (grandfathered if finding.key in baseline else fresh).append(finding)
+    return fresh, grandfathered

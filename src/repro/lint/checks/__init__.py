@@ -1,0 +1,46 @@
+"""The shipped rule set, one module per invariant family.
+
+``build_rules()`` is the engine's default factory; it returns fresh
+instances because repo-level rules (lane parity) accumulate per-run
+state.  Rule ids are stable and never reused: documentation, disable
+comments, and baseline entries all refer to them.
+"""
+
+from typing import List
+
+from repro.lint.checks.crashcalls import CrashCallRule
+from repro.lint.checks.exceptions import SwallowedExceptionRule
+from repro.lint.checks.laneparity import LaneParityRule
+from repro.lint.checks.rng import FreshGeneratorRule, LegacyRandomRule
+from repro.lint.checks.serialization import PayloadFieldRule
+from repro.lint.checks.timepurity import WallClockRule
+from repro.lint.rules import Rule
+
+#: Every shipped rule class, in rule-id order.
+ALL_RULE_CLASSES = (
+    LegacyRandomRule,
+    FreshGeneratorRule,
+    WallClockRule,
+    LaneParityRule,
+    CrashCallRule,
+    SwallowedExceptionRule,
+    PayloadFieldRule,
+)
+
+
+def build_rules() -> List[Rule]:
+    """Fresh instances of every shipped rule."""
+    return [rule_cls() for rule_cls in ALL_RULE_CLASSES]
+
+
+__all__ = [
+    "ALL_RULE_CLASSES",
+    "CrashCallRule",
+    "FreshGeneratorRule",
+    "LaneParityRule",
+    "LegacyRandomRule",
+    "PayloadFieldRule",
+    "SwallowedExceptionRule",
+    "WallClockRule",
+    "build_rules",
+]

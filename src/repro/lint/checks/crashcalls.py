@@ -1,0 +1,60 @@
+"""CRASH001 — crash primitives live only in ``repro.faults``.
+
+The fault-injection subsystem (PR 4) deliberately kills workers with
+``os._exit`` and process groups with ``os.killpg`` to prove the
+checkpoint/resume machinery sound.  Those primitives are safe exactly
+because they are confined: the runner's recovery logic can assume that
+any crash outside a fault campaign is a real defect, and the
+chaos-smoke scenario stays the single place where process death is a
+feature.  A stray ``os._exit`` in library code would skip ``finally``
+blocks, atexit handlers, and the telemetry flush — precisely the
+corruption the checkpoint format exists to survive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, Rule
+
+#: Canonical dotted paths that terminate or signal processes.
+CRASH_CALLS: Set[str] = {
+    "os._exit",
+    "os.kill",
+    "os.killpg",
+    "os.abort",
+    "signal.raise_signal",
+    "signal.pthread_kill",
+}
+
+#: The one package allowed to crash things on purpose.
+ALLOWED_PREFIX = "repro.faults"
+
+
+class CrashCallRule(Rule):
+    """CRASH001: process-killing calls are contained in repro.faults."""
+
+    rule_id = "CRASH001"
+    name = "crash-containment"
+    description = (
+        "os._exit / os.kill / signal.raise_signal may appear only inside "
+        "repro.faults, where crashes are injected on purpose"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module == ALLOWED_PREFIX or ctx.module.startswith(ALLOWED_PREFIX + "."):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            full = ctx.imports.resolve(node.func)
+            if full in CRASH_CALLS:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"crash primitive {full}() outside repro.faults; process "
+                    "death must flow through the fault-injection subsystem "
+                    "so recovery invariants stay testable",
+                )

@@ -1,0 +1,68 @@
+"""TIME001 — wall-clock purity of measurement code.
+
+The simulated substrate replays the paper's campaigns (Edge Fabric
+per-PoP windows, the 10-month Speedchecker sweep) as pure functions of
+``(topology, workload, seed)``.  A single ``time.time()`` inside
+``edgefabric/``, ``cdn/``, ``cloudtiers/``, or ``netmodel/`` would
+leak the host's clock into measured values, making cache hits, lane
+comparisons, and resume-after-crash checks silently unsound.
+Wall-clock reads belong to the observability and orchestration layers
+(``obs/``, ``runner/``), which timestamp *telemetry about* runs, never
+the runs themselves.  Monotonic duration clocks
+(``time.perf_counter``, ``time.monotonic``) stay legal everywhere —
+they measure the simulator, not the simulation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, Rule
+
+#: Packages whose results must be pure in (inputs, seed).
+MEASUREMENT_PREFIXES: Tuple[str, ...] = (
+    "repro.edgefabric",
+    "repro.cdn",
+    "repro.cloudtiers",
+    "repro.netmodel",
+)
+
+#: Canonical dotted paths that read the wall clock.
+WALL_CLOCK_CALLS: Set[str] = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+class WallClockRule(Rule):
+    """TIME001: no wall-clock reads inside measurement packages."""
+
+    rule_id = "TIME001"
+    name = "time-purity"
+    description = (
+        "measurement code must be a pure function of (inputs, seed); "
+        "wall-clock reads belong in obs/ and runner/ only"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.module.startswith(MEASUREMENT_PREFIXES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            full = ctx.imports.resolve(node.func)
+            if full in WALL_CLOCK_CALLS:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"wall-clock call {full}() inside measurement module "
+                    f"{ctx.module}; simulated time must come from the "
+                    "workload model, and telemetry timestamps from "
+                    "repro.obs",
+                )

@@ -1,0 +1,120 @@
+"""The lint engine: walk files, drive rules, collect findings.
+
+One run is ``begin`` → per-file ``check_file`` → ``finish`` over a
+fresh rule set (see :class:`repro.lint.rules.Rule`).  The engine owns
+everything rule code should not care about: file discovery, parse
+failures (reported as ``SYNTAX`` findings, never crashes), suppression
+comments, and deterministic ordering of the output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Set
+
+from repro.lint.findings import ERROR, Finding
+from repro.lint.rules import FileContext, Rule
+
+#: Pseudo-rule id for files that fail to parse.
+SYNTAX_RULE_ID = "SYNTAX"
+
+#: Default location of the lane-agreement suite, relative to the root.
+DEFAULT_LANE_TEST = Path("tests") / "test_lane_agreement.py"
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Run-wide configuration handed to every rule's ``begin``.
+
+    Attributes:
+        root: Repo root; finding paths are rendered relative to it.
+        lane_test: The lane-agreement test file LANE001 cross-checks.
+    """
+
+    root: Path
+    lane_test: Path = field(default=DEFAULT_LANE_TEST)
+
+    @classmethod
+    def for_root(cls, root: Path, lane_test: Optional[Path] = None) -> "LintConfig":
+        """Config rooted at *root*, lane test resolved under it."""
+        resolved = lane_test if lane_test is not None else root / DEFAULT_LANE_TEST
+        return cls(root=root, lane_test=resolved)
+
+
+def iter_source_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Python files under *paths*, deduplicated, in sorted order."""
+    seen: Set[Path] = set()
+    collected: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            collected.extend(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            collected.append(path)
+    for path in sorted(collected):
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            yield path
+
+
+def _syntax_finding(path: Path, root: Path, exc: Exception) -> Finding:
+    try:
+        relpath = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    line = getattr(exc, "lineno", None) or 1
+    return Finding(
+        path=relpath,
+        line=int(line),
+        col=int(getattr(exc, "offset", None) or 0),
+        rule=SYNTAX_RULE_ID,
+        severity=ERROR,
+        message=f"file does not parse: {exc}",
+    )
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    lane_test: Optional[Path] = None,
+) -> List[Finding]:
+    """Lint every Python file under *paths* with the given rule set.
+
+    Args:
+        paths: Files or directories to scan.
+        root: Repo root for relative paths and lane-test discovery
+            (default: the current working directory).
+        rules: Rule instances to run (default: the full shipped set).
+            Instances are single-use; pass fresh ones per call.
+        lane_test: Override the lane-agreement test location.
+
+    Returns:
+        All findings, sorted by (path, line, col, rule), with per-line
+        suppression comments already honored.
+    """
+    resolved_root = root if root is not None else Path.cwd()
+    config = LintConfig.for_root(resolved_root, lane_test)
+    if rules is None:
+        from repro.lint.checks import build_rules
+
+        rules = build_rules()
+    for rule in rules:
+        rule.begin(config)
+    findings: List[Finding] = []
+    for path in iter_source_files(paths):
+        try:
+            ctx = FileContext.parse(path, resolved_root)
+        except (SyntaxError, ValueError) as exc:
+            findings.append(_syntax_finding(path, resolved_root, exc))
+            continue
+        for rule in rules:
+            for finding in rule.check_file(ctx):
+                if not ctx.suppressed(finding):
+                    findings.append(finding)
+    for rule in rules:
+        findings.extend(rule.finish())
+    return sorted(findings)

@@ -766,6 +766,10 @@ class CampaignRunner:
                         spec, tracing, run_id, self.fault_plan, attempts
                     )
                 except Exception as exc:
+                    # Broad on purpose: any worker exception is a failed
+                    # attempt to be retried, broken, or degraded — but it
+                    # is never silent (EXC001).
+                    obs.counter("runner.job.attempt_error")
                     attempt_s.append(time.perf_counter() - attempt_start)
                     self._note_attempt(state, spec, failed=True)
                     if self._breaker_blocks(state, [spec]):
@@ -935,6 +939,10 @@ class CampaignRunner:
                                 futures[other] = submit(other)
                                 attempt_started[other] = time.perf_counter()
                     except Exception as exc:
+                        # Recorded, never swallowed: the retry loop below
+                        # turns `error` into a new attempt or a typed
+                        # failure (EXC001).
+                        obs.counter("runner.job.attempt_error")
                         error = exc
                     else:
                         attempt_s[c].append(

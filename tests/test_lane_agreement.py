@@ -33,6 +33,7 @@ from repro.edgefabric.episodes import extract_episodes
 from repro.edgefabric.sampler import (
     MeasurementConfig,
     plan_measurement,
+    run_measurement,
     synthesize_dataset,
 )
 
@@ -91,6 +92,28 @@ class TestEdgefabricLanes:
         assert extract_episodes(dataset, fast=True) == extract_episodes(
             dataset, fast=False
         )
+
+    def test_run_measurement_composes_both_lanes(
+        self, small_internet, small_prefixes
+    ):
+        """The end-to-end entry point inherits synthesize's contract.
+
+        ``run_measurement`` is plan + synthesis; the deterministic parts
+        of its output (measurement mask, CI half-widths, volumes) must
+        be bit-identical across lanes, exactly like
+        :meth:`test_structure_and_ci_bit_identical` but through the
+        public composition.
+        """
+        config = MeasurementConfig(days=1.0, seed=2)
+        slow = run_measurement(
+            small_internet, small_prefixes, config, fast=False
+        )
+        fast = run_measurement(
+            small_internet, small_prefixes, config, fast=True
+        )
+        assert np.array_equal(np.isnan(slow.medians), np.isnan(fast.medians))
+        assert np.array_equal(slow.ci_half, fast.ci_half, equal_nan=True)
+        assert np.array_equal(slow.volumes, fast.volumes)
 
 
 class TestCdnLanes:

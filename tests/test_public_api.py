@@ -157,6 +157,21 @@ PUBLIC_API = {
         "summarize_file",
         "load_events",
     ],
+    "repro.lint": [
+        "Finding",
+        "Rule",
+        "FileContext",
+        "ImportMap",
+        "LintConfig",
+        "build_rules",
+        "lint_paths",
+        "load_baseline",
+        "write_baseline",
+        "split_baselined",
+        "render_text",
+        "render_json",
+        "BaselineError",
+    ],
     "repro.io": [
         "save_egress_dataset",
         "load_egress_dataset",
