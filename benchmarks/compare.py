@@ -11,9 +11,16 @@ default).  The median absorbs one noisy scale on a shared CI runner;
 a genuine regression slows every scale of a kernel and pushes the
 median over the line.
 
-Kernels or scales present on only one side are reported but never
-fatal — adding a kernel must not require regenerating the baseline in
-the same commit.  Exit status: 0 when every shared kernel is within
+The kernel *set* must match exactly.  A kernel present on only one
+side means the benchmark suite and the committed baseline have drifted
+apart — the comparison would silently shrink to the intersection and a
+regression (or a brand-new kernel) could ride in unmeasured.  Drift is
+a hard failure telling you to recommit the baseline in the same change
+that edits the kernel list; ``--allow-drift`` downgrades it to a
+warning for local experiments.  Scales present on only one side stay
+non-fatal (tiers legitimately time different scale subsets).
+
+Exit status: 0 when the kernel sets match and every kernel is within
 threshold, 1 otherwise, 2 for unusable inputs.
 """
 
@@ -84,6 +91,12 @@ def main(argv=None) -> int:
         choices=("fast_s", "scalar_s"),
         help="which timing to compare (default: %(default)s)",
     )
+    parser.add_argument(
+        "--allow-drift",
+        action="store_true",
+        help="tolerate kernels present on only one side instead of "
+        "failing with a recommit-baseline error",
+    )
     args = parser.parse_args(argv)
     if args.threshold <= 1.0:
         parser.error(f"--threshold must be > 1.0, got {args.threshold}")
@@ -91,13 +104,16 @@ def main(argv=None) -> int:
     baseline = load_kernels(args.baseline, args.metric)
     fresh = load_kernels(args.fresh, args.metric)
 
+    drifted = []
     failures = []
     for name in sorted(set(baseline) | set(fresh)):
         if name not in baseline:
-            print(f"  new    {name}: not in baseline, skipping")
+            print(f"  new    {name}: not in baseline")
+            drifted.append(name)
             continue
         if name not in fresh:
-            print(f"  gone   {name}: not in fresh run, skipping")
+            print(f"  gone   {name}: not in fresh run")
+            drifted.append(name)
             continue
         ratio, n_scales = median_ratio(baseline[name], fresh[name])
         if n_scales == 0:
@@ -111,6 +127,16 @@ def main(argv=None) -> int:
         if ratio > args.threshold:
             failures.append((name, ratio))
 
+    if drifted:
+        verdict = (
+            f"kernel set drifted — recommit baseline "
+            f"({args.baseline.name}): " + ", ".join(drifted)
+        )
+        if args.allow_drift:
+            print(f"\nWARN (--allow-drift): {verdict}")
+        else:
+            print(f"\nFAIL: {verdict}")
+            return 1
     if failures:
         print(
             f"\nFAIL: {len(failures)} kernel(s) regressed beyond "

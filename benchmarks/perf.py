@@ -67,6 +67,7 @@ from repro.edgefabric.sampler import (
     synthesize_dataset,
 )
 from repro.netmodel import CongestionConfig, CongestionModel
+from repro.stream import IngestConfig, SessionIngestor, stream_sessions
 from repro.topology import TopologyConfig, build_internet
 from repro.topology.generator import DEFAULT_POP_CITIES
 from repro.workloads import assign_ldns, generate_client_prefixes
@@ -314,6 +315,59 @@ def bench_cloudtiers_campaign(internet, tier: str, repeats: int):
     return {"name": "cloudtiers.campaign", "scales": entries}
 
 
+def bench_stream_ingest(internet, tier: str, repeats: int):
+    """Session-stream ingest: sessions/sec through the sketch plane.
+
+    The session batches are materialized once outside the timed region —
+    synthesis is :func:`bench_edgefabric_synthesize`'s subject — so both
+    lanes time pure ingest: windowing plus sketch updates.  The scalar
+    lane feeds P² sketches (per-value Python marker updates); the fast
+    lane feeds centroid sketches (one vectorized merge per key/window
+    group), which is what ``repro-bgp ingest`` runs in production.
+    """
+    prefixes = generate_client_prefixes(internet, 1200, seed=11)
+    config = MeasurementConfig(days=0.5, seed=0)
+    full_plan = plan_measurement(internet, prefixes, config)
+    sizes = {"small": 150, "medium": 500, "large": 1000}
+    congestion = CongestionModel(config.seed, config.congestion_config())
+    dest = CongestionModel(config.seed, config.dest_congestion_config())
+    entries = []
+    for scale in _scales_for(tier):
+        n = min(sizes[scale], len(full_plan.pairs))
+        plan = MeasurementPlan(
+            pairs=full_plan.pairs[:n], prefixes=full_plan.prefixes[:n]
+        )
+        batches = list(
+            stream_sessions(
+                plan, config, congestion=congestion, dest_congestion=dest
+            )
+        )
+        sessions = int(sum(batch.n_sessions for batch in batches))
+        windows = int(config.days * 24.0 * 60.0 / IngestConfig().window_minutes)
+
+        def scalar():
+            ingestor = SessionIngestor(IngestConfig(sketch="p2"))
+            for batch in batches:
+                ingestor.feed(batch)
+
+        def fast():
+            ingestor = SessionIngestor(IngestConfig())
+            for batch in batches:
+                ingestor.feed(batch)
+
+        entries.append(
+            _measure(
+                "stream.ingest",
+                scale,
+                {"pairs": n, "sessions": sessions, "windows": windows},
+                scalar,
+                fast,
+                repeats,
+            )
+        )
+    return {"name": "stream.ingest", "scales": entries}
+
+
 # --- schema -----------------------------------------------------------------
 
 
@@ -392,6 +446,7 @@ def run(tier: str, repeats: int) -> dict:
         bench_event_delay(tier, repeats),
         bench_cdn_redirection(internet, tier, repeats),
         bench_cloudtiers_campaign(internet, tier, max(1, repeats - 1)),
+        bench_stream_ingest(internet, tier, repeats),
     ]
     payload = {
         "schema_version": SCHEMA_VERSION,

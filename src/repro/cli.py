@@ -497,6 +497,216 @@ def cmd_sites(args) -> None:
     )
 
 
+def cmd_ingest(args) -> None:
+    """Service mode: replay a synthesized session stream through sketches.
+
+    Streams every session batch through a
+    :class:`repro.stream.SessionIngestor` (O(windows) state), reports a
+    sustained sessions/sec rate, and emits the same Figure 1 statistics
+    table as the batch path — from sketch medians.  ``--compare-batch``
+    re-runs the batch lane and fails (exit 1) if the two reports
+    disagree beyond the documented tolerance; ``--shards N`` re-ingests
+    through N campaign jobs and asserts the merged snapshot is
+    byte-identical to an in-process merge of the same shards.
+    """
+    import numpy as np
+
+    from repro.core.configs import edgefabric_topology
+    from repro.obs.trace import gauge, span
+    from repro.topology import build_internet
+    from repro.workloads import (
+        diurnal_volume_matrix,
+        generate_client_prefixes,
+        sessions_matrix,
+        traffic_matrix,
+    )
+    from repro.edgefabric import bgp_vs_best_alternate
+    from repro.edgefabric.dataset import EgressDataset, window_times
+    from repro.edgefabric.sampler import (
+        MeasurementConfig,
+        _ci_half_grid,
+        plan_measurement,
+        synthesize_dataset,
+    )
+    from repro.stream import (
+        IngestConfig,
+        IngestShardStudy,
+        SessionIngestor,
+        merge_snapshot_artifacts,
+        stream_sessions,
+    )
+
+    cfg = MeasurementConfig(days=args.days, seed=args.seed + 2)
+    ingest_config = IngestConfig(
+        window_minutes=cfg.window_minutes,
+        sketch=args.sketch,
+        max_centroids=args.max_centroids,
+    )
+    with span("ingest.topology", seed=args.seed):
+        internet = build_internet(edgefabric_topology(args.seed))
+    with span("ingest.workload"):
+        prefixes = generate_client_prefixes(
+            internet, args.scale, seed=args.seed + 1
+        )
+    with span("ingest.plan"):
+        plan = plan_measurement(internet, prefixes, cfg)
+
+    ingestor = SessionIngestor(ingest_config)
+    with span("ingest.stream", sketch=args.sketch):
+        start = time.perf_counter()
+        for batch in stream_sessions(
+            plan, cfg, chunk_windows=args.chunk_windows
+        ):
+            ingestor.feed(batch)
+        elapsed = time.perf_counter() - start
+    rate = ingestor.sessions / elapsed if elapsed > 0 else float("inf")
+    gauge("ingest.sessions_per_sec", rate)
+    snapshot = ingestor.snapshot()
+
+    times = window_times(cfg.days, cfg.window_minutes)
+    cycle = diurnal_volume_matrix(
+        times, np.array([p.city.location.lon for p in plan.prefixes])
+    )
+    with span("ingest.report"):
+        medians = snapshot.median_matrix(plan.pairs, times, cfg.max_routes)
+        sessions_grid = sessions_matrix(
+            plan.prefixes,
+            times,
+            sessions_at_peak=cfg.sessions_at_peak,
+            cycle=cycle,
+        )
+        ci_half = np.full_like(medians, np.nan)
+        slots = plan.slots()
+        _ci_half_grid(slots.pair_of, slots.route_of, sessions_grid, cfg, ci_half)
+        dataset = EgressDataset(
+            pairs=list(plan.pairs),
+            times_h=times,
+            medians=medians,
+            ci_half=ci_half,
+            volumes=traffic_matrix(plan.prefixes, times, cycle=cycle),
+            max_routes=cfg.max_routes,
+        )
+        fig1 = bgp_vs_best_alternate(dataset)
+
+    print(
+        format_table(
+            ["ingest statistic", "value"],
+            [
+                ["pairs", dataset.n_pairs],
+                ["windows", dataset.n_windows],
+                ["sessions ingested", ingestor.sessions],
+                ["batches", ingestor.batches],
+                ["sessions/sec", f"{rate:,.0f}"],
+                ["sketch cells", ingestor.n_cells],
+                ["peak open cells", ingestor.peak_open_cells],
+                ["late dropped", ingestor.late_dropped],
+            ],
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["statistic (streaming lane)", "value"],
+            [
+                ["traffic improvable >= 5 ms", f"{fig1.frac_alternate_better_5ms:.1%}"],
+                ["BGP within 1 ms of best", f"{fig1.frac_bgp_within_1ms:.1%}"],
+                ["diff p50 (ms)", fig1.cdf.median],
+                ["diff p98 (ms)", fig1.cdf.quantile(0.98)],
+            ],
+        )
+    )
+
+    if args.snapshot_out:
+        with open(args.snapshot_out, "w", encoding="utf-8") as fh:
+            fh.write(snapshot.to_json())
+        logger.info("wrote snapshot to %s", args.snapshot_out)
+    if args.rate_out:
+        with open(args.rate_out, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "sessions": ingestor.sessions,
+                    "elapsed_s": elapsed,
+                    "sessions_per_sec": rate,
+                    "windows": int(dataset.n_windows),
+                    "pairs": int(dataset.n_pairs),
+                    "cells": ingestor.n_cells,
+                    "peak_open_cells": ingestor.peak_open_cells,
+                    "late_dropped": ingestor.late_dropped,
+                    "sketch": args.sketch,
+                },
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+        logger.info("wrote ingest rate to %s", args.rate_out)
+
+    failures = 0
+    if args.compare_batch:
+        with span("ingest.compare_batch"):
+            batch_fig1 = bgp_vs_best_alternate(synthesize_dataset(plan, cfg))
+        checks = [
+            (
+                "traffic improvable >= 5 ms",
+                fig1.frac_alternate_better_5ms,
+                batch_fig1.frac_alternate_better_5ms,
+            ),
+            (
+                "BGP within 1 ms of best",
+                fig1.frac_bgp_within_1ms,
+                batch_fig1.frac_bgp_within_1ms,
+            ),
+        ]
+        print()
+        rows = []
+        for label, streamed, batched in checks:
+            delta = abs(streamed - batched)
+            if delta > 0.05:
+                failures += 1
+            rows.append(
+                [label, f"{streamed:.1%}", f"{batched:.1%}", f"{delta:.3f}"]
+            )
+        print(
+            format_table(
+                ["statistic", "streaming", "batch", "|diff|"], rows
+            )
+        )
+        if failures:
+            print(f"LANE MISMATCH: {failures} statistic(s) beyond 0.05")
+        else:
+            print("lanes agree within tolerance (0.05)")
+
+    if args.shards > 1:
+        studies = [
+            IngestShardStudy(
+                seed=args.seed,
+                n_prefixes=args.scale,
+                days=args.days,
+                shard=shard,
+                n_shards=args.shards,
+                sketch=args.sketch,
+                max_centroids=args.max_centroids,
+                chunk_windows=args.chunk_windows,
+            )
+            for shard in range(args.shards)
+        ]
+        with span("ingest.shards", n=args.shards):
+            report = _run_campaign(args, studies)
+            merged = merge_snapshot_artifacts(report.results).to_json()
+            direct = merge_snapshot_artifacts(
+                [study.run() for study in studies]
+            ).to_json()
+        identical = merged == direct
+        print()
+        print(
+            f"sharded ingest ({args.shards} shards): merged snapshot "
+            f"{'byte-identical to in-process merge' if identical else 'DIVERGED'}"
+        )
+        if not identical:
+            failures += 1
+    if failures:
+        raise SystemExit(1)
+
+
 def cmd_trace_summarize(args) -> None:
     from repro.obs import load_events, summarize_events
 
@@ -561,6 +771,7 @@ COMMANDS: Dict[str, Callable] = {
     "topo": cmd_topo,
     "catchments": cmd_catchments,
     "validate": cmd_validate,
+    "ingest": cmd_ingest,
 }
 
 
@@ -636,6 +847,7 @@ def build_parser() -> argparse.ArgumentParser:
         "topo": "Structural summary of the generated topology",
         "catchments": "Anycast catchment map (the operator's view)",
         "validate": "Self-check: verify every headline claim",
+        "ingest": "Streaming service mode: session stream -> quantile sketches",
         "trace": "Inspect recorded telemetry streams (trace summarize FILE)",
         "lint": "Invariant lint: RNG/time purity, lane parity, taxonomy",
     }
@@ -673,6 +885,56 @@ def build_parser() -> argparse.ArgumentParser:
         )
         _add_runtime_flags(cmd, suppress=True)
         cmd.set_defaults(handler=handler)
+    ingest_cmd = sub.choices["ingest"]
+    ingest_cmd.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="also re-ingest through N campaign-shard jobs and verify "
+        "the merged snapshot is byte-identical to an in-process merge "
+        "(honors --jobs/--cache-dir; default: 1 = single-pass only)",
+    )
+    ingest_cmd.add_argument(
+        "--chunk-windows",
+        type=int,
+        default=16,
+        metavar="N",
+        help="windows per synthesized session batch; output is "
+        "invariant to it (default: 16)",
+    )
+    ingest_cmd.add_argument(
+        "--sketch",
+        choices=("centroid", "p2"),
+        default="centroid",
+        help="quantile sketch kind (default: centroid)",
+    )
+    ingest_cmd.add_argument(
+        "--max-centroids",
+        type=int,
+        default=64,
+        metavar="N",
+        help="centroid budget for the centroid sketch (default: 64)",
+    )
+    ingest_cmd.add_argument(
+        "--compare-batch",
+        action="store_true",
+        default=False,
+        help="also run the batch lane and fail (exit 1) if the report "
+        "statistics differ beyond the documented tolerance",
+    )
+    ingest_cmd.add_argument(
+        "--snapshot-out",
+        default=None,
+        metavar="FILE",
+        help="write the final ingest snapshot (canonical JSON) to FILE",
+    )
+    ingest_cmd.add_argument(
+        "--rate-out",
+        default=None,
+        metavar="FILE",
+        help="write the sustained sessions/sec measurement as JSON to FILE",
+    )
     report_cmd = sub.choices["report"]
     report_cmd.add_argument(
         "--setting",

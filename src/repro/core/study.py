@@ -35,12 +35,19 @@ class StudyResult:
         figures: Figure-level result objects keyed by figure id
             (e.g. ``"fig1"``), for callers that want the full series.
         hypotheses: Hypothesis verdicts evaluated from this study's data.
+        artifacts: Plain-JSON payloads keyed by artifact id (e.g. an
+            ingest-snapshot dict).  Unlike ``figures`` — arbitrary
+            Python objects dropped at the cache boundary — artifacts
+            survive result caching and campaign checkpoints verbatim,
+            so cross-shard merges behave identically on fresh, cached,
+            and resumed runs.
     """
 
     name: str
     summary: Dict[str, float]
     figures: Dict[str, object] = field(default_factory=dict)
     hypotheses: List[HypothesisVerdict] = field(default_factory=list)
+    artifacts: Dict[str, object] = field(default_factory=dict)
 
 
 @dataclass

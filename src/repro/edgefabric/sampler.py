@@ -269,6 +269,84 @@ def _synthesize_scalar(
             ci_half[i, :, j] = halfwidth
 
 
+def _ci_half_grid(
+    pair_of: np.ndarray,
+    route_of: np.ndarray,
+    sessions: np.ndarray,
+    cfg: MeasurementConfig,
+    ci_half: np.ndarray,
+) -> np.ndarray:
+    """Fill the CI half-width tensor; returns ``sqrt(sessions)``.
+
+    CI half-widths are constant across a pair's routes, so a masked
+    broadcast replaces a per-route scatter.  Same expression as the
+    scalar lane (bit-identical): z·scale / sqrt(n), NaN where no route.
+    Shared by the fast and streaming lanes so their CI planes cannot
+    drift apart.
+    """
+    n_pairs, _, k = ci_half.shape
+    root_n = np.sqrt(sessions)
+    has_route = np.zeros((n_pairs, 1, k), dtype=bool)
+    has_route[pair_of, 0, route_of] = True
+    halfwidth = median_min_rtt_ci_halfwidth(cfg.min_rtt_noise_ms, 1) / root_n
+    ci_half[...] = np.where(has_route, halfwidth[:, :, None], np.nan)
+    return root_n
+
+
+def _synthesize_streaming(
+    plan: MeasurementPlan,
+    times: np.ndarray,
+    sessions: np.ndarray,
+    cfg: MeasurementConfig,
+    congestion: CongestionModel,
+    dest_congestion: CongestionModel,
+    medians: np.ndarray,
+    ci_half: np.ndarray,
+    ingest_config,
+    chunk_windows: int,
+) -> None:
+    """Streaming lane: per-session synthesis folded through sketches.
+
+    Draws every individual session MinRTT (floor + exponential
+    residual) and aggregates window medians incrementally with
+    :class:`repro.stream.SessionIngestor` — O(windows) state instead of
+    the batch lanes' O(pairs × windows × routes) analytic draw.  Window
+    medians are *sketch estimates* of the session median; they agree
+    with the batch lanes statistically (see ``docs/streaming.md`` for
+    the tolerance), not bit-for-bit.  CI half-widths reuse the batch
+    lanes' analytic expression bit-identically.
+    """
+    # Imported lazily: repro.stream imports this module for the session
+    # synthesizer, so a top-level import would be circular.
+    from repro.stream.ingest import IngestConfig, SessionIngestor
+    from repro.stream.sessions import stream_sessions
+
+    if ingest_config is None:
+        ingest_config = IngestConfig(window_minutes=cfg.window_minutes)
+    elif ingest_config.window_minutes != cfg.window_minutes:
+        raise MeasurementError(
+            "ingest_config.window_minutes "
+            f"({ingest_config.window_minutes}) must match the measurement "
+            f"window ({cfg.window_minutes})"
+        )
+    ingestor = SessionIngestor(ingest_config)
+    for batch in stream_sessions(
+        plan,
+        cfg,
+        chunk_windows=chunk_windows,
+        congestion=congestion,
+        dest_congestion=dest_congestion,
+    ):
+        ingestor.feed(batch)
+    gauge("edgefabric.stream_sessions", ingestor.sessions)
+    gauge("edgefabric.stream_peak_open_cells", ingestor.peak_open_cells)
+    medians[...] = ingestor.snapshot().median_matrix(
+        plan.pairs, times, cfg.max_routes
+    )
+    slots = plan.slots()
+    _ci_half_grid(slots.pair_of, slots.route_of, sessions, cfg, ci_half)
+
+
 def _synthesize_fast(
     plan: MeasurementPlan,
     times: np.ndarray,
@@ -313,7 +391,7 @@ def _synthesize_fast(
     floor += link_delays[slots.interior_of]
     # One square root on the (pairs × windows) session grid yields both
     # the per-slot noise sd and the CI half-widths.
-    root_n = np.sqrt(sessions)
+    root_n = _ci_half_grid(pi, ri, sessions, cfg, ci_half)
     sd_pairs = cfg.min_rtt_noise_ms / root_n
     rows = sampled_median_matrix(
         floor, rng=rng, noise_scale_ms=cfg.min_rtt_noise_ms, sd=sd_pairs[pi]
@@ -325,13 +403,6 @@ def _synthesize_fast(
     scratch = np.full((n_pairs, k, n_windows), np.nan)
     scratch[pi, ri] = rows
     medians[...] = scratch.transpose(0, 2, 1)
-    # CI half-widths are constant across a pair's routes, so a masked
-    # broadcast replaces a second scatter.  Same expression as the
-    # scalar lane (bit-identical): z·scale / sqrt(n), NaN where no route.
-    has_route = np.zeros((n_pairs, 1, k), dtype=bool)
-    has_route[pi, 0, ri] = True
-    halfwidth = median_min_rtt_ci_halfwidth(cfg.min_rtt_noise_ms, 1) / root_n
-    ci_half[...] = np.where(has_route, halfwidth[:, :, None], np.nan)
 
 
 @traced("edgefabric.synthesize")
@@ -341,6 +412,9 @@ def synthesize_dataset(
     fast: bool = True,
     congestion: Optional[CongestionModel] = None,
     dest_congestion: Optional[CongestionModel] = None,
+    streaming: bool = False,
+    ingest_config=None,
+    chunk_windows: int = 16,
 ) -> EgressDataset:
     """Synthesize the windowed medians for a planned campaign.
 
@@ -357,6 +431,17 @@ def synthesize_dataset(
             been built with this config's seed and congestion
             parameters, or determinism is lost.
         dest_congestion: Same, for the destination-side model.
+        streaming: Synthesize per-session MinRTTs and aggregate the
+            window medians through :mod:`repro.stream` quantile
+            sketches instead of the batch lanes' analytic draw.  Takes
+            precedence over ``fast``.  Medians agree with the batch
+            lanes within the sketch tolerance (``docs/streaming.md``);
+            CI half-widths stay bit-identical.
+        ingest_config: Optional :class:`repro.stream.IngestConfig` for
+            the streaming lane (sketch kind, centroid budget); its
+            window width must match the measurement window.
+        chunk_windows: Streaming-lane batch granularity; output is
+            invariant to it.
 
     Returns:
         The windowed :class:`EgressDataset`.
@@ -372,11 +457,12 @@ def synthesize_dataset(
         congestion = CongestionModel(cfg.seed, cfg.congestion_config())
     if dest_congestion is None:
         dest_congestion = CongestionModel(cfg.seed, cfg.dest_congestion_config())
+    lane_name = "streaming" if streaming else ("fast" if fast else "scalar")
     logger.info(
         "synthesizing %d pairs over %d windows (%s lane)",
         len(pairs),
         times.size,
-        "fast" if fast else "scalar",
+        lane_name,
     )
     gauge("edgefabric.n_pairs", len(pairs))
     gauge("edgefabric.n_windows", int(times.size))
@@ -394,18 +480,32 @@ def synthesize_dataset(
         kept_prefixes, times, sessions_at_peak=cfg.sessions_at_peak, cycle=cycle
     )
 
-    lane = _synthesize_fast if fast else _synthesize_scalar
-    lane(
-        plan if fast else pairs,
-        times,
-        sessions,
-        cfg,
-        rng,
-        congestion,
-        dest_congestion,
-        medians,
-        ci_half,
-    )
+    if streaming:
+        _synthesize_streaming(
+            plan,
+            times,
+            sessions,
+            cfg,
+            congestion,
+            dest_congestion,
+            medians,
+            ci_half,
+            ingest_config,
+            chunk_windows,
+        )
+    else:
+        lane = _synthesize_fast if fast else _synthesize_scalar
+        lane(
+            plan if fast else pairs,
+            times,
+            sessions,
+            cfg,
+            rng,
+            congestion,
+            dest_congestion,
+            medians,
+            ci_half,
+        )
 
     if cfg.probe_loss is not None:
         # Post-lane so losses only blank cells: the measurement streams
@@ -434,17 +534,18 @@ def run_measurement(
     prefixes: Sequence[ClientPrefix],
     config: Optional[MeasurementConfig] = None,
     fast: bool = True,
+    streaming: bool = False,
 ) -> EgressDataset:
     """Run the spray-and-measure campaign over a client population.
 
-    Composes :func:`plan_measurement` (route discovery, shared by both
+    Composes :func:`plan_measurement` (route discovery, shared by all
     lanes) with :func:`synthesize_dataset` (windowed-median synthesis,
-    vectorized by default; pass ``fast=False`` for the scalar
-    reference lane).
+    vectorized by default; ``fast=False`` for the scalar reference
+    lane, ``streaming=True`` for per-session sketch aggregation).
 
     Returns:
         The windowed :class:`EgressDataset`.
     """
     cfg = config or MeasurementConfig()
     plan = plan_measurement(internet, prefixes, cfg)
-    return synthesize_dataset(plan, cfg, fast=fast)
+    return synthesize_dataset(plan, cfg, fast=fast, streaming=streaming)

@@ -76,6 +76,17 @@ class ObsError(ReproError):
     """
 
 
+class StreamError(ReproError):
+    """Raised for streaming measurement-plane failures.
+
+    Examples: updating a quantile sketch with non-finite samples,
+    querying an empty sketch, merging sketches of different kinds or
+    configurations, or deserializing a snapshot whose schema or
+    checksummed shape does not match.  Late-arriving *data* does not
+    raise — it is counted and dropped, exactly like a lost probe.
+    """
+
+
 class AnalysisError(ReproError):
     """Raised for invalid analysis inputs.
 

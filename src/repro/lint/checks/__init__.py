@@ -10,7 +10,7 @@ from typing import List
 
 from repro.lint.checks.crashcalls import CrashCallRule
 from repro.lint.checks.exceptions import SwallowedExceptionRule
-from repro.lint.checks.laneparity import LaneParityRule
+from repro.lint.checks.laneparity import LaneParityRule, StreamingLaneRule
 from repro.lint.checks.rng import FreshGeneratorRule, LegacyRandomRule
 from repro.lint.checks.serialization import PayloadFieldRule
 from repro.lint.checks.timepurity import WallClockRule
@@ -22,6 +22,7 @@ ALL_RULE_CLASSES = (
     FreshGeneratorRule,
     WallClockRule,
     LaneParityRule,
+    StreamingLaneRule,
     CrashCallRule,
     SwallowedExceptionRule,
     PayloadFieldRule,
@@ -40,6 +41,7 @@ __all__ = [
     "LaneParityRule",
     "LegacyRandomRule",
     "PayloadFieldRule",
+    "StreamingLaneRule",
     "SwallowedExceptionRule",
     "WallClockRule",
     "build_rules",

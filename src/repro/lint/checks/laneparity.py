@@ -1,13 +1,19 @@
-"""LANE001 — every public fast lane has a lane-agreement test.
+"""LANE001/LANE002 — every public lane entry point has a parity test.
 
 The vectorized fast lanes (PR 3) are only trustworthy because each one
 ships with a scalar reference lane and a test pinning their agreement
-— bit-identical or within a documented tolerance.  This rule closes
-the loop structurally: any public function exposing a ``fast=``
-parameter must be referenced by name in the lane-agreement suite, so a
-new fast lane cannot merge without its parity contract.
+— bit-identical or within a documented tolerance.  LANE001 closes the
+loop structurally: any public function exposing a ``fast=`` parameter
+must be referenced by name in the lane-agreement suite, so a new fast
+lane cannot merge without its parity contract.
 
-The check is a cross-tree one: ``check_file`` collects fast-lane
+LANE002 extends the same discipline to the streaming measurement plane
+(:mod:`repro.stream`): any public function exposing a ``streaming=``
+parameter — a sketch-backed lane whose medians are *estimates* — must
+also be referenced from the lane-agreement suite, which bounds the
+sketch-vs-exact error.
+
+The check is a cross-tree one: ``check_file`` collects lane
 definitions from library modules, ``finish`` scans the test file
 (``tests/test_lane_agreement.py`` by default) for references.  A bare
 name mention counts — the test body, an import, or a parametrize id
@@ -39,6 +45,13 @@ class LaneParityRule(Rule):
         "every public function with a fast= parameter must be referenced "
         "in the lane-agreement test suite"
     )
+    #: The lane-selecting parameter this rule polices.
+    lane_param = "fast"
+    #: What the missing test should pin down (used in the message).
+    remedy = (
+        "add a lane-agreement test pinning fast=True against the scalar "
+        "reference lane"
+    )
 
     def __init__(self) -> None:
         self._lane_test: Optional[Path] = None
@@ -55,15 +68,14 @@ class LaneParityRule(Rule):
                 continue
             if node.name.startswith("_"):
                 continue
-            if "fast" not in function_parameters(node):
+            if self.lane_param not in function_parameters(node):
                 continue
             test_name = self._lane_test.name if self._lane_test else "the lane suite"
             finding = ctx.finding(
                 self,
                 node,
-                f"public fast-lane function '{node.name}' has no reference "
-                f"in {test_name}; add a lane-agreement test pinning "
-                "fast=True against the scalar reference lane",
+                f"public {self.lane_param}-lane function '{node.name}' has "
+                f"no reference in {test_name}; {self.remedy}",
             )
             if not ctx.suppressed(finding):
                 self._pending.append((node.name, finding))
@@ -80,3 +92,19 @@ class LaneParityRule(Rule):
         for name, finding in self._pending:
             if name not in referenced:
                 yield finding
+
+
+class StreamingLaneRule(LaneParityRule):
+    """LANE002: public ``streaming=`` lanes need a lane-agreement test."""
+
+    rule_id = "LANE002"
+    name = "streaming-lane-parity"
+    description = (
+        "every public function with a streaming= parameter must be "
+        "referenced in the lane-agreement test suite"
+    )
+    lane_param = "streaming"
+    remedy = (
+        "add a lane-agreement test bounding the sketch-backed "
+        "streaming=True output against a batch lane"
+    )

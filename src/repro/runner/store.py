@@ -22,9 +22,11 @@ parses as JSON.  Unreadable entries split two ways:
   force a re-simulation — but it can never be *silently* re-trusted.
 
 Only the durable parts of a :class:`~repro.core.study.StudyResult`
-are persisted: the summary statistics and the hypothesis verdicts.
-Figure objects hold full datasets and are cheap to recut from a
-re-run, so a cache hit returns a result with ``figures == {}``.
+are persisted: the summary statistics, the hypothesis verdicts, and
+the plain-JSON ``artifacts`` (e.g. ingest-snapshot sketches, which
+campaign merges need verbatim).  Figure objects hold full datasets and
+are cheap to recut from a re-run, so a cache hit returns a result with
+``figures == {}``.
 """
 
 from __future__ import annotations
@@ -83,6 +85,7 @@ def result_to_payload(result) -> Dict:
             }
             for verdict in result.hypotheses
         ],
+        "artifacts": dict(getattr(result, "artifacts", {}) or {}),
     }
 
 
@@ -118,6 +121,7 @@ def payload_to_result(payload: Dict):
         summary={k: float(v) for k, v in payload["summary"].items()},
         figures={},
         hypotheses=hypotheses,
+        artifacts=dict(payload.get("artifacts", {})),
     )
 
 

@@ -1,0 +1,73 @@
+"""repro.stream — streaming measurement plane with mergeable sketches.
+
+Turns the batch pipelines' O(sessions) memory profile into O(windows):
+sessions are folded into one mergeable quantile sketch per
+⟨PoP, prefix, route⟩ 15-minute window as they arrive, windows close
+behind a watermark, and shard snapshots merge deterministically.
+
+Layering (see ``docs/streaming.md``):
+
+* :mod:`repro.stream.sketch` — P² and centroid (t-digest style)
+  quantile sketches: ``update_batch`` / ``merge`` / ``quantile`` /
+  canonical JSON.
+* :mod:`repro.stream.window` — keyed tumbling windows with
+  watermark-based closing and late-data accounting.
+* :mod:`repro.stream.ingest` — ``SessionIngestor.feed/snapshot/merge``
+  plus the O(sessions) ``ExactIngestor`` parity twin.
+* :mod:`repro.stream.sessions` — synthesizes the edge-fabric session
+  stream batch-by-batch for the ``repro-bgp ingest`` service mode.
+* :mod:`repro.stream.shard` — ingest shards as campaign studies whose
+  snapshots survive caching/checkpointing and merge byte-identically.
+"""
+
+from repro.stream.sketch import (
+    RANK_TOLERANCE,
+    SKETCH_KINDS,
+    CentroidSketch,
+    P2Sketch,
+    Sketch,
+    make_sketch,
+    sketch_from_dict,
+    sketch_from_json,
+)
+from repro.stream.window import WindowSpec, WindowedAggregator
+from repro.stream.ingest import (
+    ExactIngestor,
+    IngestConfig,
+    IngestSnapshot,
+    Key,
+    SessionBatch,
+    SessionIngestor,
+    merge_snapshots,
+)
+from repro.stream.sessions import stream_sessions, session_key_table
+from repro.stream.shard import (
+    SNAPSHOT_ARTIFACT,
+    IngestShardStudy,
+    merge_snapshot_artifacts,
+)
+
+__all__ = [
+    "RANK_TOLERANCE",
+    "SKETCH_KINDS",
+    "CentroidSketch",
+    "P2Sketch",
+    "Sketch",
+    "make_sketch",
+    "sketch_from_dict",
+    "sketch_from_json",
+    "WindowSpec",
+    "WindowedAggregator",
+    "ExactIngestor",
+    "IngestConfig",
+    "IngestSnapshot",
+    "Key",
+    "SessionBatch",
+    "SessionIngestor",
+    "merge_snapshots",
+    "stream_sessions",
+    "session_key_table",
+    "SNAPSHOT_ARTIFACT",
+    "IngestShardStudy",
+    "merge_snapshot_artifacts",
+]

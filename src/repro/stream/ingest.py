@@ -1,0 +1,428 @@
+"""Incremental session ingest: feed → snapshot → merge.
+
+The streaming counterpart of :func:`repro.netmodel.rtt.sampled_median_matrix`:
+instead of materializing every session RTT and taking one median per
+⟨PoP, prefix, route⟩ 15-minute window, a :class:`SessionIngestor` folds
+session batches into one mergeable quantile sketch per cell.  Memory is
+O(windows × keys), not O(sessions).
+
+The unit of transport is a :class:`SessionBatch` — a compact columnar
+slab of ⟨key id, time, RTT⟩ rows plus a key table resolving ids to
+⟨PoP code, prefix id, route index⟩ triples.  Batches are what the
+synthesizer (:mod:`repro.stream.sessions`) yields and what shards feed.
+
+Determinism contract: feeding the same batches in the same order always
+yields byte-identical snapshots, and merging shard snapshots whose key
+sets are disjoint is byte-identical to one ingestor having seen all the
+shards' batches (each key's samples arrive in the same order either
+way).  An :class:`ExactIngestor` twin retains raw samples (O(sessions)
+memory — the thing this subsystem exists to avoid) so tests can bound
+sketch error against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.obs.trace import counter
+from repro.stream.sketch import (
+    SKETCH_KINDS,
+    CentroidSketch,
+    P2Sketch,
+    Sketch,
+    _dump_canonical,
+    sketch_from_dict,
+)
+from repro.stream.window import WindowedAggregator, WindowSpec
+
+#: ⟨PoP code, prefix id, route index⟩ — the cell key of the measurement plane.
+Key = Tuple[str, str, int]
+
+_SNAPSHOT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class IngestConfig:
+    """Configuration shared by every shard of one ingest campaign.
+
+    A frozen dataclass of scalars so it can ride inside a
+    :class:`~repro.runner.job.JobSpec` (content-hashable) unchanged.
+    """
+
+    window_minutes: float = 15.0
+    sketch: str = "centroid"
+    max_centroids: int = 64
+    allowed_lateness_windows: int = 1
+
+    def __post_init__(self) -> None:
+        if self.window_minutes <= 0:
+            raise StreamError(
+                f"window_minutes must be positive, got {self.window_minutes}"
+            )
+        if self.sketch not in SKETCH_KINDS:
+            raise StreamError(
+                f"unknown sketch kind {self.sketch!r}; "
+                f"expected one of {sorted(SKETCH_KINDS)}"
+            )
+        if self.max_centroids < 8:
+            raise StreamError(
+                f"max_centroids must be >= 8, got {self.max_centroids}"
+            )
+        if self.allowed_lateness_windows < 0:
+            raise StreamError(
+                "allowed_lateness_windows must be >= 0, got "
+                f"{self.allowed_lateness_windows}"
+            )
+
+    def make_sketch(self) -> Sketch:
+        if self.sketch == "p2":
+            return P2Sketch(p=0.5)
+        return CentroidSketch(max_centroids=self.max_centroids)
+
+
+@dataclass(frozen=True)
+class SessionBatch:
+    """One columnar slab of sessions: aligned key ids, times, RTTs."""
+
+    key_table: Tuple[Key, ...]
+    key_ids: np.ndarray
+    times_h: np.ndarray
+    rtt_ms: np.ndarray
+
+    def __post_init__(self) -> None:
+        ids = np.asarray(self.key_ids)
+        times = np.asarray(self.times_h, dtype=np.float64)
+        rtts = np.asarray(self.rtt_ms, dtype=np.float64)
+        if not (ids.shape == times.shape == rtts.shape) or ids.ndim != 1:
+            raise StreamError(
+                "key_ids, times_h and rtt_ms must be aligned 1-d arrays, got "
+                f"shapes {ids.shape}, {times.shape}, {rtts.shape}"
+            )
+        if ids.size:
+            if ids.min() < 0 or ids.max() >= len(self.key_table):
+                raise StreamError(
+                    f"key id out of range for a table of {len(self.key_table)}"
+                )
+            if not np.all(np.isfinite(times)):
+                raise StreamError("session times must be finite")
+            if not np.all(np.isfinite(rtts)):
+                raise StreamError("session RTTs must be finite")
+        object.__setattr__(self, "key_ids", ids.astype(np.int64))
+        object.__setattr__(self, "times_h", times)
+        object.__setattr__(self, "rtt_ms", rtts)
+
+    @property
+    def n_sessions(self) -> int:
+        return int(self.key_ids.size)
+
+    @classmethod
+    def from_rows(
+        cls, rows: Iterable[Tuple[Key, float, float]]
+    ) -> "SessionBatch":
+        """Build a batch from ⟨key, time, rtt⟩ rows (test convenience)."""
+        materialized = list(rows)
+        table: List[Key] = []
+        index: Dict[Key, int] = {}
+        ids = np.empty(len(materialized), dtype=np.int64)
+        times = np.empty(len(materialized), dtype=np.float64)
+        rtts = np.empty(len(materialized), dtype=np.float64)
+        for i, (key, t, rtt) in enumerate(materialized):
+            kid = index.get(key)
+            if kid is None:
+                kid = index[key] = len(table)
+                table.append(key)
+            ids[i] = kid
+            times[i] = t
+            rtts[i] = rtt
+        return cls(
+            key_table=tuple(table), key_ids=ids, times_h=times, rtt_ms=rtts
+        )
+
+
+@dataclass(frozen=True)
+class IngestSnapshot:
+    """Immutable, serializable state of an ingestor: one sketch per cell.
+
+    ``entries`` is sorted by ⟨key, window⟩ so equal ingest state always
+    serializes to identical bytes.
+    """
+
+    config: IngestConfig
+    sessions: int
+    late_dropped: int
+    entries: Tuple[Tuple[Key, int, Mapping[str, object]], ...]
+
+    def median_matrix(
+        self, pairs: Sequence[object], times_h: np.ndarray, max_routes: int
+    ) -> np.ndarray:
+        """Render sketch medians into the batch lane's (P, W, K) layout.
+
+        ``pairs`` are :class:`~repro.edgefabric.dataset.PairKey`-like
+        objects (``pop_code``/``prefix.pid`` attributes); cells with no
+        sketch stay NaN, matching routes a pair does not have.  Window
+        column indices come from window *midpoints* so non-dyadic
+        window widths cannot fall on a float boundary.
+        """
+        spec = WindowSpec(self.config.window_minutes)
+        times = np.asarray(times_h, dtype=np.float64)
+        widx = spec.index_of(times + 0.5 * spec.hours)
+        col_of = {int(w): i for i, w in enumerate(widx)}
+        pair_of = {
+            (p.pop_code, p.prefix.pid): i for i, p in enumerate(pairs)
+        }
+        out = np.full((len(pairs), times.size, max_routes), np.nan)
+        for (pop, pid, route), window, payload in self.entries:
+            pi = pair_of.get((pop, pid))
+            ci = col_of.get(window)
+            if pi is None or ci is None or route >= max_routes:
+                continue
+            sketch = sketch_from_dict(payload)
+            if sketch.count:
+                out[pi, ci, route] = sketch.quantile(0.5)
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": _SNAPSHOT_SCHEMA,
+            "kind": "ingest-snapshot",
+            "window_minutes": self.config.window_minutes,
+            "sketch": self.config.sketch,
+            "max_centroids": self.config.max_centroids,
+            "allowed_lateness_windows": self.config.allowed_lateness_windows,
+            "sessions": self.sessions,
+            "late_dropped": self.late_dropped,
+            "entries": [
+                {
+                    "pop": key[0],
+                    "prefix": key[1],
+                    "route": key[2],
+                    "window": window,
+                    "sketch": dict(payload),
+                }
+                for key, window, payload in self.entries
+            ],
+        }
+
+    def to_json(self) -> str:
+        return _dump_canonical(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "IngestSnapshot":
+        try:
+            if data["kind"] != "ingest-snapshot":
+                raise StreamError(
+                    f"not an ingest snapshot: kind={data['kind']!r}"
+                )
+            if data["schema"] != _SNAPSHOT_SCHEMA:
+                raise StreamError(
+                    f"unsupported snapshot schema {data['schema']!r}"
+                )
+            config = IngestConfig(
+                window_minutes=float(data["window_minutes"]),  # type: ignore[arg-type]
+                sketch=str(data["sketch"]),
+                max_centroids=int(data["max_centroids"]),  # type: ignore[call-overload]
+                allowed_lateness_windows=int(
+                    data["allowed_lateness_windows"]  # type: ignore[call-overload]
+                ),
+            )
+            entries = []
+            for row in data["entries"]:  # type: ignore[attr-defined]
+                key = (str(row["pop"]), str(row["prefix"]), int(row["route"]))
+                entries.append((key, int(row["window"]), row["sketch"]))
+            return cls(
+                config=config,
+                sessions=int(data["sessions"]),  # type: ignore[call-overload]
+                late_dropped=int(data["late_dropped"]),  # type: ignore[call-overload]
+                entries=tuple(entries),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StreamError(f"malformed ingest snapshot: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "IngestSnapshot":
+        import json
+
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise StreamError(f"snapshot is not valid JSON: {exc}") from exc
+        if not isinstance(data, Mapping):
+            raise StreamError("snapshot JSON must be an object")
+        return cls.from_dict(data)
+
+
+class SessionIngestor:
+    """Streaming aggregation of session batches into per-cell sketches."""
+
+    def __init__(self, config: Optional[IngestConfig] = None):
+        self.config = config or IngestConfig()
+        self._agg = WindowedAggregator(
+            window_minutes=self.config.window_minutes,
+            sketch_factory=self.config.make_sketch,
+            allowed_lateness_windows=self.config.allowed_lateness_windows,
+        )
+        self.sessions = 0
+        self.batches = 0
+
+    @property
+    def late_dropped(self) -> int:
+        return self._agg.late_dropped
+
+    @property
+    def n_cells(self) -> int:
+        return self._agg.n_cells
+
+    @property
+    def peak_open_cells(self) -> int:
+        return self._agg.peak_open
+
+    @property
+    def watermark_h(self) -> float:
+        return self._agg.watermark_h
+
+    def feed(self, batch: SessionBatch) -> None:
+        """Fold one batch, then advance the watermark to its newest time."""
+        if batch.n_sessions:
+            order = np.argsort(batch.key_ids, kind="stable")
+            ids = batch.key_ids[order]
+            times = batch.times_h[order]
+            rtts = batch.rtt_ms[order]
+            bounds = np.flatnonzero(np.diff(ids)) + 1
+            for id_chunk, t_chunk, r_chunk in zip(
+                np.split(ids, bounds),
+                np.split(times, bounds),
+                np.split(rtts, bounds),
+            ):
+                key = batch.key_table[int(id_chunk[0])]
+                self._agg.observe(key, t_chunk, r_chunk)
+            self._agg.advance_watermark(float(batch.times_h.max()))
+        self.sessions += batch.n_sessions
+        self.batches += 1
+        counter("stream.ingest.sessions", batch.n_sessions)
+        counter("stream.ingest.batches", 1)
+
+    def merge(self, other: "SessionIngestor") -> "SessionIngestor":
+        """Fold another ingestor's state into this one (in place)."""
+        if other.config != self.config:
+            raise StreamError(
+                "cannot merge ingestors with different configs: "
+                f"{self.config} vs {other.config}"
+            )
+        for key, window, sketch in sorted(
+            other._agg.items(), key=lambda kws: (kws[0], kws[1])
+        ):
+            mine = self._agg.get(key, window)
+            if mine is None or mine.count == 0:
+                # Adopt a copy: merging into an empty sketch would
+                # recompress, breaking byte-identity of shard merges.
+                self._agg.adopt(key, window, sketch_from_dict(sketch.to_dict()))
+            else:
+                mine.merge(sketch)
+        if other._agg.watermark_h > self._agg.watermark_h:
+            self._agg.advance_watermark(other._agg.watermark_h)
+        self.sessions += other.sessions
+        self.batches += other.batches
+        self._agg.late_dropped += other._agg.late_dropped
+        return self
+
+    def snapshot(self) -> IngestSnapshot:
+        entries = sorted(
+            (
+                (key, window, sketch.to_dict())
+                for key, window, sketch in self._agg.items()
+            ),
+            key=lambda kws: (kws[0], kws[1]),
+        )
+        return IngestSnapshot(
+            config=self.config,
+            sessions=self.sessions,
+            late_dropped=self.late_dropped,
+            entries=tuple(entries),
+        )
+
+
+@dataclass
+class ExactIngestor:
+    """O(sessions)-memory reference twin retaining every raw sample.
+
+    Same ``feed``/``merge`` surface as :class:`SessionIngestor` so lane
+    tests can run both over one stream and compare medians.  Keeps no
+    watermark: every sample is retained, late or not (documented
+    asymmetry — exactness is the point of this lane).
+    """
+
+    window_minutes: float = 15.0
+    _cells: Dict[Tuple[Key, int], List[float]] = field(default_factory=dict)
+    sessions: int = 0
+
+    def feed(self, batch: SessionBatch) -> None:
+        spec = WindowSpec(self.window_minutes)
+        widx = spec.index_of(batch.times_h)
+        for kid, w, rtt in zip(batch.key_ids, widx, batch.rtt_ms):
+            cell = (batch.key_table[int(kid)], int(w))
+            self._cells.setdefault(cell, []).append(float(rtt))
+        self.sessions += batch.n_sessions
+
+    def merge(self, other: "ExactIngestor") -> "ExactIngestor":
+        if other.window_minutes != self.window_minutes:
+            raise StreamError(
+                "cannot merge exact ingestors with different windows: "
+                f"{self.window_minutes} vs {other.window_minutes}"
+            )
+        for cell, samples in other._cells.items():
+            self._cells.setdefault(cell, []).extend(samples)
+        self.sessions += other.sessions
+        return self
+
+    def medians(self) -> Dict[Tuple[Key, int], float]:
+        return {
+            cell: float(np.median(samples))
+            for cell, samples in self._cells.items()
+        }
+
+
+def merge_snapshots(snapshots: Sequence[IngestSnapshot]) -> IngestSnapshot:
+    """Deterministically fold shard snapshots into one.
+
+    All snapshots must share one config.  Per-cell sketches are merged
+    in sorted ⟨key, window⟩ order; for the disjoint-key sharding the
+    campaign layer uses, the result is byte-identical to a single
+    ingestor having consumed every shard's stream.
+    """
+    if not snapshots:
+        raise StreamError("cannot merge zero snapshots")
+    config = snapshots[0].config
+    for snap in snapshots[1:]:
+        if snap.config != config:
+            raise StreamError(
+                "cannot merge snapshots with different configs: "
+                f"{config} vs {snap.config}"
+            )
+    cells: Dict[Tuple[Key, int], Sketch] = {}
+    sessions = 0
+    late = 0
+    for snap in snapshots:
+        sessions += snap.sessions
+        late += snap.late_dropped
+        for key, window, payload in snap.entries:
+            cell = (key, window)
+            incoming = sketch_from_dict(payload)
+            existing = cells.get(cell)
+            if existing is None:
+                cells[cell] = incoming
+            else:
+                existing.merge(incoming)
+    entries = tuple(
+        (key, window, cells[(key, window)].to_dict())
+        for key, window in sorted(cells)
+    )
+    return IngestSnapshot(
+        config=config,
+        sessions=sessions,
+        late_dropped=late,
+        entries=entries,
+    )

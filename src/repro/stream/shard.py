@@ -1,0 +1,151 @@
+"""Sharded ingest as campaign jobs, with deterministic snapshot merge.
+
+An :class:`IngestShardStudy` is a regular study (``run() ->
+StudyResult``) whose result carries an ingest snapshot in
+``StudyResult.artifacts`` — the plain-JSON channel that survives the
+worker process boundary, the result cache, *and* campaign checkpoints
+verbatim.  That verbatim transport is what makes the cross-shard merge
+deterministic: fresh, cached, and resumed campaigns all hand
+:func:`merge_snapshot_artifacts` byte-identical inputs, and the merge
+itself folds cells in sorted ⟨key, window⟩ order, so the merged
+snapshot is byte-identical every time.
+
+Shards split the measurement plan by pair index (``i % n_shards ==
+shard``).  Each shard synthesizes its own session noise (it is an
+independent measurement process), so the merged snapshot is
+*statistically* equivalent to a single-pass ingest over the full plan,
+and *bit*-equal to any other run of the same shard decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Sequence
+
+from repro.errors import StreamError
+from repro.obs.trace import span
+from repro.stream.ingest import (
+    IngestConfig,
+    IngestSnapshot,
+    SessionIngestor,
+    merge_snapshots,
+)
+
+#: Artifact key under which shard studies store their snapshot.
+SNAPSHOT_ARTIFACT = "ingest_snapshot"
+
+
+@dataclass
+class IngestShardStudy:
+    """One shard of a streaming ingest campaign.
+
+    Args:
+        seed: Master seed (topology, workload, and session noise).
+        n_prefixes: Client prefix population size.
+        days: Campaign length in simulated days.
+        shard: This shard's index in ``[0, n_shards)``.
+        n_shards: Total number of shards the plan is split across.
+        sketch: Sketch kind (``"centroid"`` or ``"p2"``).
+        max_centroids: Centroid budget for ``"centroid"`` sketches.
+        chunk_windows: Windows per synthesized session batch.
+    """
+
+    #: Simulated measurement platform (circuit-breaker grouping key).
+    platform: ClassVar[str] = "stream"
+
+    seed: int = 0
+    n_prefixes: int = 300
+    days: float = 10.0
+    shard: int = 0
+    n_shards: int = 1
+    sketch: str = "centroid"
+    max_centroids: int = 64
+    chunk_windows: int = 16
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1 or not 0 <= self.shard < self.n_shards:
+            raise StreamError(
+                f"shard must be in [0, n_shards), got "
+                f"{self.shard}/{self.n_shards}"
+            )
+
+    def run(self):
+        """Stream this shard's sessions; snapshot rides in artifacts."""
+        from repro.core.configs import edgefabric_topology
+        from repro.core.study import StudyResult
+        from repro.topology import build_internet
+        from repro.workloads import generate_client_prefixes
+        from repro.edgefabric.sampler import (
+            MeasurementConfig,
+            MeasurementPlan,
+            plan_measurement,
+        )
+        from repro.stream.sessions import stream_sessions
+
+        cfg = MeasurementConfig(days=self.days, seed=self.seed + 2)
+        with span("study.ingest.topology", seed=self.seed, shard=self.shard):
+            internet = build_internet(edgefabric_topology(self.seed))
+        with span("study.ingest.workload"):
+            prefixes = generate_client_prefixes(
+                internet, self.n_prefixes, seed=self.seed + 1
+            )
+        with span("study.ingest.plan"):
+            plan = plan_measurement(internet, prefixes, cfg)
+            keep = [
+                i
+                for i in range(len(plan.pairs))
+                if i % self.n_shards == self.shard
+            ]
+            shard_plan = MeasurementPlan(
+                pairs=tuple(plan.pairs[i] for i in keep),
+                prefixes=tuple(plan.prefixes[i] for i in keep),
+            )
+        ingestor = SessionIngestor(
+            IngestConfig(
+                window_minutes=cfg.window_minutes,
+                sketch=self.sketch,
+                max_centroids=self.max_centroids,
+            )
+        )
+        with span("study.ingest.stream", shard=self.shard):
+            if shard_plan.pairs:
+                for batch in stream_sessions(
+                    shard_plan, cfg, chunk_windows=self.chunk_windows
+                ):
+                    ingestor.feed(batch)
+        snapshot = ingestor.snapshot()
+        summary = {
+            "n_pairs": float(len(shard_plan.pairs)),
+            "sessions": float(ingestor.sessions),
+            "batches": float(ingestor.batches),
+            "cells": float(ingestor.n_cells),
+            "peak_open_cells": float(ingestor.peak_open_cells),
+            "late_dropped": float(ingestor.late_dropped),
+        }
+        return StudyResult(
+            name=f"ingest-shard-{self.shard}-of-{self.n_shards}",
+            summary=summary,
+            artifacts={SNAPSHOT_ARTIFACT: snapshot.to_dict()},
+        )
+
+
+def merge_snapshot_artifacts(
+    results: Sequence[object], key: str = SNAPSHOT_ARTIFACT
+) -> IngestSnapshot:
+    """Fold shard study results into one merged snapshot.
+
+    Accepts results in campaign order (fresh, cached, or restored from
+    a checkpoint — artifacts are identical in all three cases) and
+    returns the deterministic merge of their snapshots.
+    """
+    snapshots = []
+    for result in results:
+        artifacts = getattr(result, "artifacts", None) or {}
+        payload = artifacts.get(key)
+        if payload is None:
+            raise StreamError(
+                f"result {getattr(result, 'name', result)!r} carries no "
+                f"{key!r} artifact"
+            )
+        snapshots.append(IngestSnapshot.from_dict(payload))
+    return merge_snapshots(snapshots)

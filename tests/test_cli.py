@@ -63,6 +63,89 @@ class TestCommands:
         assert len(text.splitlines()) > 10
 
 
+class TestIngest:
+    def test_flags_parsed(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "ingest",
+                "--shards",
+                "3",
+                "--chunk-windows",
+                "8",
+                "--sketch",
+                "p2",
+                "--max-centroids",
+                "32",
+                "--compare-batch",
+                "--snapshot-out",
+                "snap.json",
+                "--rate-out",
+                "rate.json",
+            ]
+        )
+        assert args.shards == 3
+        assert args.chunk_windows == 8
+        assert args.sketch == "p2"
+        assert args.max_centroids == 32
+        assert args.compare_batch is True
+        assert args.snapshot_out == "snap.json"
+        assert args.rate_out == "rate.json"
+
+    def test_list_mentions_ingest(self, capsys):
+        assert main(["list"]) == 0
+        assert "ingest" in capsys.readouterr().out
+
+    def test_runs_end_to_end(self, capsys, tmp_path):
+        """The service mode streams, reports, and writes its artifacts."""
+        snap = tmp_path / "snapshot.json"
+        rate = tmp_path / "rate.json"
+        assert (
+            main(
+                [
+                    "ingest",
+                    "--scale",
+                    "25",
+                    "--days",
+                    "0.25",
+                    "--snapshot-out",
+                    str(snap),
+                    "--rate-out",
+                    str(rate),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sessions ingested" in out
+        assert "sessions/sec" in out
+
+        import json
+
+        from repro.stream import IngestSnapshot
+
+        snapshot = IngestSnapshot.from_json(snap.read_text())
+        assert snapshot.sessions > 0
+        assert snapshot.to_json() == snap.read_text()  # canonical bytes
+        measured = json.loads(rate.read_text())
+        assert measured["sessions"] == snapshot.sessions
+        assert measured["sessions_per_sec"] > 0
+
+    def test_compare_batch_agrees(self, capsys):
+        assert (
+            main(["ingest", "--scale", "25", "--days", "0.25", "--compare-batch"])
+            == 0
+        )
+        assert "lanes agree within tolerance" in capsys.readouterr().out
+
+    def test_sharded_merge_is_byte_identical(self, capsys):
+        assert (
+            main(["ingest", "--scale", "25", "--days", "0.25", "--shards", "2"])
+            == 0
+        )
+        assert "byte-identical to in-process merge" in capsys.readouterr().out
+
+
 class TestCampaign:
     def test_flags_parsed(self):
         parser = build_parser()

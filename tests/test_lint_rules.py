@@ -279,6 +279,57 @@ class TestLaneParity:
         assert rules_of(findings) == set()
 
 
+class TestStreamingLaneParity:
+    STREAMING_FN = """
+        def aggregate(values, streaming=False):
+            return values
+        """
+
+    def test_unreferenced_streaming_lane_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            self.STREAMING_FN,
+            rel="src/repro/stream/agg.py",
+            lane_test="def test_other():\n    pass\n",
+        )
+        assert "LANE002" in rules_of(findings)
+
+    def test_referenced_streaming_lane_passes(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            self.STREAMING_FN,
+            rel="src/repro/stream/agg.py",
+            lane_test="""
+            def test_aggregate_lanes_agree():
+                assert aggregate([1], streaming=True) == aggregate([1])
+            """,
+        )
+        assert rules_of(findings) == set()
+
+    def test_private_streaming_helpers_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def _aggregate_impl(values, streaming=False):
+                return values
+            """,
+            rel="src/repro/stream/agg.py",
+        )
+        assert rules_of(findings) == set()
+
+    def test_both_lane_params_flag_independently(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def synthesize(values, fast=True, streaming=False):
+                return values
+            """,
+            rel="src/repro/edgefabric/synth.py",
+            lane_test="def test_other():\n    pass\n",
+        )
+        assert {"LANE001", "LANE002"} <= rules_of(findings)
+
+
 class TestCrashContainment:
     def test_crash_call_outside_faults_flagged(self, tmp_path):
         findings = lint_snippet(
@@ -570,6 +621,9 @@ VIOLATION_FILES = {
             os._exit(1)
 
         def resample(values, fast=True):
+            return values
+
+        def ingest(values, streaming=False):
             return values
         """,
     "src/repro/runner/bad.py": """

@@ -45,6 +45,33 @@ class TestRoundtrip:
         # Figures are deliberately not persisted.
         assert cached.result.figures == {}
 
+    def test_artifacts_roundtrip_verbatim(self, tmp_path, spec, result):
+        """Unlike figures, artifacts are plain JSON and must survive
+        the cache byte-for-byte (the streaming shard merge depends on
+        this)."""
+        result.artifacts = {
+            "ingest_snapshot": {"schema": 1, "entries": [{"window": 3}]}
+        }
+        store = ResultStore(tmp_path)
+        store.put(spec, result, elapsed_s=0.5)
+        cached = store.get(spec)
+        assert cached.result.artifacts == result.artifacts
+
+    def test_pre_artifact_entries_still_read(self, tmp_path, spec, result):
+        """Cache entries written before the artifacts field existed
+        deserialize with an empty artifacts dict, not an error."""
+        store = ResultStore(tmp_path)
+        path = store.put(spec, result, elapsed_s=0.5)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        del document["result"]["artifacts"]
+        from repro.runner.store import payload_checksum
+
+        document["checksum"] = payload_checksum(document["result"])
+        path.write_text(json.dumps(document), encoding="utf-8")
+        cached = store.get(spec)
+        assert cached is not None
+        assert cached.result.artifacts == {}
+
     def test_nan_summary_value_roundtrips(self, tmp_path, spec, result):
         result.summary["frac_within_10ms_world"] = float("nan")
         store = ResultStore(tmp_path)

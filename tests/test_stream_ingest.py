@@ -1,0 +1,237 @@
+"""Tests for the session ingest plane: feed → snapshot → merge.
+
+The central contract here is determinism: identical streams yield
+byte-identical snapshots, and disjoint-key shard merges are
+byte-identical to a single ingestor having seen everything.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.stream import (
+    ExactIngestor,
+    IngestConfig,
+    IngestSnapshot,
+    SessionBatch,
+    SessionIngestor,
+    merge_snapshots,
+)
+
+KEY_A = ("iad", "p0", 0)
+KEY_B = ("lhr", "p1", 1)
+
+
+def batch_for(key, times, rtts) -> SessionBatch:
+    return SessionBatch.from_rows((key, t, r) for t, r in zip(times, rtts))
+
+
+class TestSessionBatch:
+    def test_from_rows_builds_key_table(self):
+        batch = SessionBatch.from_rows(
+            [(KEY_A, 0.1, 40.0), (KEY_B, 0.2, 80.0), (KEY_A, 0.3, 41.0)]
+        )
+        assert batch.key_table == (KEY_A, KEY_B)
+        assert batch.key_ids.tolist() == [0, 1, 0]
+        assert batch.n_sessions == 3
+
+    def test_misaligned_columns_rejected(self):
+        with pytest.raises(StreamError, match="aligned"):
+            SessionBatch(
+                key_table=(KEY_A,),
+                key_ids=np.array([0, 0]),
+                times_h=np.array([0.1]),
+                rtt_ms=np.array([40.0]),
+            )
+
+    def test_out_of_range_key_id_rejected(self):
+        with pytest.raises(StreamError, match="out of range"):
+            SessionBatch(
+                key_table=(KEY_A,),
+                key_ids=np.array([1]),
+                times_h=np.array([0.1]),
+                rtt_ms=np.array([40.0]),
+            )
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(StreamError, match="finite"):
+            batch_for(KEY_A, [0.1], [np.nan])
+
+
+class TestSessionIngestor:
+    def test_feed_routes_sessions_to_cells(self):
+        ingestor = SessionIngestor()
+        ingestor.feed(
+            SessionBatch.from_rows(
+                [(KEY_A, 0.1, 40.0), (KEY_A, 0.3, 42.0), (KEY_B, 0.1, 80.0)]
+            )
+        )
+        assert ingestor.sessions == 3 and ingestor.batches == 1
+        assert ingestor.n_cells == 3  # A has two windows, B one
+
+    def test_identical_streams_snapshot_identically(self):
+        def run():
+            ingestor = SessionIngestor()
+            rng = np.random.default_rng(7)
+            for start in range(4):
+                times = start * 0.25 + rng.uniform(0.0, 0.25, 50)
+                ingestor.feed(batch_for(KEY_A, times, rng.exponential(1.5, 50)))
+            return ingestor.snapshot().to_json()
+
+        assert run() == run()
+
+    def test_watermark_advances_with_feed(self):
+        ingestor = SessionIngestor()
+        ingestor.feed(batch_for(KEY_A, [0.1, 0.6], [40.0, 41.0]))
+        assert ingestor.watermark_h == 0.6
+
+    def test_late_sessions_counted(self):
+        ingestor = SessionIngestor(IngestConfig(allowed_lateness_windows=0))
+        ingestor.feed(batch_for(KEY_A, [2.0], [40.0]))
+        ingestor.feed(batch_for(KEY_A, [0.1], [39.0]))
+        assert ingestor.late_dropped == 1
+        assert ingestor.snapshot().late_dropped == 1
+
+    def test_merge_requires_matching_config(self):
+        with pytest.raises(StreamError, match="configs"):
+            SessionIngestor(IngestConfig(sketch="p2")).merge(SessionIngestor())
+
+    def test_merge_combines_counts(self):
+        a, b = SessionIngestor(), SessionIngestor()
+        a.feed(batch_for(KEY_A, [0.1], [40.0]))
+        b.feed(batch_for(KEY_B, [0.2], [80.0]))
+        a.merge(b)
+        assert a.sessions == 2 and a.n_cells == 2
+        assert a.watermark_h == 0.2
+
+
+class TestShardMergeDeterminism:
+    def _shard_stream(self, key, seed):
+        rng = np.random.default_rng(seed)
+        batches = []
+        for start in range(3):
+            times = start * 0.25 + np.sort(rng.uniform(0.0, 0.25, 120))
+            batches.append(batch_for(key, times, rng.exponential(1.5, 120)))
+        return batches
+
+    def test_disjoint_shards_merge_byte_identical(self):
+        """Merging disjoint-key shard snapshots == one ingestor seeing
+        both streams, down to the serialized bytes."""
+        shard_a = SessionIngestor()
+        for batch in self._shard_stream(KEY_A, 10):
+            shard_a.feed(batch)
+        shard_b = SessionIngestor()
+        for batch in self._shard_stream(KEY_B, 11):
+            shard_b.feed(batch)
+
+        # The single-pass twin interleaves the shards' batches in time
+        # order (concatenating whole streams would make every B batch
+        # late against A's final watermark).
+        single = SessionIngestor()
+        for a_batch, b_batch in zip(
+            self._shard_stream(KEY_A, 10), self._shard_stream(KEY_B, 11)
+        ):
+            single.feed(a_batch)
+            single.feed(b_batch)
+
+        merged = merge_snapshots([shard_a.snapshot(), shard_b.snapshot()])
+        assert merged.to_json() == single.snapshot().to_json()
+
+    def test_ingestor_merge_matches_snapshot_merge(self):
+        shard_a = SessionIngestor()
+        for batch in self._shard_stream(KEY_A, 10):
+            shard_a.feed(batch)
+        shard_b = SessionIngestor()
+        for batch in self._shard_stream(KEY_B, 11):
+            shard_b.feed(batch)
+        via_snapshots = merge_snapshots(
+            [shard_a.snapshot(), shard_b.snapshot()]
+        ).to_json()
+        shard_a.merge(shard_b)
+        assert shard_a.snapshot().to_json() == via_snapshots
+
+    def test_merge_snapshots_rejects_mixed_configs(self):
+        a = SessionIngestor(IngestConfig(sketch="p2")).snapshot()
+        b = SessionIngestor().snapshot()
+        with pytest.raises(StreamError, match="configs"):
+            merge_snapshots([a, b])
+
+    def test_merge_zero_snapshots_rejected(self):
+        with pytest.raises(StreamError, match="zero"):
+            merge_snapshots([])
+
+
+class TestSnapshotSerialization:
+    def _snapshot(self):
+        ingestor = SessionIngestor()
+        rng = np.random.default_rng(12)
+        for start in range(3):
+            times = start * 0.25 + rng.uniform(0.0, 0.25, 40)
+            ingestor.feed(batch_for(KEY_A, times, rng.exponential(1.5, 40)))
+        return ingestor.snapshot()
+
+    def test_json_roundtrip_byte_identical(self):
+        snap = self._snapshot()
+        text = snap.to_json()
+        assert IngestSnapshot.from_json(text).to_json() == text
+
+    def test_malformed_snapshot_rejected(self):
+        with pytest.raises(StreamError, match="malformed"):
+            IngestSnapshot.from_dict({"kind": "ingest-snapshot", "schema": 1})
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(StreamError, match="not an ingest snapshot"):
+            IngestSnapshot.from_dict({"kind": "other", "schema": 1})
+
+    def test_garbage_json_rejected(self):
+        with pytest.raises(StreamError, match="JSON"):
+            IngestSnapshot.from_json("{torn")
+
+    def test_median_matrix_layout(self):
+        snap = self._snapshot()
+        pairs = [
+            SimpleNamespace(pop_code="iad", prefix=SimpleNamespace(pid="p0")),
+            SimpleNamespace(pop_code="lhr", prefix=SimpleNamespace(pid="p9")),
+        ]
+        times = np.arange(0.0, 1.0, 0.25)
+        out = snap.median_matrix(pairs, times, max_routes=2)
+        assert out.shape == (2, 4, 2)
+        assert np.isfinite(out[0, :3, 0]).all()  # three fed windows
+        assert np.isnan(out[0, 3, 0])  # nothing landed in window 3
+        assert np.isnan(out[0, :, 1]).all()  # route 1 never fed
+        assert np.isnan(out[1]).all()  # unknown pair stays NaN
+
+
+class TestExactIngestor:
+    def test_matches_numpy_median_per_cell(self):
+        exact = ExactIngestor()
+        rng = np.random.default_rng(13)
+        times = rng.uniform(0.0, 0.25, 30)
+        rtts = rng.exponential(1.5, 30)
+        exact.feed(batch_for(KEY_A, times, rtts))
+        assert exact.medians()[(KEY_A, 0)] == float(np.median(rtts))
+
+    def test_merge_extends_cells(self):
+        a, b = ExactIngestor(), ExactIngestor()
+        a.feed(batch_for(KEY_A, [0.1], [40.0]))
+        b.feed(batch_for(KEY_A, [0.2], [42.0]))
+        a.merge(b)
+        assert a.medians()[(KEY_A, 0)] == 41.0
+        assert a.sessions == 2
+
+    def test_merge_requires_matching_window(self):
+        with pytest.raises(StreamError, match="windows"):
+            ExactIngestor(window_minutes=15.0).merge(
+                ExactIngestor(window_minutes=5.0)
+            )
+
+    def test_retains_late_samples(self):
+        """Documented asymmetry: the exact lane has no watermark."""
+        exact = ExactIngestor()
+        exact.feed(batch_for(KEY_A, [5.0], [40.0]))
+        exact.feed(batch_for(KEY_A, [0.1], [39.0]))
+        assert (KEY_A, 0) in exact.medians()

@@ -1,0 +1,190 @@
+"""Unit tests for the mergeable quantile sketches.
+
+The property suite (``test_stream_properties.py``) bounds accuracy over
+generated inputs; these tests pin the deterministic surface — exact
+small-sample paths, serialization byte-identity, merge semantics, and
+the error taxonomy.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.stream import (
+    RANK_TOLERANCE,
+    SKETCH_KINDS,
+    CentroidSketch,
+    P2Sketch,
+    make_sketch,
+    sketch_from_dict,
+    sketch_from_json,
+)
+
+
+class TestP2Sketch:
+    def test_exact_below_five_samples(self):
+        sketch = P2Sketch()
+        sketch.update_batch([3.0, 1.0, 2.0])
+        assert sketch.quantile(0.5) == 2.0
+
+    def test_tracks_exponential_median(self):
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(1.5, size=20_000)
+        sketch = P2Sketch()
+        sketch.update_batch(samples)
+        assert sketch.quantile(0.5) == pytest.approx(
+            float(np.median(samples)), rel=0.02
+        )
+
+    def test_merge_preserves_count_and_median(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(10.0, 2.0, 4_000), rng.normal(10.0, 2.0, 4_000)
+        left = P2Sketch()
+        left.update_batch(a)
+        right = P2Sketch()
+        right.update_batch(b)
+        left.merge(right)
+        assert left.count == 8_000
+        # The inverse-CDF replay merge is documented as approximate; a
+        # looser bound than the single-stream case is expected.
+        assert left.quantile(0.5) == pytest.approx(
+            float(np.median(np.concatenate([a, b]))), rel=0.05
+        )
+
+    def test_merge_rejects_mismatched_target(self):
+        with pytest.raises(StreamError, match="p="):
+            P2Sketch(p=0.5).merge(P2Sketch(p=0.9))
+
+    def test_merge_rejects_foreign_type(self):
+        with pytest.raises(StreamError, match="cannot merge"):
+            P2Sketch().merge(CentroidSketch())
+
+    def test_empty_query_raises(self):
+        with pytest.raises(StreamError, match="empty"):
+            P2Sketch().quantile(0.5)
+
+    def test_rejects_nonfinite_samples(self):
+        with pytest.raises(StreamError, match="finite"):
+            P2Sketch().update(math.nan)
+        with pytest.raises(StreamError, match="finite"):
+            P2Sketch().update_batch([1.0, math.inf])
+
+    def test_rejects_bad_target_quantile(self):
+        with pytest.raises(StreamError, match="target quantile"):
+            P2Sketch(p=1.0)
+
+
+class TestCentroidSketch:
+    def test_exact_while_under_centroid_budget(self):
+        """Every sample is its own centroid below the budget, so the
+        median is exact up to one interpolation ulp."""
+        values = np.arange(63, dtype=np.float64) * 1.75 + 3.0
+        sketch = CentroidSketch(max_centroids=64)
+        sketch.update_batch(values)
+        assert sketch.n_centroids == values.size
+        assert sketch.quantile(0.5) == pytest.approx(
+            float(np.median(values)), rel=1e-12
+        )
+
+    def test_compression_bounds_memory(self):
+        rng = np.random.default_rng(2)
+        sketch = CentroidSketch(max_centroids=64)
+        for _ in range(50):
+            sketch.update_batch(rng.exponential(1.0, size=1_000))
+        assert sketch.n_centroids <= 64
+        assert sketch.count == 50_000
+
+    def test_median_within_rank_tolerance(self):
+        rng = np.random.default_rng(3)
+        samples = rng.exponential(1.5, size=30_000)
+        sketch = CentroidSketch()
+        sketch.update_batch(samples)
+        rank = float(np.mean(samples <= sketch.quantile(0.5)))
+        assert abs(rank - 0.5) <= RANK_TOLERANCE
+
+    def test_extremes_are_exact(self):
+        rng = np.random.default_rng(4)
+        samples = rng.normal(0.0, 5.0, size=10_000)
+        sketch = CentroidSketch()
+        sketch.update_batch(samples)
+        assert sketch.quantile(0.0) == float(samples.min())
+        assert sketch.quantile(1.0) == float(samples.max())
+
+    def test_merge_matches_concat_statistics(self):
+        rng = np.random.default_rng(5)
+        a, b = rng.exponential(2.0, 5_000), rng.exponential(2.0, 5_000)
+        left = CentroidSketch()
+        left.update_batch(a)
+        right = CentroidSketch()
+        right.update_batch(b)
+        left.merge(right)
+        both = np.concatenate([a, b])
+        assert left.count == both.size
+        rank = float(np.mean(both <= left.quantile(0.5)))
+        assert abs(rank - 0.5) <= RANK_TOLERANCE
+
+    def test_merge_leaves_other_untouched(self):
+        right = CentroidSketch()
+        right.update_batch([1.0, 2.0, 3.0])
+        before = right.to_json()
+        left = CentroidSketch()
+        left.update_batch([10.0])
+        left.merge(right)
+        assert right.to_json() == before
+
+    def test_merge_rejects_mismatched_budget(self):
+        with pytest.raises(StreamError, match="max_centroids"):
+            CentroidSketch(max_centroids=32).merge(CentroidSketch(max_centroids=64))
+
+    def test_empty_query_raises(self):
+        with pytest.raises(StreamError, match="empty"):
+            CentroidSketch().quantile(0.5)
+
+    def test_budget_floor_enforced(self):
+        with pytest.raises(StreamError, match="max_centroids"):
+            CentroidSketch(max_centroids=4)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("kind", sorted(SKETCH_KINDS))
+    def test_json_roundtrip_is_byte_identical(self, kind):
+        rng = np.random.default_rng(6)
+        sketch = make_sketch(kind)
+        for _ in range(5):
+            sketch.update_batch(rng.exponential(1.0, size=200))
+        text = sketch.to_json()
+        assert sketch_from_json(text).to_json() == text
+
+    @pytest.mark.parametrize("kind", sorted(SKETCH_KINDS))
+    def test_empty_sketch_roundtrips(self, kind):
+        text = make_sketch(kind).to_json()
+        restored = sketch_from_json(text)
+        assert restored.count == 0
+        assert restored.to_json() == text
+
+    def test_canonical_form_is_strict_json(self):
+        """No Infinity literals: an empty centroid sketch stores its
+        min/max as null, so the payload parses under strict JSON."""
+        payload = json.loads(CentroidSketch().to_json())
+        assert payload["min"] is None and payload["max"] is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(StreamError, match="unknown sketch kind"):
+            sketch_from_dict({"kind": "hll"})
+
+    def test_garbage_json_rejected(self):
+        with pytest.raises(StreamError, match="parse"):
+            sketch_from_json("{torn")
+
+    def test_malformed_state_rejected(self):
+        with pytest.raises(StreamError, match="malformed"):
+            sketch_from_dict({"kind": "centroid", "max_centroids": 64})
+
+    def test_make_sketch_unknown_kind(self):
+        with pytest.raises(StreamError, match="unknown sketch kind"):
+            make_sketch("reservoir")
