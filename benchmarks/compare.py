@@ -20,6 +20,15 @@ that edits the kernel list; ``--allow-drift`` downgrades it to a
 warning for local experiments.  Scales present on only one side stay
 non-fatal (tiers legitimately time different scale subsets).
 
+The same entry point also gates the tracer-overhead numbers: when both
+inputs are ``bench-obs`` documents (``BENCH_obs.json``, written by
+``benchmarks/obs_overhead.py`` or a benchmark pytest session), the
+comparison switches to the ``overhead`` block and fails when the
+*disabled*-tracer per-op cost regresses beyond the threshold — the
+"near-zero disabled overhead" claim from PR 2, CI-enforced.  The
+enabled and histogram lanes are reported but not gated (they buffer
+real events; their cost is a feature being measured, not a budget).
+
 Exit status: 0 when the kernel sets match and every kernel is within
 threshold, 1 otherwise, 2 for unusable inputs.
 """
@@ -31,19 +40,37 @@ import json
 import statistics
 import sys
 from pathlib import Path
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
 #: Timing field compared; the fast lane is the production code path.
 DEFAULT_METRIC = "fast_s"
 
+#: Document tag of a BENCH_obs overhead snapshot.
+BENCH_OBS_KIND = "bench-obs"
 
-def load_kernels(path: Path, metric: str) -> Dict[str, Dict[str, float]]:
-    """``{kernel: {scale: seconds}}`` from a BENCH_perf document."""
+#: The overhead field the obs comparison gates on.
+OBS_GATED_FIELD = "disabled_ns"
+
+#: Overhead fields reported but never gated.
+OBS_INFO_FIELDS = ("enabled_ns", "hist_ns")
+
+
+def load_document(path: Path) -> Dict[str, Any]:
+    """Parse one benchmark JSON document or exit 2."""
     try:
         document = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as exc:
         print(f"cannot read benchmark file {path}: {exc}", file=sys.stderr)
         raise SystemExit(2)
+    if not isinstance(document, dict):
+        print(f"{path}: benchmark document must be an object", file=sys.stderr)
+        raise SystemExit(2)
+    return document
+
+
+def load_kernels(path: Path, metric: str) -> Dict[str, Dict[str, float]]:
+    """``{kernel: {scale: seconds}}`` from a BENCH_perf document."""
+    document = load_document(path)
     if document.get("schema_version") != 1:
         print(
             f"{path}: unsupported schema_version "
@@ -63,6 +90,65 @@ def load_kernels(path: Path, metric: str) -> Dict[str, Dict[str, float]]:
         print(f"{path}: no kernels with usable {metric!r} timings", file=sys.stderr)
         raise SystemExit(2)
     return kernels
+
+
+def load_overhead(path: Path, document: Dict[str, Any]) -> Dict[str, float]:
+    """The ``overhead`` block of a bench-obs document, or exit 2."""
+    block = document.get("overhead")
+    if not isinstance(block, dict) or not isinstance(
+        block.get(OBS_GATED_FIELD), (int, float)
+    ):
+        print(
+            f"{path}: no usable overhead block — regenerate with "
+            "`PYTHONPATH=src python benchmarks/obs_overhead.py "
+            f"--out {path.name}`",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return block
+
+
+def compare_obs(
+    baseline_path: Path,
+    fresh_path: Path,
+    baseline_doc: Dict[str, Any],
+    fresh_doc: Dict[str, Any],
+    threshold: float,
+) -> int:
+    """Diff two bench-obs overhead blocks; gate the disabled lane."""
+    baseline = load_overhead(baseline_path, baseline_doc)
+    fresh = load_overhead(fresh_path, fresh_doc)
+    failures = []
+    for field in (OBS_GATED_FIELD,) + OBS_INFO_FIELDS:
+        base = baseline.get(field)
+        new = fresh.get(field)
+        if not isinstance(base, (int, float)) or not isinstance(new, (int, float)):
+            print(f"  ?      {field}: missing on one side, skipping")
+            continue
+        if base <= 0:
+            print(f"  ?      {field}: non-positive baseline, skipping")
+            continue
+        ratio = new / base
+        gated = field == OBS_GATED_FIELD
+        slow = gated and ratio > threshold
+        verdict = "SLOW" if slow else ("ok" if gated else "info")
+        print(
+            f"  {verdict:<6} {field}: {base:.1f} -> {new:.1f} ns/op "
+            f"({ratio:.2f}x)"
+        )
+        if slow:
+            failures.append((field, ratio))
+    if failures:
+        print(
+            f"\nFAIL: disabled-tracer overhead regressed beyond "
+            f"{threshold:.1f}x: "
+            + ", ".join(f"{field} ({ratio:.2f}x)" for field, ratio in failures)
+        )
+        return 1
+    print(
+        f"\nOK: disabled-tracer overhead within the {threshold:.1f}x threshold"
+    )
+    return 0
 
 
 def median_ratio(
@@ -100,6 +186,23 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.threshold <= 1.0:
         parser.error(f"--threshold must be > 1.0, got {args.threshold}")
+
+    baseline_doc = load_document(args.baseline)
+    fresh_doc = load_document(args.fresh)
+    obs_sides = [
+        doc.get("kind") == BENCH_OBS_KIND for doc in (baseline_doc, fresh_doc)
+    ]
+    if any(obs_sides):
+        if not all(obs_sides):
+            print(
+                "cannot compare a bench-obs document against a BENCH_perf "
+                "document",
+                file=sys.stderr,
+            )
+            return 2
+        return compare_obs(
+            args.baseline, args.fresh, baseline_doc, fresh_doc, args.threshold
+        )
 
     baseline = load_kernels(args.baseline, args.metric)
     fresh = load_kernels(args.fresh, args.metric)

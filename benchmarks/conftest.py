@@ -17,6 +17,7 @@ trajectory is a diffable artifact rather than terminal scrollback.
 
 from __future__ import annotations
 
+import importlib.util
 import json
 import time
 from pathlib import Path
@@ -34,6 +35,22 @@ BENCH_SEED = 0
 
 #: Per-test records accumulated for the session's BENCH_obs.json.
 _BENCH_RECORDS = []
+
+
+def _overhead_block():
+    """Tracer-overhead lanes (shared with the standalone CI gate).
+
+    The measurement lives in ``obs_overhead.py`` so the committed
+    ``BENCH_obs.json`` baseline, the CI regeneration, and this
+    per-session snapshot all time the same op mix; low repeats here
+    keep the benchmark session's exit cheap.
+    """
+    spec = importlib.util.spec_from_file_location(
+        "bench_obs_overhead", Path(__file__).parent / "obs_overhead.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.measure_overhead(ops=20_000, repeats=3)
 
 
 def _phase_timings(events):
@@ -70,6 +87,7 @@ def _obs_session(request):
         "kind": "bench-obs",
         "manifest": manifest.to_dict(),
         "benchmarks": list(_BENCH_RECORDS),
+        "overhead": _overhead_block(),
     }
     path = Path(request.config.rootpath) / "BENCH_obs.json"
     path.write_text(json.dumps(snapshot, indent=2, sort_keys=True))

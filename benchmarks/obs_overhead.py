@@ -1,0 +1,154 @@
+"""Measure the repro.obs tracer overhead: enabled vs. disabled per-op cost.
+
+PR 2 claimed "near-zero disabled overhead" — every instrumented hot
+loop pays one attribute load and an ``is None`` branch while tracing is
+off.  This module turns that claim into a number and the number into a
+CI gate:
+
+* :func:`measure_overhead` times three lanes over the same op mix
+  (span open/close + counter bump) and reports per-op nanoseconds:
+
+  - ``enabled_ns``  — tracing on; every op builds and buffers events.
+  - ``disabled_ns`` — tracing off; the production fast path.
+  - ``hist_ns``     — per-sample sketch-backed histogram observe.
+
+* Run standalone it writes a minimal ``bench-obs`` document::
+
+      PYTHONPATH=src python benchmarks/obs_overhead.py --out BENCH_obs.json
+
+  which ``benchmarks/compare.py`` diffs against the committed baseline
+  (CI fails when ``disabled_ns`` regresses beyond 2x).
+
+* ``benchmarks/conftest.py`` embeds the same block in the per-session
+  ``BENCH_obs.json`` snapshot, so the benchmark artifact carries the
+  overhead trajectory alongside the phase timings.
+
+Measurement runs inside ``obs.suspended()``: the ambient tracer (if
+any) is parked, the enabled lane owns a private tracer for exactly the
+timed window, and no benchmark events leak into the caller's stream.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict
+
+from repro import obs
+
+#: Document tag shared with benchmarks/conftest.py snapshots.
+BENCH_OBS_KIND = "bench-obs"
+BENCH_OBS_SCHEMA = 1
+
+DEFAULT_OPS = 50_000
+DEFAULT_REPEATS = 5
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall time over ``repeats`` calls (noise-robust)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_overhead(
+    ops: int = DEFAULT_OPS, repeats: int = DEFAULT_REPEATS
+) -> Dict[str, Any]:
+    """Time the tracer lanes; return the overhead block.
+
+    Each "op" is one span open/close plus one counter bump — the mix an
+    instrumented measurement loop actually pays.  ``overhead_x`` is the
+    enabled/disabled ratio (how much turning tracing on costs);
+    ``disabled_ns`` is the number the CI gate pins.
+    """
+    if ops < 1:
+        raise ValueError(f"ops must be >= 1, got {ops}")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+
+    def emit_ops():
+        for _ in range(ops):
+            with obs.span("bench.obs.noop"):
+                pass
+            obs.counter("bench.obs.events")
+
+    def enabled():
+        with obs.suspended():
+            obs.enable()
+            try:
+                emit_ops()
+            finally:
+                obs.disable()
+
+    def disabled():
+        with obs.suspended():
+            emit_ops()
+
+    def hist_ops():
+        with obs.suspended():
+            obs.enable()
+            try:
+                for i in range(ops):
+                    obs.histogram("bench.obs.latency", float(i % 97))
+            finally:
+                obs.disable()
+
+    enabled_s = _best_of(enabled, repeats)
+    disabled_s = _best_of(disabled, repeats)
+    hist_s = _best_of(hist_ops, repeats)
+    return {
+        "ops": ops,
+        "repeats": repeats,
+        "enabled_ns": enabled_s / ops * 1e9,
+        "disabled_ns": disabled_s / ops * 1e9,
+        "hist_ns": hist_s / ops * 1e9,
+        "overhead_x": enabled_s / disabled_s,
+    }
+
+
+def overhead_document(ops: int, repeats: int) -> Dict[str, Any]:
+    """A minimal ``bench-obs`` document carrying only the overhead block."""
+    return {
+        "schema": BENCH_OBS_SCHEMA,
+        "kind": BENCH_OBS_KIND,
+        "meta": {"python": platform.python_version()},
+        "overhead": measure_overhead(ops, repeats),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_obs.json", type=Path)
+    parser.add_argument(
+        "--ops", type=int, default=DEFAULT_OPS, help="ops per timed lane"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=DEFAULT_REPEATS, help="best-of-N"
+    )
+    args = parser.parse_args(argv)
+    if args.ops < 1:
+        parser.error("--ops must be >= 1")
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    document = overhead_document(args.ops, args.repeats)
+    block = document["overhead"]
+    print(
+        f"  obs overhead: enabled {block['enabled_ns']:8.1f} ns/op  "
+        f"disabled {block['disabled_ns']:6.1f} ns/op  "
+        f"hist {block['hist_ns']:8.1f} ns/op  "
+        f"({block['overhead_x']:.1f}x when enabled)"
+    )
+    args.out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

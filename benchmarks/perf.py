@@ -119,9 +119,9 @@ def _best_of(fn, repeats: int) -> float:
 
 def _measure(name: str, scale: str, params, scalar_fn, fast_fn, repeats: int):
     """Time a scalar/fast lane pair under obs spans; one schema entry."""
-    with obs.span(f"bench.{name}", scale=scale, lane="scalar", repeats=repeats):
+    with obs.span("bench.kernel", kernel=name, scale=scale, lane="scalar", repeats=repeats):
         scalar_s = _best_of(scalar_fn, repeats)
-    with obs.span(f"bench.{name}", scale=scale, lane="fast", repeats=repeats):
+    with obs.span("bench.kernel", kernel=name, scale=scale, lane="fast", repeats=repeats):
         fast_s = _best_of(fast_fn, repeats)
     entry = {
         "scale": scale,
@@ -368,6 +368,66 @@ def bench_stream_ingest(internet, tier: str, repeats: int):
     return {"name": "stream.ingest", "scales": entries}
 
 
+def bench_obs_emit(tier: str, repeats: int):
+    """Telemetry hot path: enabled span+counter emit vs. the disabled no-op.
+
+    The scalar lane runs with tracing *enabled* — every iteration opens
+    and closes a span and bumps a counter, so each op builds, validates,
+    and buffers real events.  The fast lane runs the identical loop with
+    tracing *disabled* (the ``is None`` early-out that instrumented hot
+    loops pay in production).  Both lanes execute inside
+    ``obs.suspended()`` so the benchmark's own ambient trace neither
+    pollutes nor distorts the measurement; the enabled lane then owns a
+    private tracer for exactly the timed window.  The third lane the
+    profiling plane cares about — folding a sample into a sketch-backed
+    histogram — rides along in ``params`` as ``hist_s``.
+    """
+    sizes = {"small": 20_000, "medium": 60_000, "large": 120_000}
+    entries = []
+    for scale in _scales_for(tier):
+        n = sizes[scale]
+
+        def emit_ops():
+            for _ in range(n):
+                with obs.span("bench.obs.noop"):
+                    pass
+                obs.counter("bench.obs.events")
+
+        def enabled():
+            with obs.suspended():
+                obs.enable()
+                try:
+                    emit_ops()
+                finally:
+                    obs.disable()
+
+        def disabled():
+            with obs.suspended():
+                emit_ops()
+
+        def hist_ops():
+            with obs.suspended():
+                obs.enable()
+                try:
+                    for i in range(n):
+                        obs.histogram("bench.obs.latency", float(i % 97))
+                finally:
+                    obs.disable()
+
+        hist_s = _best_of(hist_ops, repeats)
+        entries.append(
+            _measure(
+                "obs.emit",
+                scale,
+                {"ops": n, "hist_s": hist_s},
+                enabled,
+                disabled,
+                repeats,
+            )
+        )
+    return {"name": "obs.emit", "scales": entries}
+
+
 # --- schema -----------------------------------------------------------------
 
 
@@ -447,6 +507,7 @@ def run(tier: str, repeats: int) -> dict:
         bench_cdn_redirection(internet, tier, repeats),
         bench_cloudtiers_campaign(internet, tier, max(1, repeats - 1)),
         bench_stream_ingest(internet, tier, repeats),
+        bench_obs_emit(tier, repeats),
     ]
     payload = {
         "schema_version": SCHEMA_VERSION,

@@ -11,7 +11,11 @@ Examples::
     repro-bgp report --jobs 3 --cache-dir .repro-cache   # parallel + cached
     repro-bgp report --setting A --trace-out t.jsonl     # + telemetry stream
     repro-bgp trace summarize t.jsonl                    # where the time went
+    repro-bgp trace profile t.jsonl                      # self-time ranking
+    repro-bgp trace flame t.jsonl --out flame.txt        # collapsed stacks
+    repro-bgp trace critical t.jsonl                     # campaign critical path
     repro-bgp campaign --study pop --seeds 0,1,2,3,4 --jobs 4
+    repro-bgp campaign --seeds 0,1,2 --jobs 4 --progress # live status line
     repro-bgp campaign --seeds 0,1,2 --cache-dir .c --resume   # after a crash
     repro-bgp campaign --faults crash=0.2,timeout=0.1 --allow-partial
     repro-bgp -v report           # INFO-level diagnostics on stderr
@@ -369,6 +373,10 @@ def _campaign_runner_kwargs(args) -> dict:
         kwargs["breaker_threshold"] = args.breaker_threshold
     if getattr(args, "allow_partial", False):
         kwargs["allow_partial"] = True
+    if getattr(args, "progress", False):
+        from repro.obs.progress import ProgressTracker
+
+        kwargs["progress"] = ProgressTracker(stream=sys.stderr)
     return kwargs
 
 
@@ -714,6 +722,53 @@ def cmd_trace_summarize(args) -> None:
     print(summarize_events(events).render())
 
 
+def cmd_trace_profile(args) -> None:
+    """Self-time-ranked span profile of a recorded stream."""
+    from repro.obs import load_events, profile_events
+
+    profile = profile_events(
+        load_events(args.file),
+        include_replay=getattr(args, "include_replay", False),
+    )
+    print(profile.render(limit=getattr(args, "limit", 0)))
+
+
+def cmd_trace_flame(args) -> None:
+    """Collapsed-stack flamegraph export (flamegraph.pl / speedscope)."""
+    from repro.obs import build_forest, collapsed_stacks, load_events
+
+    forest = build_forest(
+        load_events(args.file),
+        include_replay=getattr(args, "include_replay", False),
+    )
+    lines = collapsed_stacks(forest)
+    if not lines:
+        raise SystemExit(
+            f"trace flame: {args.file} has no closed spans with self-time"
+        )
+    text = "\n".join(lines) + "\n"
+    out = getattr(args, "out", None)
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        logger.info("wrote %d stack(s) to %s", len(lines), out)
+    else:
+        sys.stdout.write(text)
+
+
+def cmd_trace_critical(args) -> None:
+    """Critical path, worker busy/idle, and platform split of a campaign."""
+    from repro.errors import ObsError
+    from repro.obs import build_forest, critical_path, load_events
+
+    forest = build_forest(load_events(args.file))
+    try:
+        report = critical_path(forest, anchor=args.anchor)
+    except ObsError as exc:
+        raise SystemExit(f"trace critical: {exc}")
+    print(report.render())
+
+
 def cmd_lint(args) -> None:
     from pathlib import Path
 
@@ -848,7 +903,8 @@ def build_parser() -> argparse.ArgumentParser:
         "catchments": "Anycast catchment map (the operator's view)",
         "validate": "Self-check: verify every headline claim",
         "ingest": "Streaming service mode: session stream -> quantile sketches",
-        "trace": "Inspect recorded telemetry streams (trace summarize FILE)",
+        "trace": "Inspect recorded telemetry streams "
+        "(trace summarize|profile|flame|critical FILE)",
         "lint": "Invariant lint: RNG/time purity, lane parity, taxonomy",
     }
     for name, handler in COMMANDS.items():
@@ -1019,6 +1075,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="finish with degraded jobs instead of aborting; a partial "
         "campaign exits with status 3",
     )
+    campaign_cmd.add_argument(
+        "--progress",
+        action="store_true",
+        default=False,
+        help="live status line on stderr (jobs done, rate, ETA); "
+        "TTY-aware — on a pipe it degrades to throttled lines",
+    )
     lint_cmd = sub.add_parser("lint", help=descriptions["lint"])
     lint_cmd.add_argument(
         "paths",
@@ -1065,6 +1128,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_runtime_flags(summarize_cmd, suppress=True)
     summarize_cmd.set_defaults(handler=cmd_trace_summarize)
+    profile_cmd = trace_sub.add_parser(
+        "profile",
+        help="span-tree profile: self vs cumulative time, hottest first",
+    )
+    profile_cmd.add_argument(
+        "file", help="path to a stream recorded with --trace-out"
+    )
+    profile_cmd.add_argument(
+        "--limit",
+        type=int,
+        default=0,
+        metavar="N",
+        help="show only the N hottest spans (default: all)",
+    )
+    profile_cmd.add_argument(
+        "--include-replay",
+        action="store_true",
+        default=False,
+        help="attribute replayed cache-hit spans too (normally excluded "
+        "from wall-clock attribution)",
+    )
+    _add_runtime_flags(profile_cmd, suppress=True)
+    profile_cmd.set_defaults(handler=cmd_trace_profile)
+    flame_cmd = trace_sub.add_parser(
+        "flame",
+        help="collapsed-stack flamegraph export "
+        "(feed to flamegraph.pl or speedscope)",
+    )
+    flame_cmd.add_argument(
+        "file", help="path to a stream recorded with --trace-out"
+    )
+    flame_cmd.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the collapsed stacks to FILE instead of stdout",
+    )
+    flame_cmd.add_argument(
+        "--include-replay",
+        action="store_true",
+        default=False,
+        help="attribute replayed cache-hit spans too",
+    )
+    _add_runtime_flags(flame_cmd, suppress=True)
+    flame_cmd.set_defaults(handler=cmd_trace_flame)
+    critical_cmd = trace_sub.add_parser(
+        "critical",
+        help="campaign critical path: longest chain, pool idle time, "
+        "queueing vs compute per platform",
+    )
+    critical_cmd.add_argument(
+        "file", help="path to a stream recorded with --trace-out"
+    )
+    critical_cmd.add_argument(
+        "--anchor",
+        default="runner.campaign",
+        metavar="SPAN",
+        help="root span to anchor the analysis at "
+        "(default: %(default)s; falls back to the longest root)",
+    )
+    _add_runtime_flags(critical_cmd, suppress=True)
+    critical_cmd.set_defaults(handler=cmd_trace_critical)
     sub.add_parser("list", help="list available commands").set_defaults(
         handler=lambda args: print("\n".join(f"{k:10s} {v}" for k, v in descriptions.items()))
     )

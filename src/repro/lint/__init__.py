@@ -14,7 +14,8 @@ configuration checkers rather than after-the-fact audits:
 * :mod:`repro.lint.checks` — the shipped rules: RNG discipline
   (RNG001/RNG002), wall-clock purity (TIME001), lane-parity coverage
   (LANE001), crash-call containment (CRASH001), exception taxonomy
-  (EXC001), serialization safety (SER001).
+  (EXC001), serialization safety (SER001), static telemetry names
+  (OBS001).
 * :mod:`repro.lint.engine` — :func:`lint_paths`, the driver.
 * :mod:`repro.lint.baseline` — grandfathered findings, committed as
   ``lint-baseline.json``.

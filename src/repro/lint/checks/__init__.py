@@ -13,6 +13,7 @@ from repro.lint.checks.exceptions import SwallowedExceptionRule
 from repro.lint.checks.laneparity import LaneParityRule, StreamingLaneRule
 from repro.lint.checks.rng import FreshGeneratorRule, LegacyRandomRule
 from repro.lint.checks.serialization import PayloadFieldRule
+from repro.lint.checks.spannames import SpanNameRule
 from repro.lint.checks.timepurity import WallClockRule
 from repro.lint.rules import Rule
 
@@ -26,6 +27,7 @@ ALL_RULE_CLASSES = (
     CrashCallRule,
     SwallowedExceptionRule,
     PayloadFieldRule,
+    SpanNameRule,
 )
 
 
@@ -41,6 +43,7 @@ __all__ = [
     "LaneParityRule",
     "LegacyRandomRule",
     "PayloadFieldRule",
+    "SpanNameRule",
     "StreamingLaneRule",
     "SwallowedExceptionRule",
     "WallClockRule",

@@ -1,0 +1,115 @@
+"""OBS001 — telemetry names must be static strings.
+
+The profiling plane (PR 7) aggregates by name: span-tree profiles,
+collapsed-stack flamegraphs, histogram quantile tables, and heartbeat
+folding all key on the ``name`` field of the event stream.  A dynamic
+name — ``obs.span(f"job.{i}")`` — explodes that key space: every
+invocation becomes its own row, self-time attribution fragments, and
+flamegraph frames stop merging.  Variation belongs in span *attrs*
+(``obs.span("runner.job", index=i)``), which ride along without
+becoming aggregation keys.
+
+"Static" means a string literal at the call site, or a bare name bound
+to a module-level string-literal constant in the same file (the
+``HEARTBEAT_NAME = "runner.progress"`` idiom): both are fixed at import
+time, so the name cardinality is bounded by the source text.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, Rule
+
+#: Canonical dotted paths of every API that takes a telemetry name.
+NAME_TAKING_CALLS: Set[str] = {
+    f"{module}.{api}"
+    for module in ("repro.obs", "repro.obs.trace")
+    for api in (
+        "span",
+        "traced",
+        "counter",
+        "gauge",
+        "histogram",
+        "heartbeat",
+        "log_event",
+    )
+}
+
+#: APIs whose name arrives as a keyword (not the first positional).
+KEYWORD_NAME_CALLS: Set[str] = {
+    f"{module}.log_event" for module in ("repro.obs", "repro.obs.trace")
+}
+
+
+def _module_string_constants(tree: ast.Module) -> Set[str]:
+    """Names bound at module level to a plain string literal."""
+    constants: Set[str] = set()
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not (isinstance(value, ast.Constant) and isinstance(value.value, str)):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                constants.add(target.id)
+    return constants
+
+
+class SpanNameRule(Rule):
+    """OBS001: telemetry names are static strings, never built at runtime."""
+
+    rule_id = "OBS001"
+    name = "static-span-names"
+    description = (
+        "names passed to obs.span/traced/counter/gauge/histogram/heartbeat "
+        "must be string literals (or module-level string constants) so "
+        "profile aggregation keys stay low-cardinality"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        constants = _module_string_constants(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            full = ctx.imports.resolve(node.func)
+            if full not in NAME_TAKING_CALLS:
+                continue
+            name_arg = self._name_argument(node, keyword_only=full in KEYWORD_NAME_CALLS)
+            if name_arg is None:
+                continue  # traced() with no name: bounded by __qualname__
+            if isinstance(name_arg, ast.Constant) and isinstance(
+                name_arg.value, str
+            ):
+                continue
+            if isinstance(name_arg, ast.Name) and name_arg.id in constants:
+                continue
+            api = full.rsplit(".", 1)[1]
+            yield ctx.finding(
+                self,
+                name_arg,
+                f"dynamic telemetry name passed to obs.{api}(); use a "
+                "static string (put the varying part in attrs) so profile "
+                "and flamegraph aggregation keys stay low-cardinality",
+            )
+
+    @staticmethod
+    def _name_argument(node: ast.Call, keyword_only: bool) -> Optional[ast.expr]:
+        if not keyword_only and node.args:
+            first = node.args[0]
+            # A *splat in first position hides the name; treat the splat
+            # itself as the (dynamic) name argument.
+            return first.value if isinstance(first, ast.Starred) else first
+        for keyword in node.keywords:
+            if keyword.arg == "name":
+                return keyword.value
+        return None

@@ -13,6 +13,14 @@ is about where our own time goes while reproducing it.  Four pieces:
   revision, interpreter, wall time) written alongside results.
 * :mod:`repro.obs.report` — aggregation of an event stream into the
   per-phase timing table behind ``repro-bgp trace summarize``.
+* :mod:`repro.obs.metrics` — sketch-backed :class:`Histogram`
+  distributions (p50/p95/p99 without raw samples) riding the event
+  schema as ``hist`` events.
+* :mod:`repro.obs.profile` — span-tree reconstruction: self vs.
+  cumulative time, collapsed-stack flamegraph export, and campaign
+  critical-path analysis (``repro-bgp trace profile|flame|critical``).
+* :mod:`repro.obs.progress` — heartbeat events folded into a live,
+  TTY-aware campaign status line (``repro-bgp campaign --progress``).
 
 Typical library use::
 
@@ -48,11 +56,15 @@ from repro.obs.trace import (
     disable,
     enable,
     events,
+    flush_histograms,
     gauge,
+    heartbeat,
+    histogram,
     ingest,
     is_enabled,
     log_event,
     span,
+    suspended,
     traced,
     write_jsonl,
 )
@@ -77,6 +89,21 @@ _LAZY = {
     "load_events": "repro.obs.report",
     "summarize_events": "repro.obs.report",
     "summarize_file": "repro.obs.report",
+    "Histogram": "repro.obs.metrics",
+    "merge_hist_events": "repro.obs.metrics",
+    "quantile_table": "repro.obs.metrics",
+    "CriticalPath": "repro.obs.profile",
+    "Profile": "repro.obs.profile",
+    "SpanForest": "repro.obs.profile",
+    "SpanNode": "repro.obs.profile",
+    "build_forest": "repro.obs.profile",
+    "collapsed_stacks": "repro.obs.profile",
+    "critical_path": "repro.obs.profile",
+    "parse_collapsed": "repro.obs.profile",
+    "profile_events": "repro.obs.profile",
+    "profile_forest": "repro.obs.profile",
+    "ProgressTracker": "repro.obs.progress",
+    "fold_heartbeats": "repro.obs.progress",
 }
 
 
@@ -111,11 +138,15 @@ __all__ = [
     "disable",
     "enable",
     "events",
+    "flush_histograms",
     "gauge",
+    "heartbeat",
+    "histogram",
     "ingest",
     "is_enabled",
     "log_event",
     "span",
+    "suspended",
     "traced",
     "write_jsonl",
     # manifest
@@ -132,4 +163,22 @@ __all__ = [
     "load_events",
     "summarize_events",
     "summarize_file",
+    # metrics
+    "Histogram",
+    "merge_hist_events",
+    "quantile_table",
+    # profile
+    "CriticalPath",
+    "Profile",
+    "SpanForest",
+    "SpanNode",
+    "build_forest",
+    "collapsed_stacks",
+    "critical_path",
+    "parse_collapsed",
+    "profile_events",
+    "profile_forest",
+    # progress
+    "ProgressTracker",
+    "fold_heartbeats",
 ]

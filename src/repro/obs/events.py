@@ -31,11 +31,13 @@ from typing import Any, Dict, Mapping
 from repro.errors import ObsError
 
 #: Bumped whenever the event contract changes incompatibly.
-SCHEMA_VERSION = 1
+#: v2 added the ``hist`` (sketch-backed distribution snapshot) and
+#: ``heartbeat`` (live progress) kinds.
+SCHEMA_VERSION = 2
 
 #: The closed set of event kinds.
 EVENT_KINDS = frozenset(
-    {"span_start", "span_end", "counter", "gauge", "log"}
+    {"span_start", "span_end", "counter", "gauge", "log", "hist", "heartbeat"}
 )
 
 #: Kind-specific required fields (beyond the common v/run/ts/kind/name/pid).
@@ -45,6 +47,8 @@ REQUIRED_FIELDS: Mapping[str, tuple] = {
     "counter": ("value",),
     "gauge": ("value",),
     "log": ("level", "msg"),
+    "hist": ("sketch",),
+    "heartbeat": ("done",),
 }
 
 
@@ -120,6 +124,21 @@ def validate_event(event: Any) -> Dict[str, Any]:
     if kind == "log":
         if not isinstance(event["level"], str) or not isinstance(event["msg"], str):
             raise ObsError(f"log event {name!r} needs string level and msg")
+    if kind == "hist":
+        sketch = event["sketch"]
+        if not isinstance(sketch, dict) or not isinstance(
+            sketch.get("kind"), str
+        ):
+            raise ObsError(
+                f"hist event {name!r} sketch must be a serialized sketch "
+                f"object with a 'kind' tag, got {type(sketch).__name__}"
+            )
+    if kind == "heartbeat":
+        done = event["done"]
+        if not isinstance(done, (int, float)) or isinstance(done, bool):
+            raise ObsError(
+                f"heartbeat {name!r} done must be a number, got {done!r}"
+            )
     return event
 
 

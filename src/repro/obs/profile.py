@@ -1,0 +1,550 @@
+"""Span-tree profiling: self-time, hot paths, flamegraphs, critical path.
+
+:mod:`repro.obs.report` answers *how long each phase took in total*;
+this module answers *where the time actually went*.  It reconstructs
+the span forest from a JSONL event stream — parent/child links come
+from the span-id stack :mod:`repro.obs.trace` already emits — and
+derives the three views a profile-driven optimization loop needs:
+
+* **Self vs. cumulative time** (:func:`profile_events`): cumulative is
+  a span's own duration; self-time is that duration minus the time
+  spent in its (closed) children.  Ranking by self-time points at the
+  code that burns cycles, not the orchestrator spans that merely
+  contain it.
+* **Collapsed stacks** (:func:`collapsed_stacks`): the
+  ``root;child;grandchild N`` text format consumed by ``flamegraph.pl``
+  and speedscope, weighted by self-time in integer microseconds.
+* **Critical path** (:func:`critical_path`): for campaign traces, the
+  longest dependency chain under the orchestrator span, per-worker busy
+  time, pool idle time, and per-platform queueing vs. compute split —
+  the numbers that say whether to buy parallelism or faster kernels.
+
+Reconstruction is deliberately forgiving, because real traces are
+messy: truncated files (a crashed worker never closes its spans),
+orphaned ``span_end`` events (the matching start fell off the front of
+a rotated file), reused ``(pid, span id)`` keys (pool workers recycle
+pids and fresh per-job tracers restart ids at 1), and replayed
+cache-hit events (``replay: true``) which describe a *previous* run's
+time and are excluded from wall-clock attribution by default.  Each
+anomaly is counted on the :class:`SpanForest` instead of raising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from repro.analysis import format_table
+from repro.errors import ObsError
+
+#: Span names the critical-path analyzer anchors on (see
+#: :mod:`repro.runner.campaign` for the emitting sites).
+CAMPAIGN_SPAN = "runner.campaign"
+DISPATCH_SPAN = "runner.dispatch"
+JOB_SPAN = "runner.job"
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span: timing, links, and anomaly flags."""
+
+    name: str
+    pid: int
+    span_id: int
+    start_ts: float
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+    dur_s: float = 0.0
+    closed: bool = False
+    error: Optional[str] = None
+    parent: Optional["SpanNode"] = field(default=None, repr=False)
+    children: List["SpanNode"] = field(default_factory=list, repr=False)
+
+    @property
+    def self_s(self) -> float:
+        """Duration minus time attributed to closed children (>= 0).
+
+        Unclosed spans have no trustworthy duration, so their self-time
+        is 0 — they surface through ``SpanForest.n_unclosed`` instead
+        of skewing the ranking.
+        """
+        if not self.closed:
+            return 0.0
+        child_s = sum(c.dur_s for c in self.children if c.closed)
+        return max(0.0, self.dur_s - child_s)
+
+    def path(self) -> Tuple[str, ...]:
+        """Span names from the root down to this span."""
+        names: List[str] = []
+        node: Optional[SpanNode] = self
+        while node is not None:
+            names.append(node.name)
+            node = node.parent
+        return tuple(reversed(names))
+
+
+@dataclass(frozen=True)
+class SpanForest:
+    """The reconstructed span trees of one stream, plus anomaly counts.
+
+    Attributes:
+        roots: Top-level spans (no parent in the stream), in first-seen
+            order.  Worker-process job spans are roots of their own
+            trees until the critical-path analyzer relates them to the
+            orchestrator's dispatch spans.
+        n_spans: Spans reconstructed (excluded replays not counted).
+        n_unclosed: Spans whose ``span_end`` never arrived — a crashed
+            worker or truncated file.
+        n_orphan_ends: ``span_end`` events with no matching open start.
+        n_replay_spans: Span events skipped as cache-hit replays.
+    """
+
+    roots: Tuple[SpanNode, ...]
+    n_spans: int
+    n_unclosed: int
+    n_orphan_ends: int
+    n_replay_spans: int
+
+    def walk(self) -> Iterator[SpanNode]:
+        """Every span, depth-first in tree order."""
+        stack = list(reversed(self.roots))
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+
+def build_forest(
+    events: Iterable[Mapping[str, Any]], include_replay: bool = False
+) -> SpanForest:
+    """Reconstruct the span forest from an event stream.
+
+    Spans are keyed by ``(pid, span id)``.  The key is *not* globally
+    unique — a pool worker's pid outlives one job, and each job's fresh
+    tracer restarts span ids at 1 — so each key holds a stack: stream
+    order guarantees a prior generation's events are spliced before the
+    next one opens, and when generations do interleave in a hand-built
+    stream the innermost (most recent) open span matches first.
+
+    Args:
+        events: Decoded event dicts in stream order.
+        include_replay: Attribute ``replay: true`` span events too.
+            Off by default — replayed events re-describe a previous
+            run's time, which would double-count against this run's
+            wall clock.
+    """
+    open_spans: Dict[Tuple[int, Any], List[SpanNode]] = {}
+    roots: List[SpanNode] = []
+    n_spans = 0
+    n_orphan_ends = 0
+    n_replay_spans = 0
+    for event in events:
+        kind = event.get("kind")
+        if kind not in ("span_start", "span_end"):
+            continue
+        if event.get("replay") and not include_replay:
+            n_replay_spans += 1
+            continue
+        pid = event.get("pid")
+        key = (pid, event.get("span"))
+        if kind == "span_start":
+            node = SpanNode(
+                name=str(event.get("name", "")),
+                pid=pid if isinstance(pid, int) else -1,
+                span_id=event.get("span"),
+                start_ts=float(event.get("ts", 0.0)),
+                attrs=event.get("attrs") or {},
+            )
+            parent_key = (pid, event.get("parent"))
+            parent_stack = (
+                open_spans.get(parent_key) if "parent" in event else None
+            )
+            if parent_stack:
+                node.parent = parent_stack[-1]
+                node.parent.children.append(node)
+            else:
+                roots.append(node)
+            open_spans.setdefault(key, []).append(node)
+            n_spans += 1
+        else:
+            stack = open_spans.get(key)
+            if not stack:
+                n_orphan_ends += 1
+                continue
+            node = stack.pop()
+            if not stack:
+                del open_spans[key]
+            node.dur_s = float(event.get("dur_s", 0.0))
+            node.closed = True
+            if "error" in event:
+                node.error = str(event["error"])
+    n_unclosed = sum(len(stack) for stack in open_spans.values())
+    return SpanForest(
+        roots=tuple(roots),
+        n_spans=n_spans,
+        n_unclosed=n_unclosed,
+        n_orphan_ends=n_orphan_ends,
+        n_replay_spans=n_replay_spans,
+    )
+
+
+@dataclass(frozen=True)
+class ProfileRow:
+    """Aggregated timing of one span name across the forest.
+
+    ``cum_s`` sums each span's own duration, so a recursive span name
+    counts its nested occurrences more than once — the standard
+    cumulative-time caveat; ``self_s`` never double-counts.
+    """
+
+    name: str
+    calls: int
+    self_s: float
+    cum_s: float
+    errors: int = 0
+    unclosed: int = 0
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Self-time-ranked profile of one stream."""
+
+    rows: Tuple[ProfileRow, ...]
+    forest: SpanForest
+    total_self_s: float
+    wall_s: float
+
+    def render(self, limit: int = 0) -> str:
+        """Headline plus the hot-span table (top *limit* rows, 0 = all)."""
+        rows = self.rows[:limit] if limit else self.rows
+        headline = (
+            f"profile: {self.forest.n_spans} spans, "
+            f"{len(self.rows)} names, total self {self.total_self_s:.3f}s, "
+            f"wall {self.wall_s:.3f}s"
+        )
+        anomalies = []
+        if self.forest.n_unclosed:
+            anomalies.append(f"{self.forest.n_unclosed} unclosed")
+        if self.forest.n_orphan_ends:
+            anomalies.append(f"{self.forest.n_orphan_ends} orphan end(s)")
+        if self.forest.n_replay_spans:
+            anomalies.append(
+                f"{self.forest.n_replay_spans} replayed span event(s) excluded"
+            )
+        if anomalies:
+            headline += " (" + ", ".join(anomalies) + ")"
+        table = format_table(
+            ["span", "calls", "self_s", "cum_s", "self_%", "errors"],
+            [
+                [
+                    r.name,
+                    r.calls,
+                    r.self_s,
+                    r.cum_s,
+                    (100.0 * r.self_s / self.total_self_s)
+                    if self.total_self_s > 0
+                    else 0.0,
+                    r.errors,
+                ]
+                for r in rows
+            ],
+            float_fmt="{:.3f}",
+        )
+        return headline + "\n" + table
+
+
+def profile_forest(forest: SpanForest) -> Profile:
+    """Aggregate a forest into per-name self/cumulative rows."""
+    calls: Dict[str, int] = {}
+    self_s: Dict[str, float] = {}
+    cum_s: Dict[str, float] = {}
+    errors: Dict[str, int] = {}
+    unclosed: Dict[str, int] = {}
+    for node in forest.walk():
+        name = node.name
+        calls[name] = calls.get(name, 0) + 1
+        self_s[name] = self_s.get(name, 0.0) + node.self_s
+        if node.closed:
+            cum_s[name] = cum_s.get(name, 0.0) + node.dur_s
+        else:
+            unclosed[name] = unclosed.get(name, 0) + 1
+        if node.error is not None:
+            errors[name] = errors.get(name, 0) + 1
+    rows = [
+        ProfileRow(
+            name=name,
+            calls=calls[name],
+            self_s=self_s.get(name, 0.0),
+            cum_s=cum_s.get(name, 0.0),
+            errors=errors.get(name, 0),
+            unclosed=unclosed.get(name, 0),
+        )
+        for name in calls
+    ]
+    rows.sort(key=lambda r: (-r.self_s, r.name))
+    wall_s = max((r.dur_s for r in forest.roots if r.closed), default=0.0)
+    return Profile(
+        rows=tuple(rows),
+        forest=forest,
+        total_self_s=sum(self_s.values()),
+        wall_s=wall_s,
+    )
+
+
+def profile_events(
+    events: Iterable[Mapping[str, Any]], include_replay: bool = False
+) -> Profile:
+    """Convenience: :func:`build_forest` then :func:`profile_forest`."""
+    return profile_forest(build_forest(events, include_replay=include_replay))
+
+
+# -- flamegraph export ------------------------------------------------------
+
+
+def collapsed_stacks(forest: SpanForest) -> List[str]:
+    """Collapsed-stack lines (``a;b;c N``) weighted by self-time in µs.
+
+    The exact input format of Brendan Gregg's ``flamegraph.pl`` and of
+    speedscope's "collapsed stack" importer: one line per distinct call
+    path, semicolon-joined frame names, one space, integer weight.
+    Self-times under half a microsecond round to 0 and are dropped
+    (both consumers require positive integer weights); multiple spans
+    sharing one path sum.  Lines come back sorted for deterministic
+    output.
+    """
+    weights: Dict[Tuple[str, ...], float] = {}
+    for node in forest.walk():
+        sec = node.self_s
+        if sec <= 0.0:
+            continue
+        path = node.path()
+        weights[path] = weights.get(path, 0.0) + sec
+    lines = []
+    for path in sorted(weights):
+        usec = int(round(weights[path] * 1e6))
+        if usec <= 0:
+            continue
+        lines.append(";".join(path) + f" {usec}")
+    return lines
+
+
+def parse_collapsed(text: str) -> Dict[Tuple[str, ...], int]:
+    """Parse collapsed-stack text back to ``{path: weight_usec}``.
+
+    The round-trip partner of :func:`collapsed_stacks`, used by tests
+    (and available to tooling) to assert the export stays loadable.
+
+    Raises:
+        ObsError: On a line without a positive integer weight.
+    """
+    stacks: Dict[Tuple[str, ...], int] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        path_part, sep, weight_part = line.rpartition(" ")
+        try:
+            weight = int(weight_part)
+        except ValueError:
+            weight = -1
+        if not sep or not path_part or weight <= 0:
+            raise ObsError(
+                f"collapsed-stack line {lineno} is malformed: {line!r}"
+            )
+        path = tuple(path_part.split(";"))
+        stacks[path] = stacks.get(path, 0) + weight
+    return stacks
+
+
+# -- critical path ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChainLink:
+    """One hop of the critical path."""
+
+    name: str
+    pid: int
+    dur_s: float
+    self_s: float
+
+
+@dataclass(frozen=True)
+class PlatformSplit:
+    """Queueing vs. compute attribution for one measurement platform."""
+
+    platform: str
+    jobs: int
+    queue_s: float
+    compute_s: float
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """Where a campaign's wall-clock went, and what could shrink it.
+
+    Attributes:
+        wall_s: Duration of the campaign anchor span (the longest
+            closed root when no anchor is present).
+        anchor: Name of the span the analysis is rooted at.
+        chain: The longest dependency chain from the anchor down —
+            at each level the child with the largest cumulative time.
+        chain_s: Total duration along the chain (the anchor's wall).
+        n_workers: Distinct worker processes observed (pids other than
+            the anchor's).
+        busy_by_pid: Per-worker-pid total root-span busy time.
+        pool_idle_s: ``n_workers * wall_s`` minus total worker busy
+            time — the parallelism left on the table (0 inline).
+        platforms: Per-platform queueing vs. compute split, from
+            dispatch spans matched to worker job spans by spec hash.
+    """
+
+    wall_s: float
+    anchor: str
+    chain: Tuple[ChainLink, ...]
+    chain_s: float
+    n_workers: int
+    busy_by_pid: Mapping[int, float]
+    pool_idle_s: float
+    platforms: Tuple[PlatformSplit, ...]
+
+    def render(self) -> str:
+        parts = [
+            f"critical path: wall {self.wall_s:.3f}s under "
+            f"{self.anchor!r}; {self.n_workers} worker process(es), "
+            f"pool idle {self.pool_idle_s:.3f}s"
+        ]
+        if self.chain:
+            rows = [
+                [
+                    i,
+                    link.name,
+                    link.pid,
+                    link.dur_s,
+                    link.self_s,
+                ]
+                for i, link in enumerate(self.chain)
+            ]
+            parts.append(
+                format_table(
+                    ["depth", "span", "pid", "cum_s", "self_s"],
+                    rows,
+                    float_fmt="{:.3f}",
+                )
+            )
+        if self.platforms:
+            rows = [
+                [p.platform, p.jobs, p.queue_s, p.compute_s]
+                for p in self.platforms
+            ]
+            parts.append(
+                format_table(
+                    ["platform", "jobs", "queue_s", "compute_s"],
+                    rows,
+                    float_fmt="{:.3f}",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def critical_path(
+    forest: SpanForest, anchor: str = CAMPAIGN_SPAN
+) -> CriticalPath:
+    """Analyze a campaign forest's longest chain and parallel efficiency.
+
+    Raises:
+        ObsError: On a forest with no closed root span to anchor at.
+    """
+    anchor_node = None
+    for root in forest.roots:
+        if root.name == anchor and root.closed:
+            anchor_node = root
+            break
+    if anchor_node is None:
+        closed_roots = [r for r in forest.roots if r.closed]
+        if not closed_roots:
+            raise ObsError(
+                "critical path needs at least one closed root span; the "
+                "stream has none (truncated trace?)"
+            )
+        anchor_node = max(closed_roots, key=lambda r: r.dur_s)
+
+    chain: List[ChainLink] = []
+    node: Optional[SpanNode] = anchor_node
+    while node is not None:
+        chain.append(
+            ChainLink(
+                name=node.name,
+                pid=node.pid,
+                dur_s=node.dur_s,
+                self_s=node.self_s,
+            )
+        )
+        closed_children = [c for c in node.children if c.closed]
+        node = (
+            max(closed_children, key=lambda c: c.dur_s)
+            if closed_children
+            else None
+        )
+
+    # Worker busy time: every root span emitted by a pid other than the
+    # anchor's is a unit of worker-side work (job spans arrive as roots
+    # of their own trees — the process boundary severs the parent link).
+    busy_by_pid: Dict[int, float] = {}
+    for root in forest.roots:
+        if root.pid == anchor_node.pid or not root.closed:
+            continue
+        busy_by_pid[root.pid] = busy_by_pid.get(root.pid, 0.0) + root.dur_s
+    n_workers = len(busy_by_pid)
+    wall_s = anchor_node.dur_s
+    pool_idle_s = max(0.0, n_workers * wall_s - sum(busy_by_pid.values()))
+
+    # Queueing vs. compute: a dispatch span covers submit-to-result at
+    # the orchestrator; the matching worker job span (same spec hash
+    # attribute) covers pure compute.  The difference is time spent
+    # queued, pickling, or backing off between retries.
+    job_compute: Dict[str, float] = {}
+    for span_node in forest.walk():
+        if span_node.name == JOB_SPAN and span_node.closed:
+            spec = span_node.attrs.get("spec")
+            if isinstance(spec, str):
+                job_compute[spec] = (
+                    job_compute.get(spec, 0.0) + span_node.dur_s
+                )
+    splits: Dict[str, List[float]] = {}
+    for span_node in forest.walk():
+        if span_node.name != DISPATCH_SPAN or not span_node.closed:
+            continue
+        platform = str(span_node.attrs.get("platform", "?"))
+        compute = job_compute.get(span_node.attrs.get("spec"), 0.0)
+        entry = splits.setdefault(platform, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += max(0.0, span_node.dur_s - compute)
+        entry[2] += compute
+    platforms = tuple(
+        PlatformSplit(
+            platform=platform,
+            jobs=int(splits[platform][0]),
+            queue_s=splits[platform][1],
+            compute_s=splits[platform][2],
+        )
+        for platform in sorted(splits)
+    )
+    return CriticalPath(
+        wall_s=wall_s,
+        anchor=anchor_node.name,
+        chain=tuple(chain),
+        chain_s=wall_s,
+        n_workers=n_workers,
+        busy_by_pid=busy_by_pid,
+        pool_idle_s=pool_idle_s,
+        platforms=platforms,
+    )

@@ -1,0 +1,228 @@
+"""Live campaign progress: heartbeat folding, EWMA rate, ETA, status line.
+
+The push half lives in the event stream — ``heartbeat`` events (schema
+v2) emitted by the campaign runner as jobs complete.  The pull half is
+:class:`ProgressTracker`: a thread-safe accumulator the runner feeds on
+every job outcome, which maintains an exponentially-weighted job rate
+and an ETA, mirrors each update into the stream as a heartbeat event,
+and optionally renders a status line.
+
+Rendering is TTY-aware: on a terminal the line redraws in place
+(carriage return, padded); on a pipe it degrades to occasional full
+lines throttled by ``min_interval_s``, so redirecting stderr to a log
+file yields a readable tail instead of a mile of ``\\r``.
+
+All timing uses the monotonic clock (``time.perf_counter``); the
+tracker never reads wall-clock time.
+"""
+
+from __future__ import annotations
+
+import time
+from threading import Lock
+from typing import Any, Dict, IO, Optional
+
+from repro.errors import ObsError
+from repro.obs import trace as obs
+
+#: Single heartbeat stream name used by the campaign runner.
+HEARTBEAT_NAME = "runner.progress"
+
+
+class ProgressTracker:
+    """Thread-safe campaign progress accumulator and status-line renderer.
+
+    Args:
+        total: Expected job count (settable later via :meth:`set_total`;
+            0 means unknown, which disables the ETA and percent).
+        stream: Where to render the status line (conventionally
+            ``sys.stderr``); ``None`` tracks silently.
+        min_interval_s: Minimum seconds between renders on a non-TTY
+            stream (TTY redraws are cheap and uncapped).
+        ewma_alpha: Smoothing factor of the job-rate EWMA in (0, 1];
+            higher reacts faster, lower smooths more.
+    """
+
+    def __init__(
+        self,
+        total: int = 0,
+        stream: Optional[IO[str]] = None,
+        min_interval_s: float = 0.5,
+        ewma_alpha: float = 0.25,
+    ):
+        if total < 0:
+            raise ObsError(f"total must be >= 0, got {total}")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ObsError(
+                f"ewma_alpha must be in (0, 1], got {ewma_alpha}"
+            )
+        self._lock = Lock()
+        self.total = int(total)
+        self.done = 0
+        self.failed = 0
+        self.retried = 0
+        self.hits = 0
+        self._stream = stream
+        self._tty = bool(stream is not None and stream.isatty())
+        self._min_interval_s = float(min_interval_s)
+        self._ewma_alpha = float(ewma_alpha)
+        self._rate: Optional[float] = None
+        self._start = time.perf_counter()
+        self._last_done = self._start
+        self._last_render = -float("inf")
+        self._last_width = 0
+
+    # -- accounting ---------------------------------------------------------
+
+    def set_total(self, total: int) -> None:
+        """Declare (or correct) the expected job count."""
+        if total < 0:
+            raise ObsError(f"total must be >= 0, got {total}")
+        with self._lock:
+            self.total = int(total)
+
+    def job_done(self, status: str = "ran") -> None:
+        """Record one finished job (``"ran"``, ``"hit"``, or ``"failed"``).
+
+        Updates the rate EWMA, mirrors a heartbeat event into the
+        ambient trace (a no-op when tracing is off), and renders.
+        """
+        if status not in ("ran", "hit", "failed"):
+            raise ObsError(f"unknown job status {status!r}")
+        with self._lock:
+            now = time.perf_counter()
+            self.done += 1
+            if status == "failed":
+                self.failed += 1
+            elif status == "hit":
+                self.hits += 1
+            gap = now - self._last_done
+            self._last_done = now
+            if gap > 0:
+                instant = 1.0 / gap
+                if self._rate is None:
+                    self._rate = instant
+                else:
+                    alpha = self._ewma_alpha
+                    self._rate = alpha * instant + (1.0 - alpha) * self._rate
+            snap = self._snapshot_locked(now)
+        obs.heartbeat(HEARTBEAT_NAME, **snap)
+        self._maybe_render(snap)
+
+    def retry(self) -> None:
+        """Record one retry attempt."""
+        with self._lock:
+            self.retried += 1
+
+    # -- reading ------------------------------------------------------------
+
+    def _snapshot_locked(self, now: float) -> Dict[str, Any]:
+        remaining = max(0, self.total - self.done) if self.total else 0
+        rate = self._rate if self._rate is not None else 0.0
+        eta_s = (remaining / rate) if (remaining and rate > 0) else 0.0
+        return {
+            "done": self.done,
+            "total": self.total,
+            "failed": self.failed,
+            "retried": self.retried,
+            "hits": self.hits,
+            "rate": rate,
+            "eta_s": eta_s,
+            "elapsed_s": now - self._start,
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Point-in-time progress counters, rate, ETA, and elapsed time."""
+        with self._lock:
+            return self._snapshot_locked(time.perf_counter())
+
+    # -- rendering ----------------------------------------------------------
+
+    @staticmethod
+    def format_line(snap: Dict[str, Any]) -> str:
+        """One status line from a snapshot (also used by tests)."""
+        done, total = snap["done"], snap["total"]
+        if total:
+            pct = 100.0 * done / total if total else 0.0
+            head = f"campaign {done}/{total} ({pct:.0f}%)"
+        else:
+            head = f"campaign {done} job(s)"
+        bits = [head]
+        if snap["hits"]:
+            bits.append(f"{snap['hits']} hit(s)")
+        if snap["failed"]:
+            bits.append(f"{snap['failed']} failed")
+        if snap["retried"]:
+            bits.append(f"{snap['retried']} retried")
+        if snap["rate"] > 0:
+            bits.append(f"{snap['rate']:.2f} job/s")
+        if snap["eta_s"] > 0:
+            bits.append(f"eta {snap['eta_s']:.0f}s")
+        return " — ".join(bits)
+
+    def _maybe_render(self, snap: Dict[str, Any]) -> None:
+        stream = self._stream
+        if stream is None:
+            return
+        with self._lock:
+            now = time.perf_counter()
+            if not self._tty and now - self._last_render < self._min_interval_s:
+                return
+            self._last_render = now
+            line = self.format_line(snap)
+            try:
+                if self._tty:
+                    pad = max(0, self._last_width - len(line))
+                    stream.write("\r" + line + " " * pad)
+                    self._last_width = len(line)
+                else:
+                    stream.write(line + "\n")
+                stream.flush()
+            except (OSError, ValueError):
+                # A closed or broken status stream must never take the
+                # campaign down; progress goes silent instead.
+                self._stream = None
+
+    def finish(self) -> None:
+        """Render the final line unconditionally and release the stream."""
+        snap = self.snapshot()
+        stream = self._stream
+        if stream is None:
+            return
+        with self._lock:
+            line = self.format_line(snap)
+            try:
+                if self._tty:
+                    pad = max(0, self._last_width - len(line))
+                    stream.write("\r" + line + " " * pad + "\n")
+                else:
+                    stream.write(line + "\n")
+                stream.flush()
+            except (OSError, ValueError):
+                pass
+            self._stream = None
+
+
+def fold_heartbeats(events) -> Dict[str, Any]:
+    """Summarize the heartbeat events of a recorded stream.
+
+    Returns the last heartbeat's fields (the most recent view of
+    progress) plus ``n_heartbeats``; an empty dict when the stream has
+    none.  Lets ``trace summarize`` and offline tooling reconstruct
+    campaign progress after the fact.
+    """
+    last: Dict[str, Any] = {}
+    count = 0
+    for event in events:
+        if event.get("kind") != "heartbeat":
+            continue
+        count += 1
+        last = {
+            key: value
+            for key, value in event.items()
+            if key not in ("v", "run", "ts", "kind", "name", "pid")
+        }
+    if not count:
+        return {}
+    last["n_heartbeats"] = count
+    return last

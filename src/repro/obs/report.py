@@ -10,7 +10,7 @@ rest of the package's terminal output.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Tuple, Union
 
@@ -52,6 +52,10 @@ class TraceSummary:
         gauges: Per-name last-written gauge values.
         n_unclosed: span_start events with no matching span_end (a
             crashed or still-open phase).
+        histograms: Per-name distribution summaries (count, min, max,
+            mean, p50/p95/p99) folded from ``hist`` events — same-name
+            sketches from partial flushes and worker shards merge.
+        n_heartbeats: Live-progress pulses seen in the stream.
     """
 
     n_events: int
@@ -62,6 +66,8 @@ class TraceSummary:
     counters: Mapping[str, float]
     gauges: Mapping[str, float]
     n_unclosed: int = 0
+    histograms: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    n_heartbeats: int = 0
 
     def render(self) -> str:
         """Headline plus per-phase timing table (and counters, if any)."""
@@ -71,6 +77,8 @@ class TraceSummary:
         )
         if self.n_unclosed:
             headline += f", {self.n_unclosed} unclosed span(s)"
+        if self.n_heartbeats:
+            headline += f", {self.n_heartbeats} heartbeat(s)"
         parts = [headline]
         if self.spans:
             rows = [
@@ -99,6 +107,25 @@ class TraceSummary:
         if self.gauges:
             rows = [[name, self.gauges[name]] for name in sorted(self.gauges)]
             parts.append(format_table(["gauge", "last"], rows, float_fmt="{:.6g}"))
+        if self.histograms:
+            rows = [
+                [
+                    name,
+                    summary.get("count", 0),
+                    summary.get("p50"),
+                    summary.get("p95"),
+                    summary.get("p99"),
+                    summary.get("max"),
+                ]
+                for name, summary in sorted(self.histograms.items())
+            ]
+            parts.append(
+                format_table(
+                    ["histogram", "count", "p50", "p95", "p99", "max"],
+                    rows,
+                    float_fmt="{:.6g}",
+                )
+            )
         return "\n\n".join(parts)
 
 
@@ -116,8 +143,10 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> TraceSummary:
     run_ids: List[str] = []
     pids: List[int] = []
     opened: Dict[Tuple[int, Any], str] = {}
+    hist_events: List[Mapping[str, Any]] = []
     n_events = 0
     n_replayed = 0
+    n_heartbeats = 0
     for event in events:
         n_events += 1
         run = event.get("run")
@@ -141,6 +170,10 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> TraceSummary:
             counters[name] = counters.get(name, 0.0) + float(event.get("value", 0.0))
         elif kind == "gauge":
             gauges[name] = float(event.get("value", 0.0))
+        elif kind == "hist":
+            hist_events.append(event)
+        elif kind == "heartbeat":
+            n_heartbeats += 1
     span_stats = []
     for name, values in durations.items():
         arr = np.asarray(values, dtype=float)
@@ -156,6 +189,14 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> TraceSummary:
             )
         )
     span_stats.sort(key=lambda s: (-s.total_s, s.name))
+    histograms: Dict[str, Mapping[str, Any]] = {}
+    if hist_events:
+        from repro.obs.metrics import merge_hist_events
+
+        histograms = {
+            name: hist.summary()
+            for name, hist in merge_hist_events(hist_events).items()
+        }
     return TraceSummary(
         n_events=n_events,
         run_ids=tuple(run_ids),
@@ -165,6 +206,8 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> TraceSummary:
         counters=counters,
         gauges=gauges,
         n_unclosed=len(opened),
+        histograms=histograms,
+        n_heartbeats=n_heartbeats,
     )
 
 

@@ -42,11 +42,48 @@ class Tracer:
         self._lock = threading.Lock()
         self._span_ids = itertools.count(1)
         self._local = threading.local()
+        self._hists: Dict[str, Any] = {}
 
     def emit(self, event: Dict[str, Any]) -> None:
         """Append one pre-built event to the buffer."""
         with self._lock:
             self._events.append(event)
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold one sample into the named histogram (see :func:`histogram`).
+
+        Histogram state lives *beside* the event buffer — one sketch
+        per name, not one event per sample — and is folded into the
+        stream as ``hist`` events by :meth:`flush_histograms`.
+        """
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None:
+                # Deferred import: repro.stream sits above repro.obs in
+                # the import graph (its package init pulls the
+                # instrumented measurement modules), so the sketch
+                # dependency resolves on first use, never at import.
+                from repro.obs.metrics import Histogram
+
+                hist = self._hists[name] = Histogram(name)
+            hist.observe(value)
+
+    def flush_histograms(self) -> int:
+        """Emit one ``hist`` event per histogram and reset their state.
+
+        Safe to call repeatedly: each flush emits only the samples
+        observed since the previous one, and readers *merge* same-name
+        ``hist`` events (sketches are mergeable), so totals are
+        preserved across partial flushes and process boundaries.
+
+        Returns:
+            The number of ``hist`` events emitted.
+        """
+        with self._lock:
+            hists, self._hists = self._hists, {}
+            for name in sorted(hists):
+                self._events.append(hists[name].to_event(self.run_id))
+        return len(hists)
 
     def size(self) -> int:
         """Number of buffered events."""
@@ -94,10 +131,35 @@ def enable(run_id: Optional[str] = None) -> Tracer:
 
 
 def disable() -> List[Dict[str, Any]]:
-    """Turn tracing off; return the drained events (empty if it was off)."""
+    """Turn tracing off; return the drained events (empty if it was off).
+
+    Pending histogram state is flushed into the stream first, so the
+    drained events carry every observed sample.
+    """
     global _TRACER
     tracer, _TRACER = _TRACER, None
-    return tracer.drain() if tracer is not None else []
+    if tracer is None:
+        return []
+    tracer.flush_histograms()
+    return tracer.drain()
+
+
+@contextmanager
+def suspended():
+    """Temporarily disable tracing for the duration of a block.
+
+    The active tracer (if any) is parked and restored on exit — its
+    buffer, span stack, and histograms are untouched.  Used by the
+    benchmark suite to time the disabled-lane fast path while ambient
+    tracing is on; spans opened *outside* the block must not close
+    inside it (their end event would be dropped).
+    """
+    global _TRACER
+    parked, _TRACER = _TRACER, None
+    try:
+        yield
+    finally:
+        _TRACER = parked
 
 
 def is_enabled() -> bool:
@@ -238,6 +300,55 @@ def gauge(name: str, value: float) -> None:
     )
 
 
+def histogram(name: str, value: float) -> None:
+    """Fold one sample into a named distribution (p50/p95/p99 in reports).
+
+    Samples accumulate in a mergeable quantile sketch
+    (:class:`repro.obs.metrics.Histogram`) rather than as one event per
+    observation — constant memory however hot the call site.  The
+    sketch reaches the event stream as a ``hist`` event when flushed
+    (:func:`flush_histograms`, or automatically at :func:`disable` /
+    :func:`write_jsonl` / :func:`capture` exit).
+    """
+    tracer = _TRACER
+    if tracer is None:
+        return
+    tracer.observe(name, value)
+
+
+def flush_histograms() -> int:
+    """Flush pending histogram state into the event stream.
+
+    Returns:
+        The number of ``hist`` events emitted (0 when disabled).
+    """
+    tracer = _TRACER
+    return tracer.flush_histograms() if tracer is not None else 0
+
+
+def heartbeat(name: str, done: float, **fields: Any) -> None:
+    """Emit a live-progress pulse (jobs done so far, rates, ETA...).
+
+    Heartbeats are the push half of the progress channel: workers and
+    the campaign runner emit them, :class:`repro.obs.progress.ProgressTracker`
+    folds them into a status line.  ``done`` is required by the schema;
+    extra fields (``failed``, ``rate``, ``eta_s``...) ride along flat.
+    """
+    tracer = _TRACER
+    if tracer is None:
+        return
+    tracer.emit(
+        make_event(
+            "heartbeat",
+            name,
+            tracer.run_id,
+            time.perf_counter(),
+            done=done,
+            **fields,
+        )
+    )
+
+
 def log_event(level: str, msg: str, name: str = "log") -> None:
     """Record a log line into the event stream."""
     tracer = _TRACER
@@ -316,6 +427,11 @@ def capture(run_id: Optional[str] = None):
         try:
             yield holder
         finally:
+            # Flush before slicing so histogram samples observed during
+            # the window land inside the captured slice (samples from
+            # before the window ride along — sketches are cheap and
+            # merging keeps totals correct either way).
+            tracer.flush_histograms()
             holder.events = tracer.snapshot()[mark:]
 
 
@@ -326,6 +442,7 @@ def write_jsonl(path, stream: Optional[Iterable[Dict[str, Any]]] = None) -> int:
         The number of lines written.
     """
     if stream is None:
+        flush_histograms()
         stream = events()
     count = 0
     with open(path, "w", encoding="utf-8") as handle:

@@ -52,10 +52,11 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.analysis import format_table
-from repro.errors import CacheCorruptionError, RunnerError
+from repro.errors import CacheCorruptionError, ObsError, RunnerError
 from repro.faults.inject import corrupt_file, maybe_inject
 from repro.faults.plan import FaultPlan
 from repro.obs import trace as obs
+from repro.obs.progress import ProgressTracker
 from repro.runner.checkpoint import (
     CampaignCheckpoint,
     CheckpointEntry,
@@ -101,6 +102,14 @@ def _run_job(
             ):
                 maybe_inject(fault_plan, spec.content_hash, attempt)
                 result = spec.build().run()
+            # Worker-side pulse: rides the payload with the rest of the
+            # captured events, so merged streams record job completion
+            # even when the orchestrator runs without a ProgressTracker.
+            obs.heartbeat(
+                "runner.job.heartbeat",
+                done=1,
+                elapsed_s=time.perf_counter() - start,
+            )
         events = captured.events
     else:
         maybe_inject(fault_plan, spec.content_hash, attempt)
@@ -371,6 +380,10 @@ class CampaignRunner:
             before its failure rate can trip the breaker.
         allow_partial: Finish with ``partial=True`` and a ``degraded``
             section instead of raising when jobs are given up on.
+        progress: Optional :class:`~repro.obs.progress.ProgressTracker`
+            fed on every job outcome (hit, ran, failed, retry) —
+            the live half of ``repro-bgp campaign --progress``.  Its
+            ``finish()`` runs when the campaign ends, even on abort.
     """
 
     def __init__(
@@ -389,6 +402,7 @@ class CampaignRunner:
         breaker_threshold: Optional[float] = None,
         breaker_min_attempts: int = 4,
         allow_partial: bool = False,
+        progress: Optional[ProgressTracker] = None,
     ):
         if jobs < 1:
             raise RunnerError(f"jobs must be >= 1, got {jobs}")
@@ -430,6 +444,7 @@ class CampaignRunner:
         self.breaker_threshold = breaker_threshold
         self.breaker_min_attempts = int(breaker_min_attempts)
         self.allow_partial = bool(allow_partial)
+        self.progress = progress
 
     def run(self, specs: Sequence[JobSpec]) -> CampaignReport:
         """Execute a campaign; results come back in spec order.
@@ -439,43 +454,68 @@ class CampaignRunner:
                 is off.
         """
         state = _RunState(list(specs), self.retry_budget)
-        restored = self._restore_from_checkpoint(state)
-        for index, spec in enumerate(state.specs):
-            if index in restored:
-                continue
-            cached = self.store.get(spec) if self.store is not None else None
-            if cached is not None:
-                state.results[index] = cached.result
-                state.metrics[index] = JobMetrics(
-                    index=index,
-                    study=spec.describe(),
-                    seed=spec.seed,
-                    spec_hash=spec.content_hash,
-                    status="hit",
-                    attempts=0,
-                    elapsed_s=0.0,
-                    saved_s=cached.elapsed_s,
-                )
-                obs.counter("runner.cache.hits")
-                if cached.events:
-                    # Replay the hit's recorded telemetry into the
-                    # current stream, tagged so reports can separate
-                    # relived history from fresh measurement.
-                    obs.ingest(cached.events, replay=True)
-                self._checkpoint_success(
-                    state, index, result_to_payload(cached.result),
-                    cached.elapsed_s,
-                )
-            else:
-                if self.store is not None:
-                    obs.counter("runner.cache.misses")
-                state.pending.append(index)
-        if state.pending:
-            if self.jobs == 1 or len(state.pending) == 1:
-                self._run_inline(state)
-            else:
-                self._run_pool(state)
-        return self._finish(state)
+        if self.progress is not None:
+            self.progress.set_total(len(state.specs))
+        try:
+            with obs.span(
+                "runner.campaign", jobs=self.jobs, n_specs=len(state.specs)
+            ):
+                restored = self._restore_from_checkpoint(state)
+                for index in restored:
+                    self._progress_done("ran")
+                for index, spec in enumerate(state.specs):
+                    if index in restored:
+                        continue
+                    cached = (
+                        self.store.get(spec) if self.store is not None else None
+                    )
+                    if cached is not None:
+                        state.results[index] = cached.result
+                        state.metrics[index] = JobMetrics(
+                            index=index,
+                            study=spec.describe(),
+                            seed=spec.seed,
+                            spec_hash=spec.content_hash,
+                            status="hit",
+                            attempts=0,
+                            elapsed_s=0.0,
+                            saved_s=cached.elapsed_s,
+                        )
+                        obs.counter("runner.cache.hits")
+                        if cached.events:
+                            # Replay the hit's recorded telemetry into
+                            # the current stream, tagged so reports can
+                            # separate relived history from fresh
+                            # measurement.  Entries written under an
+                            # older event schema fail validation; the
+                            # *result* is still good, so a stale replay
+                            # is counted and skipped, never fatal.
+                            try:
+                                obs.ingest(cached.events, replay=True)
+                            except ObsError:
+                                obs.counter("runner.replay.schema_mismatch")
+                        self._progress_done("hit")
+                        self._checkpoint_success(
+                            state, index, result_to_payload(cached.result),
+                            cached.elapsed_s,
+                        )
+                    else:
+                        if self.store is not None:
+                            obs.counter("runner.cache.misses")
+                        state.pending.append(index)
+                if state.pending:
+                    if self.jobs == 1 or len(state.pending) == 1:
+                        self._run_inline(state)
+                    else:
+                        self._run_pool(state)
+                return self._finish(state)
+        finally:
+            if self.progress is not None:
+                self.progress.finish()
+
+    def _progress_done(self, status: str) -> None:
+        if self.progress is not None:
+            self.progress.job_done(status)
 
     # -- checkpoint / resume ------------------------------------------------
 
@@ -622,6 +662,8 @@ class CampaignRunner:
         if state.budget_left is not None:
             state.budget_left -= 1
         obs.counter("runner.recovery.retry")
+        if self.progress is not None:
+            self.progress.retry()
 
     def _fail_job(
         self,
@@ -665,6 +707,7 @@ class CampaignRunner:
             attempt_s=tuple(attempt_s),
             timeouts=timeouts,
         )
+        self._progress_done("failed")
         obs.counter("runner.job.degraded")
         obs.log_event(
             "warning",
@@ -715,6 +758,8 @@ class CampaignRunner:
             attempt_s=tuple(attempt_s),
             timeouts=timeouts,
         )
+        obs.histogram("runner.job.latency_s", job_s)
+        self._progress_done("ran")
         if merge_events and events:
             # Pool mode: worker-side events arrive via the job payload
             # and are spliced into the orchestrator's stream here, in
@@ -743,11 +788,11 @@ class CampaignRunner:
     def _sleep_before_retry(self, attempts: int) -> None:
         delay = self.backoff_s * (2 ** (attempts - 1))
         if delay > 0:
-            time.sleep(delay)
+            obs.histogram("runner.retry.backoff_s", delay)
+            with obs.span("runner.retry.backoff"):
+                time.sleep(delay)
 
     def _run_inline(self, state: _RunState) -> None:
-        tracing = obs.is_enabled()
-        run_id = obs.current_run_id()
         for index in state.pending:
             spec = state.specs[index]
             if self._breaker_blocks(state, [spec]):
@@ -755,60 +800,77 @@ class CampaignRunner:
                     state, index, f"breaker-open:{spec.platform}", 0, None
                 )
                 continue
-            attempts = 0
-            attempt_s: List[float] = []
-            start = time.perf_counter()
-            while True:
-                attempts += 1
-                attempt_start = time.perf_counter()
-                try:
-                    payload, job_s, events = _run_job(
-                        spec, tracing, run_id, self.fault_plan, attempts
-                    )
-                except Exception as exc:
-                    # Broad on purpose: any worker exception is a failed
-                    # attempt to be retried, broken, or degraded — but it
-                    # is never silent (EXC001).
-                    obs.counter("runner.job.attempt_error")
-                    attempt_s.append(time.perf_counter() - attempt_start)
-                    self._note_attempt(state, spec, failed=True)
-                    if self._breaker_blocks(state, [spec]):
-                        self._fail_job(
-                            state,
-                            index,
-                            f"breaker-open:{spec.platform}",
-                            attempts,
-                            exc,
-                            attempt_s=attempt_s,
-                        )
-                        break
-                    if not self._can_retry(state, attempts):
-                        self._fail_job(
-                            state,
-                            index,
-                            self._exhaustion_reason(state, attempts),
-                            attempts,
-                            exc,
-                            attempt_s=attempt_s,
-                        )
-                        break
-                    self._consume_retry(state)
-                    self._sleep_before_retry(attempts)
-                    continue
-                attempt_s.append(time.perf_counter() - attempt_start)
-                self._note_attempt(state, spec, failed=False)
-                wall_s = time.perf_counter() - start
-                self._record_success(
-                    state,
-                    index,
-                    payload,
-                    job_s,
-                    wall_s,
-                    attempts,
-                    events=events,
-                    attempt_s=attempt_s,
+            # Dispatch span: submit-to-result at the orchestrator,
+            # retries and backoff included.  The critical-path analyzer
+            # matches it to the worker's runner.job span by spec hash;
+            # the difference is queueing/overhead, not compute.
+            with obs.span(
+                "runner.dispatch",
+                platform=spec.platform,
+                spec=spec.content_hash[:12],
+            ):
+                self._dispatch_inline(state, index, spec)
+
+    def _dispatch_inline(
+        self, state: _RunState, index: int, spec: JobSpec
+    ) -> None:
+        """Attempt loop for one inline job (retries and backoff inside)."""
+        tracing = obs.is_enabled()
+        run_id = obs.current_run_id()
+        attempts = 0
+        attempt_s: List[float] = []
+        start = time.perf_counter()
+        while True:
+            attempts += 1
+            attempt_start = time.perf_counter()
+            try:
+                payload, job_s, events = _run_job(
+                    spec, tracing, run_id, self.fault_plan, attempts
                 )
-                break
+            except Exception as exc:
+                # Broad on purpose: any worker exception is a failed
+                # attempt to be retried, broken, or degraded — but it
+                # is never silent (EXC001).
+                obs.counter("runner.job.attempt_error")
+                attempt_s.append(time.perf_counter() - attempt_start)
+                self._note_attempt(state, spec, failed=True)
+                if self._breaker_blocks(state, [spec]):
+                    self._fail_job(
+                        state,
+                        index,
+                        f"breaker-open:{spec.platform}",
+                        attempts,
+                        exc,
+                        attempt_s=attempt_s,
+                    )
+                    break
+                if not self._can_retry(state, attempts):
+                    self._fail_job(
+                        state,
+                        index,
+                        self._exhaustion_reason(state, attempts),
+                        attempts,
+                        exc,
+                        attempt_s=attempt_s,
+                    )
+                    break
+                self._consume_retry(state)
+                self._sleep_before_retry(attempts)
+                continue
+            attempt_s.append(time.perf_counter() - attempt_start)
+            self._note_attempt(state, spec, failed=False)
+            wall_s = time.perf_counter() - start
+            self._record_success(
+                state,
+                index,
+                payload,
+                job_s,
+                wall_s,
+                attempts,
+                events=events,
+                attempt_s=attempt_s,
+            )
+            break
 
     def _run_pool(self, state: _RunState) -> None:
         tracing = obs.is_enabled()
@@ -864,132 +926,141 @@ class CampaignRunner:
                 limit = (
                     None if self.timeout_s is None else self.timeout_s * len(chunk)
                 )
-                while True:
-                    if self._breaker_blocks(state, batch_specs):
-                        future = futures[c]
-                        if not (
-                            future.done()
-                            and not future.cancelled()
-                            and future.exception() is None
-                        ):
-                            # Not (successfully) finished: stop waiting
-                            # on a platform the breaker gave up on.
-                            future.cancel()
-                            fail_chunk(
-                                c,
-                                f"breaker-open:"
-                                f"{batch_specs[0].platform}",
-                                None,
-                            )
-                            break
-                        # Completed before the breaker opened — a
-                        # result in hand is a result kept.
-                    try:
-                        outputs = futures[c].result(timeout=limit)
-                    except FutureTimeoutError:
-                        futures[c].cancel()
-                        timeouts[c] += 1
-                        error: BaseException = RunnerError(
-                            f"timed out after {limit}s"
-                        )
-                        # A running worker cannot be preempted, so the
-                        # hung process would keep its slot for as long
-                        # as the job hangs — starving the retry (and
-                        # every queued chunk) behind it.  Rebuild the
-                        # pool and resubmit whatever the rebuild
-                        # orphaned; only the timed-out chunk is charged
-                        # an attempt.
-                        pool.shutdown(wait=False, cancel_futures=True)
-                        pool = ProcessPoolExecutor(
-                            max_workers=min(self.jobs, len(chunks))
-                        )
-                        for other in order:
-                            if other in done or other == c:
-                                continue
-                            future = futures[other]
-                            if (
+                # Dispatch span: covers the wait for this chunk's
+                # result at the orchestrator — queueing behind other
+                # chunks, retries, and pool rebuilds included.
+                _attrs = {"platform": batch_specs[0].platform}
+                if len(chunk) == 1:
+                    _attrs["spec"] = batch_specs[0].content_hash[:12]
+                else:
+                    _attrs["n_specs"] = len(chunk)
+                with obs.span("runner.dispatch", **_attrs):
+                    while True:
+                        if self._breaker_blocks(state, batch_specs):
+                            future = futures[c]
+                            if not (
                                 future.done()
                                 and not future.cancelled()
                                 and future.exception() is None
                             ):
-                                continue
-                            futures[other] = submit(other)
-                            attempt_started[other] = time.perf_counter()
-                    except BrokenProcessPool as exc:
-                        # A hard worker crash poisons the whole pool:
-                        # rebuild it and resubmit every unfinished
-                        # batch.  Every in-flight batch died with the
-                        # pool, so each resubmission is a genuinely new
-                        # attempt for accounting and fault decisions —
-                        # otherwise a deterministic crash fault in one
-                        # batch would replay forever while another
-                        # batch absorbs the blame.
-                        error = exc
-                        pool.shutdown(wait=False, cancel_futures=True)
-                        pool = ProcessPoolExecutor(
-                            max_workers=min(self.jobs, len(chunks))
-                        )
-                        for other in order:
-                            if other not in done and other != c:
-                                attempts[other] += 1
-                                attempt_s[other].append(
-                                    time.perf_counter()
-                                    - attempt_started[other]
+                                # Not (successfully) finished: stop waiting
+                                # on a platform the breaker gave up on.
+                                future.cancel()
+                                fail_chunk(
+                                    c,
+                                    f"breaker-open:"
+                                    f"{batch_specs[0].platform}",
+                                    None,
                                 )
+                                break
+                            # Completed before the breaker opened — a
+                            # result in hand is a result kept.
+                        try:
+                            outputs = futures[c].result(timeout=limit)
+                        except FutureTimeoutError:
+                            futures[c].cancel()
+                            timeouts[c] += 1
+                            error: BaseException = RunnerError(
+                                f"timed out after {limit}s"
+                            )
+                            # A running worker cannot be preempted, so the
+                            # hung process would keep its slot for as long
+                            # as the job hangs — starving the retry (and
+                            # every queued chunk) behind it.  Rebuild the
+                            # pool and resubmit whatever the rebuild
+                            # orphaned; only the timed-out chunk is charged
+                            # an attempt.
+                            pool.shutdown(wait=False, cancel_futures=True)
+                            pool = ProcessPoolExecutor(
+                                max_workers=min(self.jobs, len(chunks))
+                            )
+                            for other in order:
+                                if other in done or other == c:
+                                    continue
+                                future = futures[other]
+                                if (
+                                    future.done()
+                                    and not future.cancelled()
+                                    and future.exception() is None
+                                ):
+                                    continue
                                 futures[other] = submit(other)
                                 attempt_started[other] = time.perf_counter()
-                    except Exception as exc:
-                        # Recorded, never swallowed: the retry loop below
-                        # turns `error` into a new attempt or a typed
-                        # failure (EXC001).
-                        obs.counter("runner.job.attempt_error")
-                        error = exc
-                    else:
+                        except BrokenProcessPool as exc:
+                            # A hard worker crash poisons the whole pool:
+                            # rebuild it and resubmit every unfinished
+                            # batch.  Every in-flight batch died with the
+                            # pool, so each resubmission is a genuinely new
+                            # attempt for accounting and fault decisions —
+                            # otherwise a deterministic crash fault in one
+                            # batch would replay forever while another
+                            # batch absorbs the blame.
+                            error = exc
+                            pool.shutdown(wait=False, cancel_futures=True)
+                            pool = ProcessPoolExecutor(
+                                max_workers=min(self.jobs, len(chunks))
+                            )
+                            for other in order:
+                                if other not in done and other != c:
+                                    attempts[other] += 1
+                                    attempt_s[other].append(
+                                        time.perf_counter()
+                                        - attempt_started[other]
+                                    )
+                                    futures[other] = submit(other)
+                                    attempt_started[other] = time.perf_counter()
+                        except Exception as exc:
+                            # Recorded, never swallowed: the retry loop below
+                            # turns `error` into a new attempt or a typed
+                            # failure (EXC001).
+                            obs.counter("runner.job.attempt_error")
+                            error = exc
+                        else:
+                            attempt_s[c].append(
+                                time.perf_counter() - attempt_started[c]
+                            )
+                            for spec in batch_specs:
+                                self._note_attempt(state, spec, failed=False)
+                            wall_s = time.perf_counter() - started[c]
+                            for (payload, job_s, events), index in zip(
+                                outputs, chunk
+                            ):
+                                # Single-spec batches keep the measured wall
+                                # time; inside larger batches each spec is
+                                # attributed its own worker-side run time.
+                                self._record_success(
+                                    state,
+                                    index,
+                                    payload,
+                                    job_s,
+                                    wall_s if len(chunk) == 1 else job_s,
+                                    attempts[c] + 1,
+                                    events=events,
+                                    attempt_s=(
+                                        attempt_s[c]
+                                        if len(chunk) == 1
+                                        else (job_s,)
+                                    ),
+                                    timeouts=timeouts[c],
+                                    merge_events=True,
+                                )
+                            done.add(c)
+                            break
                         attempt_s[c].append(
                             time.perf_counter() - attempt_started[c]
                         )
+                        attempts[c] += 1
                         for spec in batch_specs:
-                            self._note_attempt(state, spec, failed=False)
-                        wall_s = time.perf_counter() - started[c]
-                        for (payload, job_s, events), index in zip(
-                            outputs, chunk
-                        ):
-                            # Single-spec batches keep the measured wall
-                            # time; inside larger batches each spec is
-                            # attributed its own worker-side run time.
-                            self._record_success(
-                                state,
-                                index,
-                                payload,
-                                job_s,
-                                wall_s if len(chunk) == 1 else job_s,
-                                attempts[c] + 1,
-                                events=events,
-                                attempt_s=(
-                                    attempt_s[c]
-                                    if len(chunk) == 1
-                                    else (job_s,)
-                                ),
-                                timeouts=timeouts[c],
-                                merge_events=True,
+                            self._note_attempt(state, spec, failed=True)
+                        if not self._can_retry(state, attempts[c]):
+                            fail_chunk(
+                                c, self._exhaustion_reason(state, attempts[c]), error
                             )
-                        done.add(c)
-                        break
-                    attempt_s[c].append(
-                        time.perf_counter() - attempt_started[c]
-                    )
-                    attempts[c] += 1
-                    for spec in batch_specs:
-                        self._note_attempt(state, spec, failed=True)
-                    if not self._can_retry(state, attempts[c]):
-                        fail_chunk(
-                            c, self._exhaustion_reason(state, attempts[c]), error
-                        )
-                        break
-                    self._consume_retry(state)
-                    self._sleep_before_retry(attempts[c])
-                    futures[c] = submit(c)
-                    attempt_started[c] = time.perf_counter()
+                            break
+                        self._consume_retry(state)
+                        self._sleep_before_retry(attempts[c])
+                        futures[c] = submit(c)
+                        attempt_started[c] = time.perf_counter()
             completed = True
         finally:
             # On clean completion every future is done, so waiting is

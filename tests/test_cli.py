@@ -385,3 +385,96 @@ class TestTelemetry:
         assert "trace:" in out
         assert "phase" in out
         assert "topology.build" in out
+
+
+class TestTraceProfiling:
+    """The profiling verbs: trace profile/flame/critical, campaign --progress."""
+
+    @pytest.fixture(scope="class")
+    def campaign_trace(self, tmp_path_factory):
+        """One traced 3-seed campaign, shared by every verb test."""
+        tmp = tmp_path_factory.mktemp("trace")
+        target = tmp / "campaign.jsonl"
+        assert main(
+            ["campaign", "--study", "pop", "--seeds", "0,1,2",
+             "--scale", "25", "--days", "0.25",
+             "--cache-dir", str(tmp / "cache"),
+             "--trace-out", str(target)]
+        ) == 0
+        return target
+
+    def test_verbs_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["trace", "profile", "t.jsonl", "--limit", "5", "--include-replay"]
+        )
+        assert args.file == "t.jsonl" and args.limit == 5
+        assert args.include_replay is True
+        args = parser.parse_args(["trace", "flame", "t.jsonl", "--out", "f.txt"])
+        assert args.out == "f.txt"
+        args = parser.parse_args(
+            ["trace", "critical", "t.jsonl", "--anchor", "runner.campaign"]
+        )
+        assert args.anchor == "runner.campaign"
+        args = parser.parse_args(["campaign", "--progress"])
+        assert args.progress is True
+
+    def test_profile_ranks_spans(self, campaign_trace, capsys):
+        assert main(["trace", "profile", str(campaign_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        assert "runner.campaign" in out
+        assert "topology.build" in out
+        assert "self" in out and "cum" in out
+
+    def test_profile_limit(self, campaign_trace, capsys):
+        assert main(["trace", "profile", str(campaign_trace), "--limit", "1"]) == 0
+        body = [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip() and not line.lstrip().startswith(("profile:", "span", "-"))
+        ]
+        assert len(body) <= 3  # one row plus totals
+
+    def test_flame_writes_collapsed_stacks(self, campaign_trace, capsys, tmp_path):
+        from repro.obs import parse_collapsed
+
+        out_file = tmp_path / "flame.txt"
+        assert main(
+            ["trace", "flame", str(campaign_trace), "--out", str(out_file)]
+        ) == 0
+        text = out_file.read_text()
+        parsed = parse_collapsed(text)  # speedscope-loadable round trip
+        assert any(path[0] == "runner.campaign" for path in parsed)
+
+        capsys.readouterr()
+        assert main(["trace", "flame", str(campaign_trace)]) == 0
+        assert parse_collapsed(capsys.readouterr().out) == parsed
+
+    def test_flame_empty_trace_exits(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(SystemExit, match="no closed spans"):
+            main(["trace", "flame", str(empty)])
+
+    def test_critical_reports_chain(self, campaign_trace, capsys):
+        assert main(["trace", "critical", str(campaign_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "runner.campaign" in out
+        assert "wall" in out
+
+    def test_critical_missing_anchor_message(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(SystemExit, match="trace critical"):
+            main(["trace", "critical", str(empty)])
+
+    def test_campaign_progress_writes_status_line(self, tmp_path, capsys):
+        assert main(
+            ["campaign", "--study", "pop", "--seeds", "0",
+             "--scale", "25", "--days", "0.25",
+             "--cache-dir", str(tmp_path / "cache"), "--progress"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "campaign 1/1 (100%)" in err

@@ -358,6 +358,99 @@ class TestCrashContainment:
         assert rules_of(findings) == set()
 
 
+class TestSpanNames:
+    def test_fstring_span_name_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro import obs
+
+            def work(i):
+                with obs.span(f"job.{i}"):
+                    return i
+            """,
+        )
+        assert "OBS001" in rules_of(findings)
+
+    def test_concatenated_counter_name_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import trace as obs
+
+            def tally(platform):
+                obs.counter("jobs." + platform)
+            """,
+        )
+        assert "OBS001" in rules_of(findings)
+
+    def test_variable_histogram_name_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro import obs
+
+            def observe(metric_name, value):
+                obs.histogram(metric_name, value)
+            """,
+        )
+        assert "OBS001" in rules_of(findings)
+
+    def test_literal_names_pass(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro import obs
+
+            def work(i):
+                with obs.span("runner.job", index=i):
+                    obs.counter("runner.jobs")
+                    obs.histogram("runner.job.latency_s", 0.5)
+            """,
+        )
+        assert rules_of(findings) == set()
+
+    def test_module_constant_name_passes(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import trace as obs
+
+            HEARTBEAT_NAME = "runner.progress"
+
+            def pulse(done):
+                obs.heartbeat(HEARTBEAT_NAME, done=done)
+            """,
+        )
+        assert rules_of(findings) == set()
+
+    def test_bare_traced_decorator_passes(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro import obs
+
+            @obs.traced()
+            def phase():
+                return 1
+            """,
+        )
+        assert rules_of(findings) == set()
+
+    def test_unrelated_span_function_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def span(name):
+                return name
+
+            def work(i):
+                span(f"job.{i}")
+            """,
+        )
+        assert rules_of(findings) == set()
+
+
 class TestExceptionTaxonomy:
     def test_silent_swallow_flagged(self, tmp_path):
         findings = lint_snippet(
@@ -625,6 +718,12 @@ VIOLATION_FILES = {
 
         def ingest(values, streaming=False):
             return values
+
+        def trace_one(index):
+            from repro import obs
+
+            with obs.span(f"job.{index}"):
+                return index
         """,
     "src/repro/runner/bad.py": """
         from dataclasses import dataclass

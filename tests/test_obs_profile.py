@@ -1,0 +1,395 @@
+"""Tests for the profiling plane: span trees, flamegraphs, critical path.
+
+Adversarial-stream coverage is the point: truncated traces (crashed
+worker), orphaned ``span_end`` events, replayed cache-hit events, and
+interleaved multi-process / reused span ids must degrade to counted
+anomalies, never to wrong attribution or a crash.  The suite ends with
+the acceptance check: a real (stubbed) campaign's profile attributes
+cumulative self-time within 5% of the campaign wall-clock span, and
+the flamegraph export round-trips through ``parse_collapsed``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import pytest
+
+from repro import obs
+from repro.core.study import StudyResult
+from repro.errors import ObsError
+from repro.obs import (
+    build_forest,
+    collapsed_stacks,
+    critical_path,
+    parse_collapsed,
+    profile_events,
+    profile_forest,
+)
+from repro.runner import CampaignRunner, JobSpec, ResultStore
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    """Every test starts and ends with tracing disabled."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def start(pid, span, name, ts=0.0, parent=None, attrs=None, replay=False):
+    event = {
+        "v": 2,
+        "run": "r",
+        "ts": ts,
+        "kind": "span_start",
+        "name": name,
+        "pid": pid,
+        "span": span,
+    }
+    if parent is not None:
+        event["parent"] = parent
+    if attrs:
+        event["attrs"] = attrs
+    if replay:
+        event["replay"] = True
+    return event
+
+
+def end(pid, span, name, dur_s, ts=0.0, error=None, replay=False):
+    event = {
+        "v": 2,
+        "run": "r",
+        "ts": ts,
+        "kind": "span_end",
+        "name": name,
+        "pid": pid,
+        "span": span,
+        "dur_s": dur_s,
+    }
+    if error is not None:
+        event["error"] = error
+    if replay:
+        event["replay"] = True
+    return event
+
+
+class TestForestReconstruction:
+    def test_nesting_and_self_time(self):
+        events = [
+            start(1, 1, "outer"),
+            start(1, 2, "inner", parent=1),
+            end(1, 2, "inner", 3.0),
+            end(1, 1, "outer", 5.0),
+        ]
+        forest = build_forest(events)
+        assert forest.n_spans == 2
+        assert forest.n_unclosed == 0
+        (outer,) = forest.roots
+        assert outer.name == "outer"
+        (inner,) = outer.children
+        assert inner.parent is outer
+        assert inner.self_s == pytest.approx(3.0)
+        assert outer.self_s == pytest.approx(2.0)
+        assert inner.path() == ("outer", "inner")
+
+    def test_truncated_trace_counts_unclosed(self):
+        # A crashed worker never closes its spans: no duration can be
+        # trusted, so self-time is 0 and the anomaly is surfaced.
+        events = [
+            start(1, 1, "outer"),
+            start(1, 2, "inner", parent=1),
+            end(1, 2, "inner", 3.0),
+            # stream truncated: no end for span 1
+        ]
+        forest = build_forest(events)
+        assert forest.n_unclosed == 1
+        (outer,) = forest.roots
+        assert not outer.closed
+        assert outer.self_s == 0.0
+        profile = profile_forest(forest)
+        row = next(r for r in profile.rows if r.name == "outer")
+        assert row.unclosed == 1
+        assert row.cum_s == 0.0
+        assert "unclosed" in profile.render()
+
+    def test_orphan_end_counted_not_crashed(self):
+        events = [
+            end(1, 99, "ghost", 1.0),
+            start(1, 1, "real"),
+            end(1, 1, "real", 2.0),
+        ]
+        forest = build_forest(events)
+        assert forest.n_orphan_ends == 1
+        assert forest.n_spans == 1
+
+    def test_replayed_spans_excluded_by_default(self):
+        # Cache-hit replays re-describe a previous run's time; counting
+        # them would double-bill the wall clock.
+        events = [
+            start(1, 1, "runner.campaign"),
+            start(1, 2, "runner.job", parent=1, replay=True),
+            end(1, 2, "runner.job", 40.0, replay=True),
+            end(1, 1, "runner.campaign", 1.0),
+        ]
+        forest = build_forest(events)
+        assert forest.n_replay_spans == 2  # start + end both skipped
+        assert forest.n_spans == 1
+        profile = profile_forest(forest)
+        assert profile.total_self_s == pytest.approx(1.0)
+        assert "replayed" in profile.render()
+
+        included = build_forest(events, include_replay=True)
+        assert included.n_replay_spans == 0
+        # Replayed child dur exceeds the live parent's: the parent's
+        # self time clamps at zero, so the replayed 40s dominates.
+        assert profile_forest(included).total_self_s == pytest.approx(40.0)
+
+    def test_interleaved_multiprocess_span_ids(self):
+        # Two workers reuse the same span ids; events interleave in
+        # arrival order.  Keying by (pid, span) keeps the trees apart.
+        events = [
+            start(10, 1, "job"),
+            start(20, 1, "job"),
+            start(10, 2, "phase", parent=1),
+            start(20, 2, "phase", parent=1),
+            end(20, 2, "phase", 1.0),
+            end(10, 2, "phase", 2.0),
+            end(20, 1, "job", 4.0),
+            end(10, 1, "job", 8.0),
+        ]
+        forest = build_forest(events)
+        assert forest.n_spans == 4
+        assert forest.n_unclosed == 0
+        by_pid = {root.pid: root for root in forest.roots}
+        assert set(by_pid) == {10, 20}
+        assert by_pid[10].self_s == pytest.approx(6.0)
+        assert by_pid[20].self_s == pytest.approx(3.0)
+
+    def test_reused_span_ids_across_generations(self):
+        # Pool workers recycle pids and each job's fresh tracer restarts
+        # span ids at 1: same (pid, span) key, two distinct spans.
+        events = [
+            start(10, 1, "job"),
+            end(10, 1, "job", 1.0),
+            start(10, 1, "job"),
+            end(10, 1, "job", 2.0),
+        ]
+        forest = build_forest(events)
+        assert forest.n_spans == 2
+        assert [r.dur_s for r in forest.roots] == [1.0, 2.0]
+        assert all(r.closed for r in forest.roots)
+
+    def test_error_spans_reach_profile_rows(self):
+        events = [
+            start(1, 1, "phase"),
+            end(1, 1, "phase", 1.0, error="ValueError"),
+        ]
+        profile = profile_events(events)
+        assert profile.rows[0].errors == 1
+
+
+class TestProfileRanking:
+    def test_ranked_by_self_time_not_cumulative(self):
+        events = [
+            start(1, 1, "orchestrator"),
+            start(1, 2, "kernel", parent=1),
+            end(1, 2, "kernel", 3.0),
+            end(1, 1, "orchestrator", 5.0),
+        ]
+        profile = profile_events(events)
+        assert [r.name for r in profile.rows] == ["kernel", "orchestrator"]
+        assert profile.rows[0].self_s == pytest.approx(3.0)
+        assert profile.rows[1].self_s == pytest.approx(2.0)
+        assert profile.rows[1].cum_s == pytest.approx(5.0)
+        assert profile.wall_s == pytest.approx(5.0)
+        assert profile.total_self_s == pytest.approx(5.0)
+
+    def test_render_limit(self):
+        events = []
+        for i in range(5):
+            events.append(start(1, i + 1, f"phase{i}"))
+            events.append(end(1, i + 1, f"phase{i}", 1.0 + i))
+        text = profile_events(events).render(limit=2)
+        assert "phase4" in text and "phase3" in text
+        assert "phase0" not in text
+
+
+class TestCollapsedStacks:
+    def test_round_trip(self):
+        events = [
+            start(1, 1, "outer"),
+            start(1, 2, "inner", parent=1),
+            end(1, 2, "inner", 0.003),
+            end(1, 1, "outer", 0.005),
+        ]
+        lines = collapsed_stacks(build_forest(events))
+        parsed = parse_collapsed("\n".join(lines))
+        assert parsed == {
+            ("outer",): 2000,
+            ("outer", "inner"): 3000,
+        }
+
+    def test_zero_weight_paths_dropped(self):
+        # The parent's whole duration is inside the child: zero self
+        # time must not emit a 0-weight line (speedscope rejects those).
+        events = [
+            start(1, 1, "outer"),
+            start(1, 2, "inner", parent=1),
+            end(1, 2, "inner", 0.005),
+            end(1, 1, "outer", 0.005),
+        ]
+        lines = collapsed_stacks(build_forest(events))
+        assert lines == ["outer;inner 5000"]
+        for line in lines:
+            weight = int(line.rsplit(" ", 1)[1])
+            assert weight > 0
+
+    def test_same_path_sums(self):
+        events = [
+            start(1, 1, "job"),
+            end(1, 1, "job", 0.001),
+            start(1, 2, "job"),
+            end(1, 2, "job", 0.002),
+        ]
+        lines = collapsed_stacks(build_forest(events))
+        assert lines == ["job 3000"]
+
+    @pytest.mark.parametrize(
+        "text",
+        ["just-a-path", "a;b notanint", "a;b -3", "a;b 0", " 5"],
+    )
+    def test_parse_rejects_malformed(self, text):
+        with pytest.raises(ObsError, match="malformed"):
+            parse_collapsed(text)
+
+    def test_parse_skips_blank_lines(self):
+        assert parse_collapsed("\n  \na 1\n") == {("a",): 1}
+
+
+class TestCriticalPath:
+    def _campaign_events(self):
+        return [
+            start(100, 1, "runner.campaign"),
+            start(
+                100,
+                2,
+                "runner.dispatch",
+                parent=1,
+                attrs={"platform": "edge", "spec": "abc"},
+            ),
+            end(100, 2, "runner.dispatch", 4.0),
+            start(
+                100,
+                3,
+                "runner.dispatch",
+                parent=1,
+                attrs={"platform": "edge", "spec": "def"},
+            ),
+            end(100, 3, "runner.dispatch", 6.0),
+            end(100, 1, "runner.campaign", 10.0),
+            # Worker job spans arrive as roots of their own trees: the
+            # process boundary severs the parent link.
+            start(200, 1, "runner.job", attrs={"spec": "abc"}),
+            end(200, 1, "runner.job", 3.0),
+            start(201, 1, "runner.job", attrs={"spec": "def"}),
+            end(201, 1, "runner.job", 5.0),
+        ]
+
+    def test_chain_workers_idle_and_platform_split(self):
+        path = critical_path(build_forest(self._campaign_events()))
+        assert path.anchor == "runner.campaign"
+        assert path.wall_s == pytest.approx(10.0)
+        # Greedy max-duration descent picks the 6s dispatch.
+        assert [link.name for link in path.chain] == [
+            "runner.campaign",
+            "runner.dispatch",
+        ]
+        assert path.chain[1].dur_s == pytest.approx(6.0)
+        assert path.n_workers == 2
+        assert path.busy_by_pid == {200: pytest.approx(3.0), 201: pytest.approx(5.0)}
+        assert path.pool_idle_s == pytest.approx(2 * 10.0 - 8.0)
+        (split,) = path.platforms
+        assert split.platform == "edge"
+        assert split.jobs == 2
+        assert split.compute_s == pytest.approx(8.0)
+        assert split.queue_s == pytest.approx((4.0 - 3.0) + (6.0 - 5.0))
+        text = path.render()
+        assert "pool idle" in text and "edge" in text
+
+    def test_missing_anchor_falls_back_to_longest_root(self):
+        events = [
+            start(1, 1, "standalone"),
+            end(1, 1, "standalone", 2.0),
+            start(1, 2, "longer"),
+            end(1, 2, "longer", 3.0),
+        ]
+        path = critical_path(build_forest(events))
+        assert path.anchor == "longer"
+        assert path.wall_s == pytest.approx(3.0)
+
+    def test_no_closed_root_raises(self):
+        with pytest.raises(ObsError, match="closed root"):
+            critical_path(build_forest([start(1, 1, "only-open")]))
+
+
+# -- acceptance: a real campaign trace ---------------------------------------
+
+
+@dataclasses.dataclass
+class NapStudy:
+    """Sleeps a deterministic beat so wall-clock attribution is real."""
+
+    seed: int = 0
+    sleep_s: float = 0.05
+
+    def run(self) -> StudyResult:
+        with obs.span("nap.phase", seed=self.seed):
+            time.sleep(self.sleep_s)
+        return StudyResult(name="nap", summary={"seed": float(self.seed)})
+
+
+class TestCampaignTraceAcceptance:
+    @pytest.fixture()
+    def campaign_events(self, tmp_path):
+        specs = [
+            JobSpec.from_study(NapStudy(seed=s, sleep_s=0.05)) for s in range(3)
+        ]
+        runner = CampaignRunner(
+            store=ResultStore(tmp_path / "cache"), jobs=1, retries=0
+        )
+        with obs.capture() as captured:
+            runner.run(specs)
+        return captured.events
+
+    def test_self_time_total_within_5pct_of_wall(self, campaign_events):
+        profile = profile_events(campaign_events)
+        campaign_row = next(
+            r for r in profile.rows if r.name == "runner.campaign"
+        )
+        assert campaign_row.calls == 1
+        assert profile.wall_s > 0
+        # The acceptance bar: attributed self time accounts for the
+        # campaign wall clock (inline campaigns nest every span under
+        # the campaign root, so the sums must agree almost exactly).
+        assert profile.total_self_s == pytest.approx(
+            profile.wall_s, rel=0.05
+        )
+        hot = next(r for r in profile.rows if r.name == "nap.phase")
+        assert hot.calls == 3
+        assert hot.self_s >= 3 * 0.05 * 0.9
+
+    def test_flame_round_trips_and_critical_path_anchors(self, campaign_events):
+        forest = build_forest(campaign_events)
+        lines = collapsed_stacks(forest)
+        assert lines, "campaign trace produced no flamegraph lines"
+        parsed = parse_collapsed("\n".join(lines))
+        assert sum(parsed.values()) == sum(
+            int(line.rsplit(" ", 1)[1]) for line in lines
+        )
+        assert any(path[0] == "runner.campaign" for path in parsed)
+        path = critical_path(forest)
+        assert path.anchor == "runner.campaign"
+        assert path.chain[0].name == "runner.campaign"
+        assert path.wall_s > 0

@@ -142,6 +142,10 @@ PUBLIC_API = {
         "traced",
         "counter",
         "gauge",
+        "histogram",
+        "heartbeat",
+        "flush_histograms",
+        "suspended",
         "capture",
         "ingest",
         "write_jsonl",
@@ -156,6 +160,21 @@ PUBLIC_API = {
         "summarize_events",
         "summarize_file",
         "load_events",
+        "Histogram",
+        "merge_hist_events",
+        "quantile_table",
+        "SpanNode",
+        "SpanForest",
+        "build_forest",
+        "Profile",
+        "profile_forest",
+        "profile_events",
+        "collapsed_stacks",
+        "parse_collapsed",
+        "CriticalPath",
+        "critical_path",
+        "ProgressTracker",
+        "fold_heartbeats",
     ],
     "repro.lint": [
         "Finding",
