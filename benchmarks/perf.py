@@ -66,6 +66,7 @@ from repro.edgefabric.sampler import (
     plan_measurement,
     synthesize_dataset,
 )
+from repro.bgp import propagate
 from repro.netmodel import CongestionConfig, CongestionModel
 from repro.stream import IngestConfig, SessionIngestor, stream_sessions
 from repro.topology import TopologyConfig, build_internet
@@ -248,6 +249,72 @@ def bench_event_delay(tier: str, repeats: int):
             )
         )
     return {"name": "netmodel.event_delay", "scales": entries}
+
+
+def bench_bgp_propagate(tier: str, repeats: int):
+    """Gao-Rexford propagation: per-AS heap lane vs batched array lane.
+
+    The PR-8 tentpole kernel: the fast lane runs the CSR frontier
+    sweep (``propagate_state``) and must clear 5x at medium scale.
+    Each lane propagates the same deterministic origin sample over one
+    pre-built graph; graph construction is setup, not subject
+    (:func:`bench_topology_generate` times that), and the CSR cache is
+    warmed before measurement so the fast lane times propagation, not
+    adjacency building.
+    """
+    sizes = {"small": (16, 64), "medium": (100, 800), "large": (160, 1280)}
+    entries = []
+    for scale in _scales_for(tier):
+        n_transit, n_eyeball = sizes[scale]
+        graph = build_internet(
+            TopologyConfig(
+                seed=7, n_tier1=5, n_transit=n_transit, n_eyeball=n_eyeball
+            ),
+            fast=True,
+        ).graph
+        asns = graph.csr().arrays()["asns"]
+        rng = np.random.default_rng(0)
+        origins = sorted(int(a) for a in rng.choice(asns, size=4, replace=False))
+        propagate(graph, origins[0], fast=True)  # warm the CSR cache
+        entries.append(
+            _measure(
+                "bgp.propagate",
+                scale,
+                {"ases": int(asns.size), "origins": len(origins)},
+                lambda: [propagate(graph, o, fast=False) for o in origins],
+                lambda: [propagate(graph, o, fast=True) for o in origins],
+                repeats,
+            )
+        )
+    return {"name": "bgp.propagate", "scales": entries}
+
+
+def bench_topology_generate(tier: str, repeats: int):
+    """Internet generation: scalar haversines vs the memoized fast lane.
+
+    Both lanes build the identical Internet (the lane-agreement tests
+    pin full-dump equality); the fast lane's win is the pair-distance
+    cache plus per-region candidate-ranking memos, so the speedup grows
+    with AS count — near break-even at the small scale is expected.
+    """
+    sizes = {"small": (16, 64), "medium": (100, 800), "large": (160, 1280)}
+    entries = []
+    for scale in _scales_for(tier):
+        n_transit, n_eyeball = sizes[scale]
+        config = TopologyConfig(
+            seed=7, n_tier1=5, n_transit=n_transit, n_eyeball=n_eyeball
+        )
+        entries.append(
+            _measure(
+                "topology.generate",
+                scale,
+                {"n_transit": n_transit, "n_eyeball": n_eyeball},
+                lambda: build_internet(config),
+                lambda: build_internet(config, fast=True),
+                repeats,
+            )
+        )
+    return {"name": "topology.generate", "scales": entries}
 
 
 def bench_cdn_redirection(internet, tier: str, repeats: int):
@@ -504,6 +571,8 @@ def run(tier: str, repeats: int) -> dict:
         bench_edgefabric_synthesize(internet, tier, repeats),
         bench_edgefabric_episodes(internet, tier, repeats),
         bench_event_delay(tier, repeats),
+        bench_bgp_propagate(tier, repeats),
+        bench_topology_generate(tier, repeats),
         bench_cdn_redirection(internet, tier, repeats),
         bench_cloudtiers_campaign(internet, tier, max(1, repeats - 1)),
         bench_stream_ingest(internet, tier, repeats),

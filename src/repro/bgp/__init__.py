@@ -14,9 +14,16 @@ grooming by selective announcement are all expressed.
 """
 
 from repro.bgp.routes import Route, RoutePref, NeighborRoute
-from repro.bgp.propagation import RoutingTable, propagate
+from repro.bgp.propagation import (
+    PropagationRequest,
+    RoutingTable,
+    propagate,
+    propagate_many,
+    propagate_state,
+)
 from repro.bgp.decision import EgressDecisionProcess, RouteClass, classify_route
 from repro.bgp.grooming import Grooming
+from repro.bgp.sweep_study import PropagationSweepStudy, propagation_shared_inputs
 from repro.bgp.ribdump import (
     PathStatistics,
     RibEntry,
@@ -30,12 +37,17 @@ __all__ = [
     "Route",
     "RoutePref",
     "NeighborRoute",
+    "PropagationRequest",
     "RoutingTable",
     "propagate",
+    "propagate_many",
+    "propagate_state",
     "EgressDecisionProcess",
     "RouteClass",
     "classify_route",
     "Grooming",
+    "PropagationSweepStudy",
+    "propagation_shared_inputs",
     "PathStatistics",
     "RibEntry",
     "dump_rib",

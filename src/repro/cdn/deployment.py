@@ -15,7 +15,7 @@ from typing import Dict, List, Optional
 from repro.errors import RoutingError
 from repro.geo import great_circle_km
 from repro.topology import Internet, PointOfPresence
-from repro.bgp import propagate
+from repro.bgp import PropagationRequest, propagate_many
 from repro.bgp.propagation import RoutingTable
 from repro.netmodel import ForwardingPath, trace
 from repro.workloads import ClientPrefix
@@ -44,20 +44,31 @@ class CdnDeployment:
         suppressed = None
         if grooming is not None:
             origin_cities, prepends, suppressed = grooming.compile()
-        self.anycast_table = propagate(
-            internet.graph,
-            internet.provider_asn,
-            origin_cities=origin_cities,
-            prepends=prepends,
-            suppressed=suppressed,
-        )
-        self.unicast_tables = {}
-        for pop in internet.wan.pops:
-            self.unicast_tables[pop.code] = propagate(
-                internet.graph,
-                internet.provider_asn,
+        # One anycast table plus one unicast table per PoP, batched over
+        # a single propagate_many call (shared CSR adjacency build).
+        pops = internet.wan.pops
+        requests = [
+            PropagationRequest(
+                origin=internet.provider_asn,
+                origin_cities=(
+                    frozenset(origin_cities) if origin_cities else None
+                ),
+                prepends=dict(prepends or {}),
+                suppressed=frozenset(suppressed or ()),
+            )
+        ]
+        requests.extend(
+            PropagationRequest(
+                origin=internet.provider_asn,
                 origin_cities=frozenset({pop.city}),
             )
+            for pop in pops
+        )
+        tables = propagate_many(internet.graph, requests)
+        self.anycast_table = tables[0]
+        self.unicast_tables = {
+            pop.code: table for pop, table in zip(pops, tables[1:])
+        }
 
     @property
     def front_ends(self) -> List[PointOfPresence]:

@@ -19,7 +19,7 @@ from typing import Optional
 from repro.errors import RoutingError
 from repro.geo import City
 from repro.topology import Internet, PointOfPresence
-from repro.bgp import propagate
+from repro.bgp import PropagationRequest, propagate_many
 from repro.bgp.propagation import RoutingTable
 from repro.netmodel import ForwardingPath, trace
 
@@ -45,11 +45,17 @@ class CloudDeployment:
 
     def __init__(self, internet: Internet) -> None:
         self.internet = internet
-        self.premium_table = propagate(internet.graph, internet.provider_asn)
-        self.standard_table = propagate(
+        # Both tiers' tables come from one propagate_many batch over the
+        # shared CSR adjacency.
+        self.premium_table, self.standard_table = propagate_many(
             internet.graph,
-            internet.provider_asn,
-            origin_cities=frozenset({internet.dc_pop.city}),
+            [
+                PropagationRequest(origin=internet.provider_asn),
+                PropagationRequest(
+                    origin=internet.provider_asn,
+                    origin_cities=frozenset({internet.dc_pop.city}),
+                ),
+            ],
         )
 
     @property

@@ -127,13 +127,16 @@ def egress_routes_at_pop(
 
 
 def tables_for_destinations(
-    internet: Internet, asns: List[int]
+    internet: Internet, asns: List[int], fast: bool = True
 ) -> Dict[int, RoutingTable]:
-    """Propagate one routing table per destination AS, deduplicated."""
-    from repro.bgp import propagate
+    """Propagate one routing table per destination AS, deduplicated.
 
-    tables: Dict[int, RoutingTable] = {}
-    for asn in asns:
-        if asn not in tables:
-            tables[asn] = propagate(internet.graph, asn)
-    return tables
+    All tables are computed in one :func:`~repro.bgp.propagate_many`
+    batch over the graph's cached CSR adjacency; ``fast=False`` selects
+    the scalar reference lane (the tables are identical either way —
+    see ``tests/test_lane_agreement.py``).
+    """
+    from repro.bgp import propagate_many
+
+    unique = list(dict.fromkeys(asns))
+    return dict(zip(unique, propagate_many(internet.graph, unique, fast=fast)))

@@ -23,6 +23,14 @@ A fourth check replays the campaign against the (fault-corrupted)
 cache to confirm corrupted entries are quarantined and recomputed
 instead of trusted.
 
+A fifth phase repeats the kill/resume cycle for a campaign carrying
+shared-memory inputs (``CampaignRunner(shared_inputs=...)``): the
+SIGKILL takes the victim's whole process group — resource tracker
+included — so its segments survive the crash, and the phase asserts
+that the resume's ``reclaim_stale`` pass releases every journaled
+segment (no ``/dev/shm`` leak) while still producing a report
+identical to an uninterrupted shared-input reference run.
+
 The scenario exits non-zero on the first violated assertion, which is
 all CI needs.
 """
@@ -30,6 +38,7 @@ all CI needs.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import signal
@@ -40,15 +49,21 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
+from repro.bgp import propagation_shared_inputs
 from repro.errors import CacheCorruptionError
 from repro.faults.plan import FaultPlan
 from repro.runner.campaign import CampaignReport, CampaignRunner
 from repro.runner.checkpoint import CampaignCheckpoint, campaign_fingerprint
+from repro.runner.shm import MANIFEST_PREFIX, describe_arrays, segment_exists
 from repro.runner.spec import JobSpec
 from repro.runner.store import ResultStore
+from repro.topology import TopologyConfig, build_internet
 
 #: How many jobs the scenario campaign runs.
 N_JOBS = 5
+
+#: How many jobs the shared-memory scenario campaign runs (phase 5).
+N_SHM_JOBS = 4
 
 #: The chaos stream: transient errors to force retries, slowdowns to
 #: widen the kill window, corruption to exercise quarantine.  The cap
@@ -93,6 +108,72 @@ def run_campaign_phase(workdir: Path, resume: bool = False) -> CampaignReport:
     return runner.run(scenario_specs())
 
 
+def shm_scenario_specs() -> List[JobSpec]:
+    """Spec list for the shared-memory leak scenario (phase 5)."""
+    return [
+        JobSpec(
+            study="repro.bgp.sweep_study:PropagationSweepStudy",
+            seed=seed,
+            config={"n_origins": 64},
+        )
+        for seed in range(N_SHM_JOBS)
+    ]
+
+
+def _shm_arrays():
+    """The deterministic shared-input arrays for the phase-5 campaign.
+
+    Built identically by the victim, the resume, and the monitoring
+    parent — identical digests mean identical spec hashes and one
+    campaign fingerprint across all three.
+    """
+    internet = build_internet(
+        TopologyConfig(seed=7, n_tier1=4, n_transit=16, n_eyeball=48),
+        fast=True,
+    )
+    return propagation_shared_inputs(internet.graph)
+
+
+def shm_checkpoint_specs() -> List[JobSpec]:
+    """Phase-5 specs as the checkpoint sees them (shared refs attached).
+
+    ``CampaignRunner`` fingerprints the specs *after* substituting the
+    shared refs; the monitoring parent needs the same fingerprint to
+    watch the victim's checkpoint, so it mirrors that substitution with
+    segment-free content refs.
+    """
+    refs = describe_arrays(_shm_arrays())
+    return [
+        dataclasses.replace(spec, shared=refs) for spec in shm_scenario_specs()
+    ]
+
+
+def run_shm_campaign_phase(workdir: Path, resume: bool = False) -> CampaignReport:
+    """One shared-input campaign run, rooted at *workdir*."""
+    runner = CampaignRunner(
+        jobs=2,
+        store=ResultStore(workdir),
+        fault_plan=PLAN,
+        checkpoint_dir=workdir,
+        resume=resume,
+        backoff_s=0.0,
+        retries=3,
+        shared_inputs=_shm_arrays(),
+    )
+    return runner.run(shm_scenario_specs())
+
+
+def _manifest_segments(workdir: Path) -> List[str]:
+    """Segment names journaled by shm manifests under *workdir*."""
+    names: List[str] = []
+    for path in sorted(workdir.glob(f"{MANIFEST_PREFIX}*.json")):
+        try:
+            names.extend(json.loads(path.read_text())["segments"])
+        except (OSError, ValueError, KeyError):
+            continue
+    return names
+
+
 def report_digest(report: CampaignReport) -> dict:
     """The comparable core of a report: results and statuses, in order."""
     return {
@@ -106,10 +187,12 @@ def report_digest(report: CampaignReport) -> dict:
     }
 
 
-def _checkpoint_entries(workdir: Path) -> int:
+def _checkpoint_entries(
+    workdir: Path, specs: Optional[List[JobSpec]] = None
+) -> int:
     """How many completed jobs the on-disk checkpoint holds right now."""
     checkpoint = CampaignCheckpoint(
-        workdir, campaign_fingerprint(scenario_specs())
+        workdir, campaign_fingerprint(specs or scenario_specs())
     )
     try:
         return checkpoint.load()
@@ -119,10 +202,10 @@ def _checkpoint_entries(workdir: Path) -> int:
         return 0
 
 
-def _spawn_victim(workdir: Path) -> subprocess.Popen:
+def _spawn_victim(workdir: Path, flag: str = "--victim") -> subprocess.Popen:
     """Start the sacrificial campaign in its own process group."""
     return subprocess.Popen(
-        [sys.executable, "-m", "repro.faults.chaos_smoke", "--victim",
+        [sys.executable, "-m", "repro.faults.chaos_smoke", flag,
          str(workdir)],
         env={**os.environ, "PYTHONPATH": "src"},
         start_new_session=True,
@@ -138,19 +221,24 @@ def _kill_group(victim: subprocess.Popen) -> None:
     victim.wait()
 
 
-def crash_phase(workdir: Path) -> int:
+def crash_phase(
+    workdir: Path,
+    flag: str = "--victim",
+    specs: Optional[List[JobSpec]] = None,
+    n_jobs: int = N_JOBS,
+) -> int:
     """Run the campaign in a subprocess, SIGKILL it mid-run.
 
     Returns how many jobs the dead campaign had checkpointed.  Waits
     for at least one checkpointed job (so resume has something to
     restore) but kills before the victim can finish everything.
     """
-    victim = _spawn_victim(workdir)
+    victim = _spawn_victim(workdir, flag)
     deadline = time.monotonic() + KILL_DEADLINE_S
     try:
         while time.monotonic() < deadline:
-            completed = _checkpoint_entries(workdir)
-            if 0 < completed < N_JOBS:
+            completed = _checkpoint_entries(workdir, specs)
+            if 0 < completed < n_jobs:
                 _kill_group(victim)
                 return completed
             if victim.poll() is not None:
@@ -159,7 +247,7 @@ def crash_phase(workdir: Path) -> int:
                 # if it keeps outrunning us the campaign is so fast the
                 # crash window is meaningless, so treat a full run as
                 # "crashed after everything" (resume then restores all).
-                return _checkpoint_entries(workdir)
+                return _checkpoint_entries(workdir, specs)
             time.sleep(0.05)
     finally:
         if victim.poll() is None:
@@ -178,6 +266,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="internal: run the sacrificial campaign phase in WORKDIR",
     )
     parser.add_argument(
+        "--shm-victim",
+        metavar="WORKDIR",
+        default=None,
+        help="internal: run the shared-input campaign phase in WORKDIR",
+    )
+    parser.add_argument(
         "--workdir",
         default=None,
         help="scenario scratch directory (default: a fresh temp dir)",
@@ -186,6 +280,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.victim:
         run_campaign_phase(Path(args.victim))
+        return 0
+    if args.shm_victim:
+        run_shm_campaign_phase(Path(args.shm_victim))
         return 0
 
     scratch = Path(args.workdir) if args.workdir else Path(
@@ -240,6 +337,51 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(
         f"chaos: cache replay OK ({hits} hits, {len(quarantined)} corrupted "
         "entries quarantined and recomputed)"
+    )
+    # Phase 5: a SIGKILL'd shared-input campaign leaks no segments
+    # once resumed.
+    shm_ref_dir = scratch / "shm-reference"
+    shm_crash_dir = scratch / "shm-crashed"
+    shm_ref_dir.mkdir(parents=True, exist_ok=True)
+    shm_crash_dir.mkdir(parents=True, exist_ok=True)
+
+    shm_reference = run_shm_campaign_phase(shm_ref_dir)
+    shm_ref_digest = report_digest(shm_reference)
+    assert not shm_reference.partial, "shm reference run must complete clean"
+    assert not _manifest_segments(shm_ref_dir), (
+        "clean shared-input run must retire its own manifest"
+    )
+
+    shm_completed = crash_phase(
+        shm_crash_dir, flag="--shm-victim",
+        specs=shm_checkpoint_specs(), n_jobs=N_SHM_JOBS,
+    )
+    leaked = _manifest_segments(shm_crash_dir)
+    assert leaked, "killed shared-input campaign must leave a manifest behind"
+    leaked_live = [name for name in leaked if segment_exists(name)]
+    assert leaked_live, (
+        "SIGKILL should orphan the victim's shared-memory segments "
+        f"(manifest names {leaked}, none exist)"
+    )
+    print(
+        f"chaos: shm victim killed with {shm_completed} jobs checkpointed, "
+        f"{len(leaked_live)} orphaned segment(s) on disk"
+    )
+
+    shm_resumed = run_shm_campaign_phase(shm_crash_dir, resume=True)
+    assert report_digest(shm_resumed) == shm_ref_digest, (
+        "shm resume ∘ crash must equal the uninterrupted shared-input run"
+    )
+    still_live = [name for name in leaked if segment_exists(name)]
+    assert not still_live, (
+        f"resume must reclaim the dead campaign's segments, {still_live} leaked"
+    )
+    assert not _manifest_segments(shm_crash_dir), (
+        "resume must retire both the stale manifest and its own"
+    )
+    print(
+        f"chaos: shm resume matched reference, all {len(leaked_live)} "
+        "orphaned segment(s) reclaimed, no manifests left"
     )
     print("chaos: PASS")
     return 0

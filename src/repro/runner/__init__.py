@@ -16,6 +16,10 @@ reproduction the same shape:
   :class:`CampaignReport`.
 * :mod:`repro.runner.checkpoint` — :class:`CampaignCheckpoint`, the
   atomic journal of completed jobs behind crash-safe ``resume=True``.
+* :mod:`repro.runner.shm` — :class:`SharedInputSet` and
+  :class:`SharedArrayRef`, zero-copy shared-memory payloads for large
+  read-only campaign inputs, with manifest-journaled crash-safe
+  reclaim.
 
 See ``docs/runner.md`` for concepts and the cache invalidation rules,
 and ``docs/robustness.md`` for the fault model, checkpoint format, and
@@ -36,6 +40,13 @@ from repro.runner.campaign import (
     JobMetrics,
     run_campaign,
 )
+from repro.runner.shm import (
+    SharedArrayRef,
+    SharedInputSet,
+    attach_shared,
+    describe_arrays,
+    reclaim_stale,
+)
 
 __all__ = [
     "JobSpec",
@@ -52,4 +63,9 @@ __all__ = [
     "DegradedJob",
     "JobMetrics",
     "run_campaign",
+    "SharedArrayRef",
+    "SharedInputSet",
+    "attach_shared",
+    "describe_arrays",
+    "reclaim_stale",
 ]

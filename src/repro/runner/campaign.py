@@ -49,7 +49,9 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
 
 from repro.analysis import format_table
 from repro.errors import CacheCorruptionError, ObsError, RunnerError
@@ -62,6 +64,7 @@ from repro.runner.checkpoint import (
     CheckpointEntry,
     campaign_fingerprint,
 )
+from repro.runner.shm import SharedInputSet, reclaim_stale
 from repro.runner.spec import JobSpec
 from repro.runner.store import ResultStore, payload_to_result, result_to_payload
 
@@ -384,6 +387,16 @@ class CampaignRunner:
             fed on every job outcome (hit, ran, failed, retry) —
             the live half of ``repro-bgp campaign --progress``.  Its
             ``finish()`` runs when the campaign ends, even on abort.
+        shared_inputs: Large read-only arrays (name -> ndarray) every
+            job consumes.  ``run()`` copies them once into shared
+            memory and rewrites each spec's ``shared`` field with the
+            segment refs, so workers map the data instead of
+            unpickling it per job.  Segments are released when the
+            run finishes (success or raise); a SIGKILL'd campaign's
+            segments are reclaimed on the next run with the same
+            ``checkpoint_dir`` (a manifest journals ownership — see
+            :mod:`repro.runner.shm`).  The consuming study must accept
+            a ``shared`` kwarg of mapped arrays.
     """
 
     def __init__(
@@ -403,6 +416,7 @@ class CampaignRunner:
         breaker_min_attempts: int = 4,
         allow_partial: bool = False,
         progress: Optional[ProgressTracker] = None,
+        shared_inputs: Optional[Mapping[str, np.ndarray]] = None,
     ):
         if jobs < 1:
             raise RunnerError(f"jobs must be >= 1, got {jobs}")
@@ -445,6 +459,7 @@ class CampaignRunner:
         self.breaker_min_attempts = int(breaker_min_attempts)
         self.allow_partial = bool(allow_partial)
         self.progress = progress
+        self.shared_inputs = shared_inputs
 
     def run(self, specs: Sequence[JobSpec]) -> CampaignReport:
         """Execute a campaign; results come back in spec order.
@@ -453,6 +468,46 @@ class CampaignRunner:
             RunnerError: When a job is given up on and ``allow_partial``
                 is off.
         """
+        if self.checkpoint_dir is not None:
+            # A previous campaign killed mid-run (SIGKILL takes the
+            # resource tracker with the process group) cannot release
+            # its shared-memory segments; its manifest names them and
+            # the dead pid proves ownership lapsed.
+            reclaimed = reclaim_stale(self.checkpoint_dir)
+            if reclaimed:
+                obs.counter("runner.shm.reclaimed", len(reclaimed))
+                obs.log_event(
+                    "warning",
+                    f"reclaimed {len(reclaimed)} stale shared-memory "
+                    "segment(s) from a dead campaign",
+                    name="runner.shm",
+                )
+                logger.warning(
+                    "reclaimed %d stale shared-memory segment(s): %s",
+                    len(reclaimed),
+                    ", ".join(reclaimed),
+                )
+        shared_set: Optional[SharedInputSet] = None
+        specs = list(specs)
+        if self.shared_inputs:
+            shared_set = SharedInputSet.create(
+                self.shared_inputs, manifest_dir=self.checkpoint_dir
+            )
+            obs.gauge("runner.shm.bytes", shared_set.total_bytes)
+            # Rewriting before fingerprinting keeps checkpoints honest:
+            # refs hash by content digest, so crash/resume sees the
+            # same campaign fingerprint as the original run.
+            specs = [
+                dataclasses.replace(spec, shared=shared_set.refs)
+                for spec in specs
+            ]
+        try:
+            return self._run(specs)
+        finally:
+            if shared_set is not None:
+                shared_set.unlink()
+
+    def _run(self, specs: Sequence[JobSpec]) -> CampaignReport:
         state = _RunState(list(specs), self.retry_budget)
         if self.progress is not None:
             self.progress.set_total(len(state.specs))

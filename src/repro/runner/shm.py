@@ -1,0 +1,365 @@
+"""Zero-copy worker payloads over POSIX shared memory.
+
+A campaign's large read-only inputs — topology CSR arrays, session
+tables — used to be pickled into every worker submission.  This module
+moves them into named :mod:`multiprocessing.shared_memory` segments
+created once by the orchestrator; job specs then carry only tiny
+:class:`SharedArrayRef` descriptors (segment name, dtype, shape,
+content digest) and workers map the segments directly.
+
+Lifecycle and crash safety:
+
+* :meth:`SharedInputSet.create` writes a *manifest* file (owner pid +
+  segment names) to the campaign's checkpoint directory **before**
+  creating any segment, so a crash at any point leaves either nothing
+  or a manifest that names everything to clean up.
+* :meth:`SharedInputSet.unlink` releases the segments and retires the
+  manifest — the normal end-of-campaign path, run even when the
+  campaign raises.
+* :func:`reclaim_stale` scans a directory for manifests whose owner
+  process is dead (a SIGKILL'd campaign cannot unlink anything, and in
+  pool mode the resource tracker usually dies with the process group)
+  and unlinks whatever segments remain.  ``CampaignRunner`` calls it on
+  every run with a checkpoint directory, so a killed campaign's
+  segments are reclaimed by the resume — the property the chaos
+  scenario asserts.
+
+Workers attach through :func:`attach_shared`, which verifies the
+content digest on first attach, caches the mapping per process, and —
+because the per-attach resource tracking in this Python version would
+otherwise *unlink* the segment when the first worker exits — deflags
+the attachment from the tracker (the orchestrator owns cleanup).
+
+Identity: the content hash of a spec must not depend on the (random)
+segment name, or cache entries and checkpoint fingerprints would churn
+on every run.  ``canonicalize`` therefore reduces a
+:class:`SharedArrayRef` to its dtype, shape, and content digest — see
+``repro.runner.spec``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import RunnerError
+
+PathLike = Union[str, Path]
+
+#: Manifest files live next to campaign checkpoints:
+#: ``shm-manifest-<token>.json``.
+MANIFEST_PREFIX = "shm-manifest-"
+
+#: Per-process attach cache: segment name -> (mapping, array view).
+_ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+@dataclass(frozen=True)
+class SharedArrayRef:
+    """A by-name reference to one array in shared memory.
+
+    Attributes:
+        name: Shared-memory segment name (process-transient; excluded
+            from content hashes).
+        dtype: Numpy dtype string (``np.dtype(...).str``, endianness
+            included).
+        shape: Array shape.
+        digest: sha256 hex digest of the raw array bytes — the ref's
+            *content* identity, used for hashing and attach validation.
+    """
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    digest: str
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the referenced array in bytes."""
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+
+def _array_digest(array: np.ndarray) -> str:
+    return hashlib.sha256(array.tobytes()).hexdigest()
+
+
+def describe_arrays(
+    arrays: Mapping[str, np.ndarray]
+) -> Dict[str, SharedArrayRef]:
+    """Content refs for *arrays* without creating any segments.
+
+    The ``name`` field is left empty — content hashing ignores segment
+    names — so the result hashes exactly like the refs a campaign run
+    with these ``shared_inputs`` would carry.  Useful for computing a
+    campaign's fingerprint or a spec's cache key from outside the run
+    (monitoring, the chaos harness).
+    """
+    refs: Dict[str, SharedArrayRef] = {}
+    for key, value in arrays.items():
+        array = np.ascontiguousarray(value)
+        refs[key] = SharedArrayRef(
+            name="",
+            dtype=np.dtype(array.dtype).str,
+            shape=tuple(int(d) for d in array.shape),
+            digest=_array_digest(array),
+        )
+    return refs
+
+
+def _unlink_segment(name: str) -> bool:
+    """Unlink one segment by name; True when it existed."""
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+    return True
+
+
+def segment_exists(name: str) -> bool:
+    """Whether a shared-memory segment with this name currently exists."""
+    try:
+        segment = _attach_untracked(name)
+    except FileNotFoundError:
+        return False
+    segment.close()
+    return True
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment without resource-tracker registration.
+
+    The tracker unlinks registered segments when the registering
+    process exits; borrowers (pool workers, existence probes) must not
+    end up on the hook for cleanup — only the creating orchestrator
+    is.  Python 3.13 gains ``SharedMemory(track=False)`` for exactly
+    this; on older interpreters the registration call is suppressed
+    for the duration of the attach.  (Un-registering *after* the fact
+    would corrupt the shared tracker's bookkeeping: forked workers
+    talk to the parent's tracker process, and their unregister would
+    discharge the orchestrator's own registration.)
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedInputSet:
+    """A named set of shared-memory arrays owned by one campaign run.
+
+    Create with :meth:`create`; hand ``refs`` to job specs; call
+    :meth:`unlink` (or use as a context manager) when the campaign is
+    done.  Segments are plain POSIX shared memory, so an un-unlinked
+    set survives process death — which is why creation is journaled in
+    a manifest that :func:`reclaim_stale` can act on later.
+    """
+
+    def __init__(
+        self,
+        refs: Dict[str, SharedArrayRef],
+        segments: List[shared_memory.SharedMemory],
+        manifest_path: Optional[Path],
+    ):
+        self.refs = refs
+        self._segments = segments
+        self.manifest_path = manifest_path
+
+    @classmethod
+    def create(
+        cls,
+        arrays: Mapping[str, np.ndarray],
+        manifest_dir: Optional[PathLike] = None,
+    ) -> "SharedInputSet":
+        """Copy *arrays* into fresh shared-memory segments.
+
+        Args:
+            arrays: Name -> array.  Arrays are copied once (made
+                C-contiguous if needed); the originals are not
+                referenced afterwards.
+            manifest_dir: Where to journal the segment names for
+                crash-safe reclaim.  ``None`` skips the manifest
+                (acceptable only for short-lived test sets).
+
+        Raises:
+            RunnerError: On empty input or a non-array value.
+        """
+        if not arrays:
+            raise RunnerError("shared input set needs at least one array")
+        token = secrets.token_hex(6)
+        names = {key: f"repro-{token}-{i}" for i, key in enumerate(arrays)}
+        manifest_path: Optional[Path] = None
+        if manifest_dir is not None:
+            manifest_dir = Path(manifest_dir)
+            manifest_dir.mkdir(parents=True, exist_ok=True)
+            manifest_path = manifest_dir / f"{MANIFEST_PREFIX}{token}.json"
+            # Journal intent before touching shared memory: a crash
+            # between here and the last segment leaves a manifest that
+            # names everything reclaim must look at.
+            manifest_path.write_text(
+                json.dumps(
+                    {"pid": os.getpid(), "segments": sorted(names.values())}
+                )
+            )
+        refs: Dict[str, SharedArrayRef] = {}
+        segments: List[shared_memory.SharedMemory] = []
+        try:
+            for key, value in arrays.items():
+                if not isinstance(value, np.ndarray):
+                    raise RunnerError(
+                        f"shared input {key!r} must be a numpy array, "
+                        f"got {type(value).__qualname__}"
+                    )
+                array = np.ascontiguousarray(value)
+                segment = shared_memory.SharedMemory(
+                    name=names[key], create=True, size=max(1, array.nbytes)
+                )
+                segments.append(segment)
+                view = np.ndarray(
+                    array.shape, dtype=array.dtype, buffer=segment.buf
+                )
+                view[...] = array
+                refs[key] = SharedArrayRef(
+                    name=names[key],
+                    dtype=np.dtype(array.dtype).str,
+                    shape=tuple(int(d) for d in array.shape),
+                    digest=_array_digest(array),
+                )
+        except Exception:
+            for segment in segments:
+                segment.close()
+                try:
+                    segment.unlink()
+                except FileNotFoundError:
+                    pass
+            if manifest_path is not None:
+                manifest_path.unlink(missing_ok=True)
+            raise
+        return cls(refs, segments, manifest_path)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes of shared memory held by this set."""
+        return sum(ref.nbytes for ref in self.refs.values())
+
+    def unlink(self) -> None:
+        """Release every segment and retire the manifest. Idempotent."""
+        for segment in self._segments:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+        self._segments = []
+        if self.manifest_path is not None:
+            self.manifest_path.unlink(missing_ok=True)
+            self.manifest_path = None
+
+    def __enter__(self) -> "SharedInputSet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unlink()
+
+
+def attach_shared(
+    refs: Mapping[str, SharedArrayRef]
+) -> Dict[str, np.ndarray]:
+    """Map shared segments into this process as read-only arrays.
+
+    Mappings are cached per process (keyed by segment name), so a pool
+    worker running many jobs against one input set attaches each
+    segment once.  The content digest is verified on first attach — a
+    name collision or torn segment surfaces as a typed error, never as
+    silently wrong data.
+
+    Raises:
+        RunnerError: When a segment is missing or its content does not
+            match the ref's digest.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    for key, ref in refs.items():
+        cached = _ATTACHED.get(ref.name)
+        if cached is None:
+            try:
+                segment = _attach_untracked(ref.name)
+            except FileNotFoundError:
+                raise RunnerError(
+                    f"shared input {key!r}: segment {ref.name!r} does not "
+                    "exist (campaign owner gone, or segment reclaimed)"
+                ) from None
+            view = np.ndarray(
+                ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf
+            )
+            digest = _array_digest(view)
+            if digest != ref.digest:
+                segment.close()
+                raise RunnerError(
+                    f"shared input {key!r}: segment {ref.name!r} content "
+                    f"digest {digest[:12]} != expected {ref.digest[:12]}"
+                )
+            view.flags.writeable = False
+            cached = _ATTACHED[ref.name] = (segment, view)
+        arrays[key] = cached[1]
+    return arrays
+
+
+def _pid_alive(pid: int) -> bool:
+    # Signal 0 is a pure liveness probe, not a crash primitive: it
+    # delivers nothing and only reports whether the pid exists.
+    try:
+        os.kill(pid, 0)  # repro-lint: disable=CRASH001
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned elsewhere
+        return True
+    return True
+
+
+def reclaim_stale(manifest_dir: PathLike) -> List[str]:
+    """Unlink segments journaled by campaigns whose owner is dead.
+
+    Scans *manifest_dir* for shm manifests; any whose recorded pid no
+    longer runs (or that is unreadable — a torn write during the crash)
+    has its segments unlinked and the manifest removed.  Manifests of
+    live owners — including this process — are left alone, so two
+    campaigns sharing a checkpoint directory do not reclaim each other.
+
+    Returns:
+        Names of the segments actually unlinked.
+    """
+    manifest_dir = Path(manifest_dir)
+    if not manifest_dir.is_dir():
+        return []
+    reclaimed: List[str] = []
+    for path in sorted(manifest_dir.glob(f"{MANIFEST_PREFIX}*.json")):
+        try:
+            manifest = json.loads(path.read_text())
+            owner = int(manifest["pid"])
+            segments = [str(name) for name in manifest["segments"]]
+        except (OSError, ValueError, KeyError, TypeError):
+            owner, segments = -1, []
+        if owner > 0 and _pid_alive(owner):
+            continue
+        for name in segments:
+            if _unlink_segment(name):
+                reclaimed.append(name)
+        path.unlink(missing_ok=True)
+    return reclaimed

@@ -33,6 +33,7 @@ from typing import Any, Dict, Mapping
 import numpy as np
 
 from repro.errors import RunnerError
+from repro.runner.shm import SharedArrayRef, attach_shared
 
 #: Bumped whenever the canonical form below changes incompatibly, so a
 #: cache written under an older hashing scheme can never collide with
@@ -86,6 +87,17 @@ def canonicalize(value: Any) -> Any:
     """
     if value is None or isinstance(value, (bool, int, str)):
         return value
+    if isinstance(value, SharedArrayRef):
+        # The segment name is process-transient (fresh per campaign
+        # run); identity is the content.  Hashing the name would churn
+        # every cache key and checkpoint fingerprint on every run.
+        return {
+            "__shared_array__": {
+                "dtype": value.dtype,
+                "shape": list(value.shape),
+                "digest": value.digest,
+            }
+        }
     if isinstance(value, float):
         if math.isnan(value):
             return {"__float__": "nan"}
@@ -137,11 +149,19 @@ class JobSpec:
         config: Remaining constructor kwargs.  Values must be
             picklable (they cross the process boundary as-is) and
             canonicalizable (they enter the content hash).
+        shared: Zero-copy inputs by name: each
+            :class:`~repro.runner.shm.SharedArrayRef` points at a
+            shared-memory segment the orchestrator owns.  Workers
+            attach the segments instead of unpickling the arrays;
+            ``build()`` passes the mapped arrays as the study's
+            ``shared`` kwarg.  Refs enter the content hash by content
+            digest, never by segment name.
     """
 
     study: str
     seed: int = 0
     config: Mapping[str, Any] = field(default_factory=dict)
+    shared: Mapping[str, SharedArrayRef] = field(default_factory=dict)
 
     @classmethod
     def from_study(cls, study: Any) -> "JobSpec":
@@ -185,6 +205,10 @@ class JobSpec:
             "seed": int(self.seed),
             "config": canonicalize(dict(self.config)),
         }
+        if self.shared:
+            # Only present when used, so every pre-existing spec hash
+            # (cache entries, checkpoint fingerprints) stays valid.
+            document["shared"] = canonicalize(dict(self.shared))
         encoded = json.dumps(
             document, sort_keys=True, separators=(",", ":"), allow_nan=False
         )
@@ -239,6 +263,13 @@ class JobSpec:
             ) from exc
         if "seed" in parameters:
             kwargs["seed"] = self.seed
+        if self.shared:
+            if "shared" not in parameters:
+                raise RunnerError(
+                    f"spec carries shared-memory inputs but study "
+                    f"{self.study!r} accepts no 'shared' kwarg"
+                )
+            kwargs["shared"] = attach_shared(self.shared)
         try:
             study = study_cls(**kwargs)
         except TypeError as exc:

@@ -11,6 +11,7 @@ from repro.topology.asgraph import (
     ASGraph,
     ASRole,
     AutonomousSystem,
+    CsrAdjacency,
     ExitPolicy,
     Link,
     PeeringKind,
@@ -30,6 +31,7 @@ __all__ = [
     "ASGraph",
     "ASRole",
     "AutonomousSystem",
+    "CsrAdjacency",
     "ExitPolicy",
     "Link",
     "PeeringKind",

@@ -17,8 +17,16 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import TopologyError
 from repro.geo import City
+
+#: Relationship codes in a :class:`CsrAdjacency`, from the owning node's
+#: perspective: the neighbor is my customer / my peer / my provider.
+REL_CUSTOMER = 0
+REL_PEER = 1
+REL_PROVIDER = 2
 
 
 class ASRole(str, enum.Enum):
@@ -197,6 +205,94 @@ def link_between(
     )
 
 
+class CsrAdjacency:
+    """Read-only CSR (compressed sparse row) view of an :class:`ASGraph`.
+
+    Nodes are indexed by *sorted ASN* — index order and ASN order agree,
+    so the BGP fast lane's lowest-index tie-break coincides with the
+    scalar lane's lowest-ASN tie-break.  The four core arrays are::
+
+        asns[i]                       ASN of node i (int32, ascending)
+        indptr[i] : indptr[i + 1]     node i's slice of ``neighbors``
+        neighbors[k]                  neighbor *node index* (int32)
+        rel[k]                        REL_CUSTOMER/REL_PEER/REL_PROVIDER,
+                                      from node i's perspective (int8)
+
+    Within each node's slice, neighbors are sorted by index (= ASN).
+    Per-relationship sub-CSRs (``providers``/``peers``/``customers``
+    with matching ``*_indptr``) are derived on construction, so the
+    three Gao-Rexford phases each get a contiguous edge set.
+
+    The four core arrays are a complete serialization: reconstructing
+    from them (e.g. out of a shared-memory segment) rebuilds the same
+    view without touching the originating graph.
+    """
+
+    __slots__ = (
+        "asns",
+        "indptr",
+        "neighbors",
+        "rel",
+        "index",
+        "providers_indptr",
+        "providers",
+        "peers_indptr",
+        "peers",
+        "customers_indptr",
+        "customers",
+    )
+
+    def __init__(
+        self,
+        asns: np.ndarray,
+        indptr: np.ndarray,
+        neighbors: np.ndarray,
+        rel: np.ndarray,
+    ):
+        self.asns = asns
+        self.indptr = indptr
+        self.neighbors = neighbors
+        self.rel = rel
+        self.index = {int(asn): i for i, asn in enumerate(asns)}
+        n = len(asns)
+        owner = np.repeat(
+            np.arange(n, dtype=np.int32), np.diff(indptr).astype(np.int64)
+        )
+        for code, name in (
+            (REL_PROVIDER, "providers"),
+            (REL_PEER, "peers"),
+            (REL_CUSTOMER, "customers"),
+        ):
+            mask = rel == code
+            counts = np.bincount(owner[mask], minlength=n)
+            sub_indptr = np.zeros(n + 1, dtype=np.int32)
+            np.cumsum(counts, out=sub_indptr[1:])
+            setattr(self, f"{name}_indptr", sub_indptr)
+            setattr(self, name, neighbors[mask])
+
+    def __len__(self) -> int:
+        return len(self.asns)
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """The four core arrays, keyed for shared-memory shipment."""
+        return {
+            "asns": self.asns,
+            "indptr": self.indptr,
+            "neighbors": self.neighbors,
+            "rel": self.rel,
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: "Dict[str, np.ndarray]") -> "CsrAdjacency":
+        """Rebuild a view from :meth:`arrays` output (zero-copy safe)."""
+        try:
+            return cls(
+                arrays["asns"], arrays["indptr"], arrays["neighbors"], arrays["rel"]
+            )
+        except KeyError as exc:
+            raise TopologyError(f"CSR arrays missing key {exc}") from None
+
+
 @dataclass
 class ASGraph:
     """A mutable AS-level topology.
@@ -209,6 +305,9 @@ class ASGraph:
     _ases: Dict[int, AutonomousSystem] = field(default_factory=dict)
     _links: Dict[Tuple[int, int], Link] = field(default_factory=dict)
     _adjacency: Dict[int, List[int]] = field(default_factory=dict)
+    _csr: Optional[CsrAdjacency] = field(
+        default=None, repr=False, compare=False
+    )
 
     # --- construction -------------------------------------------------
 
@@ -218,6 +317,7 @@ class ASGraph:
             raise TopologyError(f"duplicate ASN {asys.asn}")
         self._ases[asys.asn] = asys
         self._adjacency[asys.asn] = []
+        self._csr = None
 
     def add_link(self, link: Link) -> None:
         """Add a link; both endpoints must exist and not already be linked."""
@@ -229,6 +329,7 @@ class ASGraph:
         self._links[link.key()] = link
         self._adjacency[link.a].append(link.b)
         self._adjacency[link.b].append(link.a)
+        self._csr = None
 
     def remove_link(self, x: int, y: int) -> Link:
         """Remove and return the link between ``x`` and ``y``.
@@ -241,6 +342,7 @@ class ASGraph:
             raise TopologyError(f"no link between {x} and {y}")
         self._adjacency[link.a].remove(link.b)
         self._adjacency[link.b].remove(link.a)
+        self._csr = None
         return link
 
     # --- queries ------------------------------------------------------
@@ -310,6 +412,44 @@ class ASGraph:
             for n in self.neighbors(asn)
             if self.link(asn, n).relationship is Relationship.PEER
         ]
+
+    def csr(self) -> CsrAdjacency:
+        """The cached CSR view of this graph, building it on first use.
+
+        The view is invalidated by any mutation (:meth:`add_as`,
+        :meth:`add_link`, :meth:`remove_link`) and rebuilt lazily, so
+        repeated propagations over an unchanged graph pay the build
+        cost once.
+        """
+        if self._csr is None:
+            self._csr = self._build_csr()
+        return self._csr
+
+    def _build_csr(self) -> CsrAdjacency:
+        asns_sorted = sorted(self._ases)
+        index = {asn: i for i, asn in enumerate(asns_sorted)}
+        n = len(asns_sorted)
+        indptr = np.zeros(n + 1, dtype=np.int32)
+        neighbors: List[int] = []
+        rel: List[int] = []
+        for i, asn in enumerate(asns_sorted):
+            for nb in sorted(self._adjacency[asn]):
+                link = self._links[(asn, nb) if asn < nb else (nb, asn)]
+                if link.relationship is Relationship.PEER:
+                    code = REL_PEER
+                elif link.customer_asn == nb:
+                    code = REL_CUSTOMER
+                else:
+                    code = REL_PROVIDER
+                neighbors.append(index[nb])
+                rel.append(code)
+            indptr[i + 1] = len(neighbors)
+        return CsrAdjacency(
+            asns=np.asarray(asns_sorted, dtype=np.int32),
+            indptr=indptr,
+            neighbors=np.asarray(neighbors, dtype=np.int32),
+            rel=np.asarray(rel, dtype=np.int8),
+        )
 
     def customer_cone(self, asn: int) -> frozenset:
         """The set of ASes reachable from ``asn`` via customer links only.

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +31,7 @@ from repro.geo import (
     city_named,
     great_circle_km,
 )
+from repro.geo.coords import GeoPoint
 from repro.topology.asgraph import (
     ASGraph,
     ASRole,
@@ -434,17 +435,60 @@ def _regional_cities(region: Region) -> List[City]:
     return [c for c in WORLD_CITIES if c.region is region]
 
 
+def _scalar_km(a: City, b: City) -> float:
+    """Reference city-pair distance: one scalar haversine call."""
+    return great_circle_km(a.location, b.location)
+
+
+class _CityDistanceCache:
+    """Memoized city-pair distances for the generator's fast lane.
+
+    The generator asks for the same pair many times (every transit in a
+    region re-ranks the same regional city list; every eyeball re-ranks
+    the same transit footprints).  The cache calls the *same* scalar
+    :func:`great_circle_km` exactly once per unique unordered pair, so
+    every returned value is bit-identical to the scalar lane by
+    construction — no vectorized trig, whose last-ulp differences would
+    flip distance-sorted tie-breaks.
+    """
+
+    __slots__ = ("_cache",)
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[int, int], float] = {}
+
+    def __call__(self, a: City, b: City) -> float:
+        # Keyed by object identity: the city universe is the interned
+        # WORLD_CITIES set, and hashing ints is far cheaper than hashing
+        # the dataclass fields (which would cost more than the haversine
+        # it saves).  An un-interned duplicate city merely misses the
+        # cache and recomputes — still bit-identical.  Haversine is
+        # bitwise symmetric (sin(-x)**2 == sin(x)**2 and float
+        # multiplication commutes), so one canonical key per unordered
+        # pair halves the cache.
+        ia = id(a)
+        ib = id(b)
+        key = (ia, ib) if ia <= ib else (ib, ia)
+        d = self._cache.get(key)
+        if d is None:
+            d = great_circle_km(a.location, b.location)
+            self._cache[key] = d
+        return d
+
+
+#: City-pair distance function threaded through the generator helpers.
+DistanceFn = Callable[[City, City], float]
+
+
 def _nearest_pop_cities(
-    home: City, pop_cities: Sequence[City], k: int
+    home: City, pop_cities: Sequence[City], k: int, km: DistanceFn = _scalar_km
 ) -> List[City]:
-    ranked = sorted(
-        pop_cities, key=lambda c: great_circle_km(home.location, c.location)
-    )
+    ranked = sorted(pop_cities, key=lambda c: km(home, c))
     return ranked[:k]
 
 
 def _nearest_mesh(
-    pops: Sequence[PointOfPresence], k: int = 3
+    pops: Sequence[PointOfPresence], k: int = 3, km: DistanceFn = _scalar_km
 ) -> List[Tuple[str, str]]:
     """Fallback backbone for custom PoP sets: k-nearest plus a chain.
 
@@ -455,7 +499,7 @@ def _nearest_mesh(
     for i, pop in enumerate(pops):
         ranked = sorted(
             (p for p in pops if p.code != pop.code),
-            key=lambda p: great_circle_km(pop.city.location, p.city.location),
+            key=lambda p: km(pop.city, p.city),
         )
         for other in ranked[:k]:
             edges.add(tuple(sorted((pop.code, other.code))))
@@ -465,14 +509,21 @@ def _nearest_mesh(
 
 
 @traced("topology.build")
-def build_internet(config: Optional[TopologyConfig] = None) -> Internet:
+def build_internet(
+    config: Optional[TopologyConfig] = None, fast: bool = False
+) -> Internet:
     """Build a synthetic Internet from ``config`` (defaults when omitted).
 
-    The result is deterministic for a given configuration.
+    The result is deterministic for a given configuration.  ``fast=True``
+    memoizes city-pair distances and per-region intermediate lists (the
+    construction re-ranks the same small city universe thousands of
+    times); the output is bit-identical to the scalar lane — pinned in
+    ``tests/test_lane_agreement.py``.
     """
     cfg = config or TopologyConfig()
     rng = np.random.default_rng(cfg.seed)
     graph = ASGraph()
+    km: DistanceFn = _CityDistanceCache() if fast else _scalar_km
 
     pop_cities = [
         PointOfPresence(code, city_named(name)) for code, name in cfg.pop_cities
@@ -483,7 +534,7 @@ def build_internet(config: Optional[TopologyConfig] = None) -> Internet:
     elif cfg.pop_cities == DEFAULT_POP_CITIES:
         backbone = list(DEFAULT_WAN_BACKBONE)
     else:
-        backbone = _nearest_mesh(pop_cities)
+        backbone = _nearest_mesh(pop_cities, km=km)
     wan = PrivateWan(pop_cities, backbone, inflation=cfg.wan_inflation)
 
     ixp_cities = tuple(city_named(n) for n in cfg.ixp_city_names)
@@ -529,7 +580,7 @@ def build_internet(config: Optional[TopologyConfig] = None) -> Internet:
     for i, x in enumerate(tier1_asns):
         for y in tier1_asns[i + 1 :]:
             # Tier-1s interconnect at every shared hub worldwide.
-            shared = _shared_cities(graph, x, y, rng, fallback=3, cap=None)
+            shared = _shared_cities(graph, x, y, rng, fallback=3, cap=None, km=km)
             graph.add_link(
                 link_between(
                     x,
@@ -546,6 +597,11 @@ def build_internet(config: Optional[TopologyConfig] = None) -> Internet:
     transit_regions: Dict[int, Region] = {}
     region_cycle = [all_regions[i % len(all_regions)] for i in range(cfg.n_transit)]
     region_seen: Dict[Region, int] = {}
+    # Fast-lane memos: these are pure functions of (region) / (region,
+    # home) recomputed once per transit in the scalar lane.
+    homes_memo: Dict[Region, List[City]] = {}
+    ranked_memo: Dict[Tuple[Region, str], List[City]] = {}
+    hubs_memo: Dict[Tuple[Region, str], List[City]] = {}
     for i in range(cfg.n_transit):
         asn = TRANSIT_ASN_BASE + i
         region = region_cycle[i]
@@ -560,19 +616,31 @@ def build_internet(config: Optional[TopologyConfig] = None) -> Internet:
         # would stack all of Asia's transits in its northeast).
         nth = region_seen.get(region, 0)
         region_seen[region] = nth + 1
-        homes = _spread_homes(candidates)
+        if fast:
+            homes = homes_memo.get(region)
+            if homes is None:
+                homes = homes_memo[region] = _spread_homes(candidates, km=km)
+        else:
+            homes = _spread_homes(candidates, km=km)
         home = homes[nth % len(homes)]
         take = min(len(candidates), int(rng.integers(3, 7)))
-        by_distance = sorted(
-            candidates,
-            key=lambda c: (great_circle_km(home.location, c.location), c.name),
-        )
+        memo_key = (region, home.name)
+        by_distance = ranked_memo.get(memo_key) if fast else None
+        if by_distance is None:
+            by_distance = sorted(
+                candidates, key=lambda c: (km(home, c), c.name)
+            )
+            if fast:
+                ranked_memo[memo_key] = by_distance
         sampled = by_distance[:take]
-        regional_hubs = [c for c in candidates if c in ixp_set]
-        nearest_hubs = sorted(
-            regional_hubs,
-            key=lambda c: (great_circle_km(home.location, c.location), c.name),
-        )[:2]
+        nearest_hubs = hubs_memo.get(memo_key) if fast else None
+        if nearest_hubs is None:
+            regional_hubs = [c for c in candidates if c in ixp_set]
+            nearest_hubs = sorted(
+                regional_hubs, key=lambda c: (km(home, c), c.name)
+            )[:2]
+            if fast:
+                hubs_memo[memo_key] = nearest_hubs
         footprint = tuple(dict.fromkeys([home] + sampled + nearest_hubs))
         graph.add_as(
             AutonomousSystem(
@@ -590,7 +658,7 @@ def build_internet(config: Optional[TopologyConfig] = None) -> Internet:
         ups = rng.choice(len(tier1_asns), size=min(n_up, len(tier1_asns)), replace=False)
         for u in sorted(ups):
             t1 = tier1_asns[u]
-            shared = _shared_cities(graph, asn, t1, rng, fallback=2, cap=8)
+            shared = _shared_cities(graph, asn, t1, rng, fallback=2, cap=8, km=km)
             graph.add_link(
                 link_between(
                     asn,
@@ -640,6 +708,11 @@ def build_internet(config: Optional[TopologyConfig] = None) -> Internet:
     }
     eyeball_asns: List[int] = []
     asn = EYEBALL_ASN_BASE
+    # Fast-lane memo: nearest regional transits per home city.  Transit
+    # footprints are fixed by now (the tier1-transit re-wire below only
+    # touches tier1 links), and eyeballs in one country share home
+    # cities, so the ranking is pure in the home city.
+    transit_rank_memo: Dict[int, List[int]] = {}
     for country in countries:
         cities = [c for c in WORLD_CITIES if c.country == country]
         for j in range(alloc[country]):
@@ -667,14 +740,17 @@ def build_internet(config: Optional[TopologyConfig] = None) -> Internet:
             region = eyeball.cities[0].region
             # Buy transit from 1-3 of the *nearest* transits in the same
             # region (regions are continent-sized; proximity matters).
-            regional = [t for t in transit_asns if transit_regions[t] is region]
-            regional = sorted(
-                regional,
-                key=lambda t: min(
-                    great_circle_km(eyeball.home_city.location, c.location)
-                    for c in graph.get(t).cities
-                ),
-            )[:3]
+            home = eyeball.home_city
+            regional = transit_rank_memo.get(id(home)) if fast else None
+            if regional is None:
+                regional = sorted(
+                    (t for t in transit_asns if transit_regions[t] is region),
+                    key=lambda t: min(
+                        km(home, c) for c in graph.get(t).cities
+                    ),
+                )[:3]
+                if fast:
+                    transit_rank_memo[id(home)] = regional
             if regional:
                 n_up = int(rng.integers(1, min(3, len(regional)) + 1))
                 ups = rng.choice(len(regional), size=n_up, replace=False)
@@ -769,13 +845,20 @@ def build_internet(config: Optional[TopologyConfig] = None) -> Internet:
         eyeball_asns, key=lambda a: graph.get(a).user_weight, reverse=True
     )
     n_pni = int(round(cfg.pni_fraction * len(by_weight)))
+    # Fast-lane memo: nearest PoP per eyeball city (eyeball footprints
+    # overlap heavily within a country).
+    nearest_pop_memo: Dict[int, List[City]] = {}
     for eb in by_weight[:n_pni]:
         # PNIs at the PoP nearest each of the eyeball's cities: big
         # eyeballs interconnect with big providers in every metro they
         # share, not just at their headquarters.
         sites: List[City] = []
         for eb_city in graph.get(eb).cities:
-            nearest = _nearest_pop_cities(eb_city, pop_city_set, k=1)
+            nearest = nearest_pop_memo.get(id(eb_city)) if fast else None
+            if nearest is None:
+                nearest = _nearest_pop_cities(eb_city, pop_city_set, k=1, km=km)
+                if fast:
+                    nearest_pop_memo[id(eb_city)] = nearest
             if nearest and nearest[0] not in sites:
                 sites.append(nearest[0])
         graph.add_link(
@@ -817,7 +900,7 @@ def build_internet(config: Optional[TopologyConfig] = None) -> Internet:
                 # No colocated exchange: buy remote peering into the
                 # nearest one.
                 home = graph.get(eb).home_city
-                shared_ixps = _nearest_pop_cities(home, exchange_cities, k=1)
+                shared_ixps = _nearest_pop_cities(home, exchange_cities, k=1, km=km)
         graph.add_link(
             link_between(
                 PROVIDER_ASN,
@@ -878,7 +961,11 @@ def build_internet(config: Optional[TopologyConfig] = None) -> Internet:
     )
 
 
-def _spread_homes(candidates: List[City], min_km: float = 1200.0) -> List[City]:
+def _spread_homes(
+    candidates: List[City],
+    min_km: float = 1200.0,
+    km: DistanceFn = _scalar_km,
+) -> List[City]:
     """Greedy big-market-first home selection with geographic spacing.
 
     Walks cities in descending population, accepting each that is at
@@ -890,9 +977,7 @@ def _spread_homes(candidates: List[City], min_km: float = 1200.0) -> List[City]:
     homes: List[City] = []
     skipped: List[City] = []
     for city in by_population:
-        near = any(
-            great_circle_km(city.location, h.location) < min_km for h in homes
-        )
+        near = any(km(city, h) < min_km for h in homes)
         if near:
             skipped.append(city)
         else:
@@ -907,6 +992,7 @@ def _shared_cities(
     rng: np.random.Generator,
     fallback: int,
     cap: Optional[int] = 3,
+    km: DistanceFn = _scalar_km,
 ) -> List[City]:
     """Interconnect cities for a new link between ``x`` and ``y``.
 
@@ -916,7 +1002,8 @@ def _shared_cities(
     """
     xs = graph.get(x)
     ys = graph.get(y)
-    shared = [c for c in xs.cities if c in set(ys.cities)]
+    y_cities = set(ys.cities)
+    shared = [c for c in xs.cities if c in y_cities]
     if shared:
         if cap is not None and len(shared) > cap:
             picks = rng.choice(len(shared), size=cap, replace=False)
@@ -924,7 +1011,6 @@ def _shared_cities(
         return shared
     bigger, smaller = (xs, ys) if len(xs.cities) >= len(ys.cities) else (ys, xs)
     ranked = sorted(
-        bigger.cities,
-        key=lambda c: great_circle_km(c.location, smaller.home_city.location),
+        bigger.cities, key=lambda c: km(c, smaller.home_city)
     )
     return list(ranked[:fallback])

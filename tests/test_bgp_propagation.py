@@ -238,3 +238,63 @@ class TestCandidates:
         table = propagate(toy_graph, E2)
         neighbors = {c.neighbor for c in table.candidates_at(PROVIDER)}
         assert neighbors == {T1A, TR2}
+
+
+class TestRoutingTableRepr:
+    def test_repr_is_compact(self, toy_graph):
+        """The repr must summarize, not dump the graph and route dict.
+
+        The generated dataclass repr used to recurse into every Route
+        (and, transitively, the whole ASGraph) — megabytes of text the
+        moment a table appeared in an assertion diff or a log line.
+        """
+        table = propagate(toy_graph, E1)
+        text = repr(table)
+        assert text == f"RoutingTable(origin={E1}, routes={len(table)})"
+        assert len(text) < 80
+
+    def test_compare_ignores_graph_identity(self, toy_graph):
+        """Equality is by announcement (origin/scoping/grooming) only."""
+        from conftest import build_toy_graph
+
+        a = propagate(toy_graph, E1)
+        b = propagate(build_toy_graph(), E1)
+        assert a == b
+        assert a != propagate(toy_graph, E2)
+
+
+class TestGroomingValidation:
+    def test_prepend_for_non_neighbor_rejected(self, toy_graph):
+        """A typo'd prepend key must fail loudly, naming the bad ASN."""
+        with pytest.raises(RoutingError, match=str(T1B)):
+            propagate(toy_graph, PROVIDER, prepends={T1B: 2})
+
+    def test_suppression_of_non_neighbor_rejected(self, toy_graph):
+        with pytest.raises(RoutingError, match=str(E2)):
+            propagate(toy_graph, PROVIDER, suppressed=frozenset({E2}))
+
+    def test_both_lanes_reject_identically(self, toy_graph):
+        for lane in (False, True):
+            with pytest.raises(RoutingError):
+                propagate(toy_graph, PROVIDER, prepends={99999: 1}, fast=lane)
+
+    def test_valid_grooming_still_accepted(self, toy_graph):
+        table = propagate(toy_graph, PROVIDER, prepends={T1A: 2})
+        assert len(table) > 0
+
+
+class TestExportedRouteErrors:
+    def test_non_adjacent_export_is_typed_error(self, toy_graph):
+        """Asking about a non-existent adjacency is a caller bug and
+        must raise RoutingError, not silently return None."""
+        table = propagate(toy_graph, E1)
+        with pytest.raises(RoutingError, match="non-adjacent"):
+            table.exported_route(E1, T1B)
+
+    def test_routeless_advertiser_short_circuits(self, toy_graph):
+        """A routeless AS exports nothing — checked before adjacency,
+        so no graph lookup (and no error) happens for dead sources."""
+        table = propagate(
+            toy_graph, PROVIDER, suppressed=frozenset({T1A, E1, TR2})
+        )
+        assert table.exported_route(T1A, T1B) is None

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.bgp import propagate, propagate_many
 from repro.cdn import CdnDeployment
 from repro.cdn.catchment import catchment_map
 from repro.cdn.dns_redirection import train_redirection_policy
@@ -30,6 +31,8 @@ from repro.cloudtiers import (
 )
 from repro.edgefabric.analysis import bgp_vs_best_alternate
 from repro.edgefabric.episodes import extract_episodes
+from repro.edgefabric.routes import tables_for_destinations
+from repro.topology import TopologyConfig, build_internet
 from repro.edgefabric.sampler import (
     MeasurementConfig,
     plan_measurement,
@@ -296,3 +299,105 @@ class TestCloudtiersLanes:
             assert a.median_ms == b.median_ms
         assert slow.eligible == fast.eligible
         assert set(slow.traceroutes) == set(fast.traceroutes)
+
+
+class TestBgpPropagationLanes:
+    """The propagation fast lane is *bit-identical* to the scalar lane:
+    same best route (path, pref, advertised length) at every AS, for
+    every origin and every grooming variant.  Randomized topologies are
+    covered by ``tests/test_properties_bgp.py``'s stability oracle,
+    which also runs both lanes."""
+
+    def test_propagate_bit_identical_all_origins(self, small_internet):
+        graph = small_internet.graph
+        for asys in graph.ases():
+            scalar = propagate(graph, asys.asn, fast=False)
+            fast = propagate(graph, asys.asn, fast=True)
+            assert scalar._routes == fast._routes, f"origin {asys.asn}"
+
+    def test_propagate_bit_identical_randomized(self):
+        """Generator-randomized graphs across seeds and random origins."""
+        for seed in SEEDS:
+            internet = build_internet(
+                TopologyConfig(seed=seed, n_tier1=3, n_transit=12, n_eyeball=30)
+            )
+            graph = internet.graph
+            asns = [asys.asn for asys in graph.ases()]
+            rng = np.random.default_rng(seed)
+            for origin in rng.choice(asns, size=8, replace=False):
+                origin = int(origin)
+                scalar = propagate(graph, origin, fast=False)
+                fast = propagate(graph, origin, fast=True)
+                assert scalar._routes == fast._routes, f"origin {origin}"
+
+    def test_propagate_grooming_bit_identical(self, small_internet):
+        """Prepends, suppression, and city scoping hit the same origin
+        edges in both lanes."""
+        graph = small_internet.graph
+        origin = small_internet.provider_asn
+        neighbors = sorted(graph.neighbors(origin))
+        variants = [
+            dict(prepends={neighbors[0]: 3}),
+            dict(suppressed=frozenset(neighbors[:2])),
+            dict(
+                prepends={neighbors[0]: 2, neighbors[-1]: 1},
+                suppressed=frozenset({neighbors[1]}),
+            ),
+            dict(
+                origin_cities=frozenset({small_internet.wan.pops[0].city})
+            ),
+        ]
+        for kwargs in variants:
+            scalar = propagate(graph, origin, fast=False, **kwargs)
+            fast = propagate(graph, origin, fast=True, **kwargs)
+            assert scalar._routes == fast._routes, kwargs
+
+    def test_propagate_many_matches_per_origin_calls(self, small_internet):
+        graph = small_internet.graph
+        origins = [asys.asn for asys in graph.ases()][:10]
+        batched = propagate_many(graph, origins, fast=True)
+        for origin, table in zip(origins, batched):
+            assert table.origin == origin
+            assert table._routes == propagate(graph, origin)._routes
+        scalar_batch = propagate_many(graph, origins, fast=False)
+        for fast_table, scalar_table in zip(batched, scalar_batch):
+            assert fast_table._routes == scalar_table._routes
+
+    def test_tables_for_destinations_lanes_agree(self, small_internet):
+        asns = [asys.asn for asys in small_internet.graph.ases()][:8]
+        fast = tables_for_destinations(small_internet, asns, fast=True)
+        scalar = tables_for_destinations(small_internet, asns, fast=False)
+        assert set(fast) == set(scalar)
+        for asn in fast:
+            assert fast[asn]._routes == scalar[asn]._routes
+
+
+class TestTopologyLanes:
+    """build_internet(fast=True) memoizes distances; output is
+    bit-identical (LANE001 pin)."""
+
+    def test_build_internet_bit_identical(self):
+        from repro.topology.serialization import internet_to_dict
+
+        for seed in SEEDS:
+            cfg = TopologyConfig(seed=seed, n_tier1=4, n_transit=16, n_eyeball=40)
+            scalar = build_internet(cfg, fast=False)
+            fast = build_internet(cfg, fast=True)
+            assert internet_to_dict(scalar) == internet_to_dict(fast), seed
+
+    def test_build_internet_custom_backbone_mesh(self):
+        """The nearest-mesh fallback path (custom PoP set) also agrees."""
+        from repro.topology.generator import DEFAULT_POP_CITIES
+        from repro.topology.serialization import internet_to_dict
+
+        cfg = TopologyConfig(
+            seed=1,
+            n_tier1=3,
+            n_transit=8,
+            n_eyeball=20,
+            pop_cities=DEFAULT_POP_CITIES[:12],
+            dc_pop_code=DEFAULT_POP_CITIES[0][0],
+        )
+        scalar = build_internet(cfg, fast=False)
+        fast = build_internet(cfg, fast=True)
+        assert internet_to_dict(scalar) == internet_to_dict(fast)

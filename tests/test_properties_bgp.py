@@ -156,3 +156,57 @@ def test_forwarding_consistency(world):
             current = nxt
             hops += 1
             assert hops <= len(graph), "forwarding loop"
+
+
+def _selection_key(route):
+    """Ordering key of BGP selection: customer > peer > provider class,
+    then shortest advertised length, then lowest next-hop ASN.  Lower
+    sorts better."""
+    next_hop = route.next_hop if route.as_hops else -1
+    return (-int(route.pref), route.advertised_length, next_hop)
+
+
+@given(random_world())
+@settings(max_examples=40, deadline=None)
+def test_stability_oracle_both_lanes(world):
+    """The propagated state is a *stable* valley-free equilibrium.
+
+    Stability oracle: no AS strictly prefers any route a neighbor
+    currently exports to it over the route it holds, and no routeless
+    AS has any route on offer at all.  Checked for both lanes, which
+    must also agree table-for-table (same best route per AS).
+    """
+    graph, origin = world
+    scalar = propagate(graph, origin, fast=False)
+    fast = propagate(graph, origin, fast=True)
+    assert scalar._routes == fast._routes
+
+    for table in (scalar, fast):
+        for asys in graph.ases():
+            asn = asys.asn
+            own = table.best(asn)
+            if own is not None and asn != origin:
+                # Valley-freedom of the held path.
+                state = "up"
+                for x, y in zip(own.path[:-1], own.path[1:]):
+                    kind = _step_kind(graph, x, y)
+                    if state == "up":
+                        if kind == "peer":
+                            state = "peered"
+                        elif kind == "down":
+                            state = "down"
+                    else:
+                        assert kind == "down", own.path
+                        state = "down"
+            for neighbor in graph.neighbors(asn):
+                offered = table.exported_route(neighbor, asn)
+                if own is None:
+                    assert offered is None, (
+                        f"routeless AS {asn} is offered {offered} by "
+                        f"{neighbor} — the state is not stable"
+                    )
+                elif offered is not None and asn != origin:
+                    assert _selection_key(own) <= _selection_key(offered), (
+                        f"AS {asn} holds {own} but strictly prefers "
+                        f"{offered} from {neighbor}"
+                    )

@@ -1,0 +1,190 @@
+"""Tests for the zero-copy shared-memory plane (repro.runner.shm).
+
+Covers the full lifecycle — create / attach / unlink — plus the two
+properties the campaign plumbing depends on: content-addressed spec
+hashing (segment names must not leak into hashes) and manifest-driven
+reclaim of segments orphaned by a dead owner.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner.shm import (
+    MANIFEST_PREFIX,
+    SharedArrayRef,
+    SharedInputSet,
+    attach_shared,
+    describe_arrays,
+    reclaim_stale,
+    segment_exists,
+)
+from repro.runner.spec import JobSpec
+
+
+def _arrays():
+    return {
+        "indptr": np.arange(5, dtype=np.int64),
+        "weights": np.linspace(0.0, 1.0, 7, dtype=np.float64),
+    }
+
+
+class TestSharedInputSet:
+    def test_create_attach_roundtrip(self, tmp_path):
+        with SharedInputSet.create(_arrays(), manifest_dir=tmp_path) as shared:
+            views = attach_shared(shared.refs)
+            for key, original in _arrays().items():
+                np.testing.assert_array_equal(views[key], original)
+                assert not views[key].flags.writeable
+        # Context exit unlinks everything, including the manifest.
+        for ref in shared.refs.values():
+            assert not segment_exists(ref.name)
+        assert not list(tmp_path.glob(f"{MANIFEST_PREFIX}*.json"))
+
+    def test_manifest_written_before_segments(self, tmp_path):
+        shared = SharedInputSet.create(_arrays(), manifest_dir=tmp_path)
+        try:
+            manifest = json.loads(shared.manifest_path.read_text())
+            assert sorted(manifest["segments"]) == sorted(
+                ref.name for ref in shared.refs.values()
+            )
+            assert manifest["pid"] > 0
+        finally:
+            shared.unlink()
+
+    def test_unlink_is_idempotent(self, tmp_path):
+        shared = SharedInputSet.create(_arrays(), manifest_dir=tmp_path)
+        shared.unlink()
+        shared.unlink()
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(RunnerError, match="at least one array"):
+            SharedInputSet.create({})
+
+    def test_non_array_rejected_and_nothing_leaks(self, tmp_path):
+        with pytest.raises(RunnerError, match="numpy array"):
+            SharedInputSet.create(
+                {"good": np.ones(3), "bad": [1, 2, 3]}, manifest_dir=tmp_path
+            )
+        assert not list(tmp_path.glob(f"{MANIFEST_PREFIX}*.json"))
+
+    def test_total_bytes(self):
+        shared = SharedInputSet.create(_arrays())
+        try:
+            expected = sum(a.nbytes for a in _arrays().values())
+            assert shared.total_bytes == expected
+        finally:
+            shared.unlink()
+
+
+class TestAttach:
+    def test_missing_segment_is_typed_error(self):
+        ref = SharedArrayRef(
+            name="repro-test-does-not-exist",
+            dtype="<i8",
+            shape=(4,),
+            digest="0" * 64,
+        )
+        with pytest.raises(RunnerError, match="does not exist"):
+            attach_shared({"x": ref})
+
+    def test_digest_mismatch_is_typed_error(self):
+        shared = SharedInputSet.create({"x": np.arange(4, dtype=np.int64)})
+        try:
+            real = shared.refs["x"]
+            tampered = SharedArrayRef(
+                name=real.name,
+                dtype=real.dtype,
+                shape=real.shape,
+                digest="f" * 64,
+            )
+            with pytest.raises(RunnerError, match="digest"):
+                attach_shared({"x": tampered})
+        finally:
+            shared.unlink()
+
+
+class TestHashing:
+    def test_spec_hash_ignores_segment_names(self):
+        """Two runs share cache entries even though segment names are
+        random per run — content identity is the digest."""
+        first = SharedInputSet.create(_arrays())
+        second = SharedInputSet.create(_arrays())
+        try:
+            spec_a = JobSpec(study="repro.core.study:PopRoutingStudy", shared=first.refs)
+            spec_b = JobSpec(study="repro.core.study:PopRoutingStudy", shared=second.refs)
+            assert spec_a.content_hash == spec_b.content_hash
+        finally:
+            first.unlink()
+            second.unlink()
+
+    def test_spec_hash_sees_shared_content(self):
+        bare = JobSpec(study="repro.core.study:PopRoutingStudy")
+        with_refs = JobSpec(
+            study="repro.core.study:PopRoutingStudy",
+            shared=describe_arrays(_arrays()),
+        )
+        other = dict(_arrays())
+        other["weights"] = other["weights"] + 1.0
+        with_other = JobSpec(
+            study="repro.core.study:PopRoutingStudy",
+            shared=describe_arrays(other),
+        )
+        assert bare.content_hash != with_refs.content_hash
+        assert with_refs.content_hash != with_other.content_hash
+
+    def test_describe_matches_created_refs(self):
+        """describe_arrays (no segments) hashes like the real thing."""
+        shared = SharedInputSet.create(_arrays())
+        try:
+            described = describe_arrays(_arrays())
+            for key, ref in shared.refs.items():
+                assert described[key].digest == ref.digest
+                assert described[key].dtype == ref.dtype
+                assert described[key].shape == ref.shape
+        finally:
+            shared.unlink()
+
+    def test_build_rejects_study_without_shared_kwarg(self):
+        spec = JobSpec(
+            study="repro.core.study:PopRoutingStudy",
+            shared=describe_arrays(_arrays()),
+        )
+        with pytest.raises(RunnerError, match="shared"):
+            spec.build()
+
+
+class TestReclaim:
+    def test_live_owner_is_left_alone(self, tmp_path):
+        shared = SharedInputSet.create(_arrays(), manifest_dir=tmp_path)
+        try:
+            assert reclaim_stale(tmp_path) == []
+            for ref in shared.refs.values():
+                assert segment_exists(ref.name)
+        finally:
+            shared.unlink()
+
+    def test_dead_owner_segments_reclaimed(self, tmp_path):
+        shared = SharedInputSet.create(_arrays(), manifest_dir=tmp_path)
+        # Forge the manifest to name a pid that cannot be running.
+        manifest = json.loads(shared.manifest_path.read_text())
+        manifest["pid"] = 2**22 + 1
+        shared.manifest_path.write_text(json.dumps(manifest))
+        names = [ref.name for ref in shared.refs.values()]
+        reclaimed = reclaim_stale(tmp_path)
+        assert sorted(reclaimed) == sorted(names)
+        for name in names:
+            assert not segment_exists(name)
+        assert not list(tmp_path.glob(f"{MANIFEST_PREFIX}*.json"))
+        shared._segments = []  # segments are gone; skip double-unlink
+        shared.unlink()
+
+    def test_torn_manifest_is_removed(self, tmp_path):
+        (tmp_path / f"{MANIFEST_PREFIX}torn.json").write_text("{not json")
+        assert reclaim_stale(tmp_path) == []
+        assert not list(tmp_path.glob(f"{MANIFEST_PREFIX}*.json"))
+
+    def test_missing_dir_is_noop(self, tmp_path):
+        assert reclaim_stale(tmp_path / "nope") == []
