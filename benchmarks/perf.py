@@ -289,6 +289,65 @@ def bench_bgp_propagate(tier: str, repeats: int):
     return {"name": "bgp.propagate", "scales": entries}
 
 
+def bench_bgp_dynamics(tier: str, repeats: int):
+    """Event-driven convergence vs the static fast lane, same fixpoint.
+
+    The scalar lane replays one announcement per sampled origin through
+    the discrete-event engine — UPDATE deliveries, MRAI timers,
+    per-session jitter — until quiescence; the fast lane computes the
+    identical stable states with the static CSR sweep (bit-equality is
+    the lane-agreement contract in ``tests/test_lane_agreement.py``).
+    Both lanes batch over the same origins so neither measurement is a
+    sub-millisecond blip; the ratio prices event-level fidelity — what
+    a scenario run costs over a snapshot.
+    """
+    from repro.bgp.dynamics import DynamicsConfig, DynamicsEngine
+
+    sizes = {"small": (16, 64), "medium": (60, 300), "large": (100, 800)}
+    entries = []
+    for scale in _scales_for(tier):
+        n_transit, n_eyeball = sizes[scale]
+        graph = build_internet(
+            TopologyConfig(
+                seed=7, n_tier1=5, n_transit=n_transit, n_eyeball=n_eyeball
+            ),
+            fast=True,
+        ).graph
+        asns = [asys.asn for asys in graph.ases()]
+        origins = asns[:: max(1, len(asns) // 8)][:8]
+        propagate(graph, origins[0], fast=True)  # warm the CSR cache
+
+        def scalar():
+            total = 0
+            for origin in origins:
+                engine = DynamicsEngine(graph, DynamicsConfig(seed=0))
+                engine.schedule_announce(0.0, origin)
+                engine.run()
+                total += engine.events_processed
+            return total
+
+        def fast():
+            for origin in origins:
+                propagate(graph, origin, fast=True)
+
+        events = scalar()
+        entries.append(
+            _measure(
+                "bgp.dynamics",
+                scale,
+                {
+                    "ases": len(graph),
+                    "origins": len(origins),
+                    "events": int(events),
+                },
+                scalar,
+                fast,
+                repeats,
+            )
+        )
+    return {"name": "bgp.dynamics", "scales": entries}
+
+
 def bench_topology_generate(tier: str, repeats: int):
     """Internet generation: scalar haversines vs the memoized fast lane.
 
@@ -572,6 +631,7 @@ def run(tier: str, repeats: int) -> dict:
         bench_edgefabric_episodes(internet, tier, repeats),
         bench_event_delay(tier, repeats),
         bench_bgp_propagate(tier, repeats),
+        bench_bgp_dynamics(tier, repeats),
         bench_topology_generate(tier, repeats),
         bench_cdn_redirection(internet, tier, repeats),
         bench_cloudtiers_campaign(internet, tier, max(1, repeats - 1)),

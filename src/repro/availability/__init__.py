@@ -17,21 +17,34 @@ section sketches:
   traffic at risk and its relationship to interconnect redundancy.
 """
 
-from repro.availability.failures import fail_pop_site, fail_provider_link
+from repro.availability.failures import (
+    fail_pop_site,
+    fail_provider_link,
+    restore_link,
+    transient_pop_outage,
+    transient_provider_link_outage,
+)
 from repro.availability.analysis import (
     FailoverResult,
     PeerRisk,
     PeeringRiskResult,
+    RecoveryResult,
     anycast_vs_dns_failover,
     peering_failure_study,
+    scenario_recovery,
 )
 
 __all__ = [
     "fail_pop_site",
     "fail_provider_link",
+    "restore_link",
+    "transient_pop_outage",
+    "transient_provider_link_outage",
     "FailoverResult",
     "PeerRisk",
     "PeeringRiskResult",
+    "RecoveryResult",
     "anycast_vs_dns_failover",
     "peering_failure_study",
+    "scenario_recovery",
 ]

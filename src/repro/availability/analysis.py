@@ -1,4 +1,4 @@
-"""Failure-impact analyses: anycast vs DNS failover, peer-link risk."""
+"""Failure-impact analyses: failover, peer-link risk, route recovery."""
 
 from __future__ import annotations
 
@@ -8,7 +8,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import AnalysisError
-from repro.bgp import Grooming
+from repro.bgp import Grooming, ScenarioResult
+from repro.topology.asgraph import ASGraph
 from repro.topology import Internet, PeeringKind, Relationship
 from repro.workloads import ClientPrefix
 from repro.cdn.deployment import CdnDeployment
@@ -231,4 +232,85 @@ def peering_failure_study(
         single_interconnect_share=single,
         median_interconnects_small=float(np.median(small)),
         median_interconnects_large=float(np.median(large)),
+    )
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    """Time-to-recover profile of one routing scenario.
+
+    Computed from a :class:`~repro.bgp.ScenarioResult` timeline: an AS
+    is "out" for a prefix while its best route is withdrawn, from the
+    ``best_change`` that dropped it to the one that restored it (or the
+    end of the run, for ASes that never recover).
+
+    Attributes:
+        scenario: The scenario's registry name.
+        affected_ases: ASes that lost a route at any point.
+        unrecovered_ases: ASes still without a route at the end.
+        fully_recovered: Everything that went dark came back.
+        max_outage_s: Longest single-AS outage.
+        mean_outage_s: Mean outage across affected ASes.
+        outage_user_seconds: User-weighted outage time per unit user
+            base — the event-driven analogue of
+            :attr:`FailoverResult.dns_outage_user_seconds`.
+        time_to_recover_s: The scenario's recovery-phase convergence
+            time (falls back to time-to-reconverge for scenarios with
+            no recovery phase).
+    """
+
+    scenario: str
+    affected_ases: int
+    unrecovered_ases: int
+    fully_recovered: bool
+    max_outage_s: float
+    mean_outage_s: float
+    outage_user_seconds: float
+    time_to_recover_s: float
+
+
+def scenario_recovery(result: ScenarioResult, graph: ASGraph) -> RecoveryResult:
+    """Integrate per-AS route loss over a scenario timeline.
+
+    Args:
+        result: A scenario outcome (e.g. from
+            :func:`repro.bgp.run_scenario`).
+        graph: The graph the scenario ran on, for user weights.
+    """
+    if not result.timeline:
+        raise AnalysisError("scenario result has an empty timeline")
+    total_weight = sum(a.user_weight for a in graph.ases())
+    started: Dict[Tuple[int, str], float] = {}
+    outage_s: Dict[int, float] = {}
+    user_seconds = 0.0
+    for entry in result.timeline:
+        if entry["kind"] != "best_change":
+            continue
+        pair = (entry["asn"], entry["prefix"])
+        if entry["origin"] is None:
+            started.setdefault(pair, entry["t"])
+        elif pair in started:
+            duration = entry["t"] - started.pop(pair)
+            outage_s[pair[0]] = outage_s.get(pair[0], 0.0) + duration
+            if total_weight > 0:
+                weight = graph.get(pair[0]).user_weight / total_weight
+                user_seconds += weight * duration
+    unrecovered = sorted({asn for asn, _ in started})
+    for (asn, _), t0 in started.items():
+        duration = result.end_s - t0
+        outage_s[asn] = outage_s.get(asn, 0.0) + duration
+        if total_weight > 0:
+            user_seconds += graph.get(asn).user_weight / total_weight * duration
+    durations = list(outage_s.values())
+    return RecoveryResult(
+        scenario=result.name,
+        affected_ases=len(outage_s),
+        unrecovered_ases=len(unrecovered),
+        fully_recovered=not unrecovered,
+        max_outage_s=max(durations) if durations else 0.0,
+        mean_outage_s=float(np.mean(durations)) if durations else 0.0,
+        outage_user_seconds=user_seconds,
+        time_to_recover_s=result.metrics.get(
+            "time_to_recover_s", result.time_to_reconverge_s
+        ),
     )

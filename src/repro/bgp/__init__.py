@@ -11,6 +11,11 @@ Announcements can be restricted to a set of origination cities
 (:func:`~repro.bgp.propagation.propagate`'s ``origin_cities``), which is
 how unicast front-end prefixes, DC-scoped Standard-tier prefixes, and
 grooming by selective announcement are all expressed.
+
+Beyond the static stable state, :mod:`repro.bgp.dynamics` runs the same
+decision process event-by-event (announce, withdraw, link flaps, MRAI
+pacing), and :mod:`repro.bgp.scenarios` packages hijack and
+withdrawal-cascade scenarios on top of it; see ``docs/dynamics.md``.
 """
 
 from repro.bgp.routes import Route, RoutePref, NeighborRoute
@@ -31,6 +36,15 @@ from repro.bgp.ribdump import (
     path_statistics,
     route_visibility,
     valley_free_violations,
+)
+from repro.bgp.dynamics import DynamicsConfig, DynamicsEngine, OriginSpec
+from repro.bgp.scenarios import (
+    SCENARIOS,
+    ScenarioResult,
+    more_specific_hijack,
+    prefix_hijack,
+    run_scenario,
+    withdrawal_cascade,
 )
 
 __all__ = [
@@ -54,4 +68,13 @@ __all__ = [
     "path_statistics",
     "route_visibility",
     "valley_free_violations",
+    "DynamicsConfig",
+    "DynamicsEngine",
+    "OriginSpec",
+    "SCENARIOS",
+    "ScenarioResult",
+    "more_specific_hijack",
+    "prefix_hijack",
+    "run_scenario",
+    "withdrawal_cascade",
 ]

@@ -769,6 +769,59 @@ def cmd_trace_critical(args) -> None:
     print(report.render())
 
 
+#: Names accepted by ``repro-bgp scenario --name`` (kept literal so the
+#: parser builds without importing the bgp package; pinned against
+#: ``repro.bgp.SCENARIOS`` in tests/test_cli.py).
+SCENARIO_NAMES = ("hijack", "more-specific-hijack", "withdrawal-cascade")
+
+
+def cmd_scenario(args) -> None:
+    from pathlib import Path
+
+    from repro.availability import scenario_recovery
+    from repro.bgp import run_scenario
+    from repro.bgp.dynamics import DynamicsConfig
+    from repro.core import cdn_topology
+    from repro.topology import build_internet
+
+    internet = build_internet(cdn_topology(args.seed), fast=True)
+    config = DynamicsConfig(seed=args.seed, mrai_s=args.mrai_s)
+    result = run_scenario(
+        args.name, seed=args.seed, config=config, internet=internet
+    )
+    recovery = scenario_recovery(result, internet.graph)
+    if args.timeline_out:
+        Path(args.timeline_out).write_text(result.to_json(indent=2) + "\n")
+        logger.info("timeline written to %s", args.timeline_out)
+    rows = [
+        ["scenario", result.name],
+        ["seed", result.seed],
+        ["victim AS", result.victim],
+        ["attacker AS", "-" if result.attacker is None else result.attacker],
+        ["converged", "yes" if result.converged else "NO"],
+        ["setup convergence", f"{result.setup_converged_s:.3f} s"],
+        ["time to reconverge", f"{result.time_to_reconverge_s:.3f} s"],
+        ["timeline entries", len(result.timeline)],
+        ["affected ASes", recovery.affected_ases],
+        ["outage user-seconds", f"{recovery.outage_user_seconds:.3f}"],
+    ]
+    if result.recovered is not None:
+        rows.append(["recovered to baseline", "yes" if result.recovered else "NO"])
+        rows.append(["time to recover", f"{recovery.time_to_recover_s:.3f} s"])
+    for key in sorted(result.metrics):
+        rows.append([key, f"{result.metrics[key]:g}"])
+    print(format_table(["field", "value"], rows))
+    failed = (
+        not result.converged
+        or not result.timeline
+        or result.recovered is False
+        or not recovery.fully_recovered
+    )
+    if failed:
+        # Exit 1 (invariant violation), same taxonomy as lint/validate.
+        raise SystemExit(1)
+
+
 def cmd_lint(args) -> None:
     from pathlib import Path
 
@@ -827,6 +880,7 @@ COMMANDS: Dict[str, Callable] = {
     "catchments": cmd_catchments,
     "validate": cmd_validate,
     "ingest": cmd_ingest,
+    "scenario": cmd_scenario,
 }
 
 
@@ -903,6 +957,7 @@ def build_parser() -> argparse.ArgumentParser:
         "catchments": "Anycast catchment map (the operator's view)",
         "validate": "Self-check: verify every headline claim",
         "ingest": "Streaming service mode: session stream -> quantile sketches",
+        "scenario": "Event-driven routing scenario: hijack or withdrawal cascade",
         "trace": "Inspect recorded telemetry streams "
         "(trace summarize|profile|flame|critical FILE)",
         "lint": "Invariant lint: RNG/time purity, lane parity, taxonomy",
@@ -990,6 +1045,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="write the sustained sessions/sec measurement as JSON to FILE",
+    )
+    scenario_cmd = sub.choices["scenario"]
+    scenario_cmd.add_argument(
+        "--name",
+        required=True,
+        choices=SCENARIO_NAMES,
+        help="which routing scenario to run (see docs/dynamics.md)",
+    )
+    scenario_cmd.add_argument(
+        "--mrai-s",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="base MRAI interval per BGP session (default: 5.0)",
+    )
+    scenario_cmd.add_argument(
+        "--timeline-out",
+        default=None,
+        metavar="FILE",
+        help="write the full scenario result (summary + event timeline) "
+        "as canonical JSON to FILE",
     )
     report_cmd = sub.choices["report"]
     report_cmd.add_argument(

@@ -16,6 +16,11 @@ exercised on demand:
 * :mod:`repro.faults.chaos_smoke` — the end-to-end chaos scenario CI
   runs: a campaign under a seeded plan, SIGKILL'd mid-run, resumed,
   and checked byte-for-byte against an uninterrupted reference.
+* :mod:`repro.faults.routing` — the routing plane:
+  :class:`ScenarioFaultPlan`, a phased schedule of announce / withdraw
+  / link-flap events executed by the event-driven engine in
+  :mod:`repro.bgp.dynamics` (curated scenarios: hijack, more-specific
+  hijack, withdrawal cascade — see :mod:`repro.bgp.scenarios`).
 
 See ``docs/robustness.md`` for the fault model and resume semantics.
 """
@@ -34,6 +39,11 @@ from repro.faults.inject import (
     maybe_inject,
 )
 from repro.faults.domain import FrontEndDrain, ProbeLoss, VantagePointChurn
+from repro.faults.routing import (
+    ROUTE_EVENT_KINDS,
+    RouteEvent,
+    ScenarioFaultPlan,
+)
 
 __all__ = [
     "CORRUPT_KIND",
@@ -43,6 +53,9 @@ __all__ = [
     "FrontEndDrain",
     "InjectedFault",
     "ProbeLoss",
+    "ROUTE_EVENT_KINDS",
+    "RouteEvent",
+    "ScenarioFaultPlan",
     "VantagePointChurn",
     "apply_fault",
     "corrupt_file",

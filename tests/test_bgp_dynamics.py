@@ -1,0 +1,395 @@
+"""Event-driven BGP dynamics: determinism, convergence, session logic.
+
+The lane-agreement contract (dynamics quiescent state == static
+``propagate()``) is pinned on generator topologies in
+``test_lane_agreement.py``; here the hypothesis suite extends it to
+random graphs and random announce/withdraw schedules, and the unit
+tests cover the event-loop mechanics the static lane has no analogue
+for: MRAI pacing, link flaps, session epochs, and timeline recording.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import E1, E2, PROVIDER, T1A, TR1, TR2, build_toy_graph
+from repro.bgp import propagate
+from repro.bgp.dynamics import (
+    DEFAULT_PREFIX,
+    DynamicsConfig,
+    DynamicsEngine,
+)
+from repro.errors import RoutingError
+from repro.geo import WORLD_CITIES
+from repro.topology import ASGraph, ASRole, AutonomousSystem, Relationship
+from repro.topology.asgraph import link_between
+
+
+def run_to_quiescence(graph, origin, seed=0, **config_kwargs):
+    engine = DynamicsEngine(graph, DynamicsConfig(seed=seed, **config_kwargs))
+    engine.schedule_announce(0.0, origin)
+    engine.run()
+    return engine
+
+
+class TestConvergence:
+    def test_matches_static_propagate(self, toy_graph):
+        engine = run_to_quiescence(toy_graph, PROVIDER)
+        assert engine.converged
+        static = propagate(toy_graph, PROVIDER)
+        assert engine.routes() == static._routes
+
+    def test_routing_table_snapshot_bit_identical(self, toy_graph):
+        engine = run_to_quiescence(toy_graph, PROVIDER)
+        table = engine.routing_table()
+        static = propagate(toy_graph, PROVIDER)
+        assert table._routes == static._routes
+        assert table.origin == static.origin
+
+    def test_every_origin_agrees(self, toy_graph):
+        for asys in toy_graph.ases():
+            engine = run_to_quiescence(toy_graph, asys.asn)
+            static = propagate(toy_graph, asys.asn)
+            assert engine.routes() == static._routes, f"origin {asys.asn}"
+
+    def test_mrai_zero_still_agrees(self, toy_graph):
+        engine = run_to_quiescence(toy_graph, PROVIDER, mrai_s=0.0)
+        assert engine.routes() == propagate(toy_graph, PROVIDER)._routes
+
+    def test_withdraw_drains_everything(self, toy_graph):
+        engine = run_to_quiescence(toy_graph, PROVIDER)
+        engine.schedule_withdraw(engine.now + 1.0, PROVIDER)
+        engine.run()
+        assert engine.converged
+        assert engine.routes() == {}
+        assert engine.withdrawals_sent > 0
+
+    def test_run_until_gives_partial_state(self, toy_graph):
+        engine = DynamicsEngine(toy_graph, DynamicsConfig())
+        engine.schedule_announce(0.0, PROVIDER)
+        engine.run(until=0.0)
+        # Only the origin has decided; no UPDATE has been delivered yet.
+        assert set(engine.routes()) == {PROVIDER}
+        assert not engine.converged
+        engine.run()
+        assert engine.converged
+        assert engine.routes() == propagate(toy_graph, PROVIDER)._routes
+
+
+class TestLinkEvents:
+    def test_link_down_matches_effective_graph(self, toy_graph):
+        engine = run_to_quiescence(toy_graph, PROVIDER)
+        engine.schedule_link_down(engine.now + 1.0, PROVIDER, E1)
+        engine.run()
+        assert engine.converged
+        static = propagate(engine.effective_graph(), PROVIDER)
+        assert engine.routes() == static._routes
+
+    def test_link_up_restores_original_fixpoint(self, toy_graph):
+        engine = run_to_quiescence(toy_graph, PROVIDER)
+        baseline = engine.routes()
+        engine.schedule_link_down(engine.now + 1.0, PROVIDER, E1)
+        engine.run()
+        assert engine.routes() != baseline
+        engine.schedule_link_up(engine.now + 1.0, PROVIDER, E1)
+        engine.run()
+        assert engine.converged
+        assert engine.routes() == baseline
+
+    def test_flap_during_delivery_drops_ghost_updates(self, toy_graph):
+        """A flap faster than the link delay must not resurrect routes
+        from the pre-flap session (the epoch guard)."""
+        engine = DynamicsEngine(
+            toy_graph,
+            DynamicsConfig(link_delay_s=1.0, link_delay_jitter_s=0.0),
+        )
+        engine.schedule_announce(0.0, PROVIDER)
+        # Down and straight back up, inside the first UPDATE's flight.
+        engine.schedule_link_down(0.5, PROVIDER, T1A)
+        engine.schedule_link_up(0.6, PROVIDER, T1A)
+        engine.run()
+        assert engine.converged
+        assert engine.routes() == propagate(toy_graph, PROVIDER)._routes
+
+    def test_double_down_rejected(self, toy_graph):
+        engine = run_to_quiescence(toy_graph, PROVIDER)
+        engine.schedule_link_down(engine.now + 1.0, PROVIDER, E1)
+        engine.schedule_link_down(engine.now + 2.0, PROVIDER, E1)
+        with pytest.raises(RoutingError, match="already down"):
+            engine.run()
+
+    def test_up_without_down_rejected(self, toy_graph):
+        engine = DynamicsEngine(toy_graph, DynamicsConfig())
+        engine.schedule_link_up(0.0, PROVIDER, E1)
+        with pytest.raises(RoutingError, match="not down"):
+            engine.run()
+
+
+class TestMrai:
+    def test_pacing_defers_updates(self, toy_graph):
+        """With a long MRAI, churn between two origins is rate-limited;
+        deferrals must be observed and the end state still correct."""
+        engine = DynamicsEngine(toy_graph, DynamicsConfig(mrai_s=30.0))
+        engine.schedule_announce(0.0, PROVIDER)
+        engine.schedule_withdraw(2.0, PROVIDER)
+        engine.schedule_announce(4.0, PROVIDER)
+        engine.run()
+        assert engine.converged
+        assert engine.mrai_deferrals > 0
+        assert engine.routes() == propagate(toy_graph, PROVIDER)._routes
+
+    def test_withdrawals_bypass_mrai_by_default(self, toy_graph):
+        engine = DynamicsEngine(toy_graph, DynamicsConfig(mrai_s=30.0))
+        engine.schedule_announce(0.0, PROVIDER)
+        engine.schedule_withdraw(0.5, PROVIDER)
+        engine.run()
+        assert engine.converged
+        assert engine.routes() == {}
+
+    def test_wrate_mode_also_converges_empty(self, toy_graph):
+        engine = DynamicsEngine(
+            toy_graph, DynamicsConfig(mrai_s=30.0, withdraw_mrai=True)
+        )
+        engine.schedule_announce(0.0, PROVIDER)
+        engine.schedule_withdraw(0.5, PROVIDER)
+        engine.run()
+        assert engine.converged
+        assert engine.routes() == {}
+
+    def test_jitter_varies_by_session_not_by_time(self):
+        config = DynamicsConfig(seed=3, mrai_s=10.0, mrai_jitter=0.5)
+        engine = DynamicsEngine(build_toy_graph(), config)
+        one = engine._mrai_interval((PROVIDER, T1A))
+        other = engine._mrai_interval((PROVIDER, E1))
+        assert one == engine._mrai_interval((PROVIDER, T1A))
+        assert one != other
+        assert 5.0 <= one <= 10.0
+
+
+class TestDeterminism:
+    def test_timeline_bit_identical_across_reruns(self, toy_graph):
+        timelines = []
+        for _ in range(2):
+            engine = DynamicsEngine(
+                build_toy_graph(), DynamicsConfig(seed=7, record_messages=True)
+            )
+            engine.schedule_announce(0.0, PROVIDER)
+            engine.schedule_withdraw(3.0, PROVIDER)
+            engine.schedule_announce(6.0, E2)
+            engine.run()
+            timelines.append(json.dumps(engine.timeline, sort_keys=True))
+        assert timelines[0] == timelines[1]
+
+    def test_seed_changes_timings_not_outcome(self, toy_graph):
+        a = run_to_quiescence(build_toy_graph(), PROVIDER, seed=0)
+        b = run_to_quiescence(build_toy_graph(), PROVIDER, seed=1)
+        assert a.routes() == b.routes()
+        times_a = [e["t"] for e in a.timeline]
+        times_b = [e["t"] for e in b.timeline]
+        assert times_a != times_b
+
+
+class TestHijackState:
+    def test_two_origins_split_the_graph(self, toy_graph):
+        engine = run_to_quiescence(toy_graph, PROVIDER)
+        engine.schedule_announce(engine.now + 1.0, E2)
+        engine.run()
+        assert engine.converged
+        assert engine.origins() == (PROVIDER, E2)
+        routes = engine.routes()
+        origins = {route.origin for route in routes.values()}
+        assert origins == {PROVIDER, E2}
+        # E2's own decision is its ORIGIN route; its transit follows.
+        assert routes[E2].origin == E2
+        assert routes[TR2].origin == E2
+
+    def test_routing_table_rejects_contested_prefix(self, toy_graph):
+        engine = run_to_quiescence(toy_graph, PROVIDER)
+        engine.schedule_announce(engine.now + 1.0, E2)
+        engine.run()
+        with pytest.raises(RoutingError, match="2 active origins"):
+            engine.routing_table()
+
+
+class TestValidation:
+    def test_schedule_in_past_rejected(self, toy_graph):
+        engine = run_to_quiescence(toy_graph, PROVIDER)
+        with pytest.raises(RoutingError, match="in the past"):
+            engine.schedule_announce(engine.now - 1.0, E1)
+
+    def test_unknown_origin_rejected(self, toy_graph):
+        engine = DynamicsEngine(toy_graph, DynamicsConfig())
+        with pytest.raises(RoutingError, match="not in graph"):
+            engine.schedule_announce(0.0, 999999)
+
+    def test_withdraw_without_announce_rejected(self, toy_graph):
+        engine = DynamicsEngine(toy_graph, DynamicsConfig())
+        engine.schedule_withdraw(0.0, PROVIDER)
+        with pytest.raises(RoutingError, match="does not originate"):
+            engine.run()
+
+    def test_unknown_link_rejected(self, toy_graph):
+        engine = DynamicsEngine(toy_graph, DynamicsConfig())
+        with pytest.raises(RoutingError, match="no link"):
+            engine.schedule_link_down(0.0, E1, E2)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(RoutingError):
+            DynamicsConfig(mrai_s=-1.0)
+        with pytest.raises(RoutingError):
+            DynamicsConfig(link_delay_s=0.0)
+        with pytest.raises(RoutingError):
+            DynamicsConfig(mrai_jitter=1.5)
+        with pytest.raises(RoutingError):
+            DynamicsConfig(max_events=0)
+
+    def test_max_events_guard_fires(self, toy_graph):
+        engine = DynamicsEngine(toy_graph, DynamicsConfig(max_events=3))
+        engine.schedule_announce(0.0, PROVIDER)
+        with pytest.raises(RoutingError, match="no quiescence"):
+            engine.run()
+
+
+class TestGrooming:
+    def test_grooming_matches_static_lane(self, toy_graph):
+        neighbors = sorted(toy_graph.neighbors(PROVIDER))
+        prepends = {neighbors[0]: 2}
+        suppressed = frozenset({neighbors[-1]})
+        engine = DynamicsEngine(toy_graph, DynamicsConfig())
+        engine.schedule_announce(
+            0.0, PROVIDER, prepends=prepends, suppressed=suppressed
+        )
+        engine.run()
+        static = propagate(
+            toy_graph, PROVIDER, prepends=prepends, suppressed=suppressed
+        )
+        assert engine.routes() == static._routes
+
+    def test_bad_grooming_rejected_at_schedule_time(self, toy_graph):
+        engine = DynamicsEngine(toy_graph, DynamicsConfig())
+        with pytest.raises(RoutingError):
+            engine.schedule_announce(0.0, PROVIDER, prepends={E2: 1})
+
+
+# --- the hypothesis suite ------------------------------------------------
+
+
+@st.composite
+def world_and_schedule(draw):
+    """A random valley-free graph plus a random announce/withdraw
+    schedule that ends with exactly one active origin."""
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**31 - 1)))
+    n_top = draw(st.integers(min_value=1, max_value=3))
+    n_mid = draw(st.integers(min_value=1, max_value=4))
+    n_leaf = draw(st.integers(min_value=1, max_value=6))
+    cities = list(WORLD_CITIES[:20])
+    graph = ASGraph()
+    tops = list(range(10, 10 + n_top))
+    mids = list(range(100, 100 + n_mid))
+    leaves = list(range(1000, 1000 + n_leaf))
+
+    def city_sample(k):
+        idx = rng.choice(len(cities), size=min(k, len(cities)), replace=False)
+        return tuple(cities[i] for i in sorted(idx))
+
+    for asn in tops:
+        graph.add_as(AutonomousSystem(asn, f"t{asn}", ASRole.TIER1, city_sample(4)))
+    for asn in mids:
+        graph.add_as(AutonomousSystem(asn, f"m{asn}", ASRole.TRANSIT, city_sample(3)))
+    for asn in leaves:
+        graph.add_as(AutonomousSystem(asn, f"l{asn}", ASRole.EYEBALL, city_sample(2)))
+    for i, x in enumerate(tops):
+        for y in tops[i + 1 :]:
+            graph.add_link(link_between(x, y, Relationship.PEER, city_sample(2)))
+    for asn in mids:
+        ups = rng.choice(tops, size=min(len(tops), int(rng.integers(1, 3))), replace=False)
+        for up in sorted(int(u) for u in ups):
+            graph.add_link(
+                link_between(asn, up, Relationship.CUSTOMER, city_sample(1), customer_asn=asn)
+            )
+    for asn in leaves:
+        pool = mids if mids else tops
+        ups = rng.choice(pool, size=min(len(pool), int(rng.integers(1, 3))), replace=False)
+        for up in sorted(int(u) for u in ups):
+            graph.add_link(
+                link_between(asn, up, Relationship.CUSTOMER, city_sample(1), customer_asn=asn)
+            )
+
+    asns = tops + mids + leaves
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    n_events = draw(st.integers(min_value=1, max_value=6))
+    active: set = set()
+    schedule = []
+    t = 0.0
+    for _ in range(n_events):
+        t += float(rng.uniform(0.1, 3.0))
+        if active and rng.random() < 0.4:
+            asn = sorted(active)[int(rng.integers(len(active)))]
+            schedule.append(("withdraw", round(t, 3), asn))
+            active.discard(asn)
+        else:
+            asn = asns[int(rng.integers(len(asns)))]
+            if asn in active:
+                continue
+            schedule.append(("announce", round(t, 3), asn))
+            active.add(asn)
+    survivors = sorted(active)
+    if not survivors:
+        t += 1.0
+        schedule.append(("announce", round(t, 3), asns[0]))
+        survivors = [asns[0]]
+    for extra in survivors[1:]:
+        t += 1.0
+        schedule.append(("withdraw", round(t, 3), extra))
+    return graph, schedule, survivors[0], seed
+
+
+def _run_schedule(graph, schedule, seed):
+    engine = DynamicsEngine(graph, DynamicsConfig(seed=seed))
+    for kind, at_s, asn in schedule:
+        if kind == "announce":
+            engine.schedule_announce(at_s, asn)
+        else:
+            engine.schedule_withdraw(at_s, asn)
+    engine.run()
+    return engine
+
+
+@given(world_and_schedule())
+@settings(max_examples=40, deadline=None)
+def test_random_schedule_ends_at_static_fixpoint(world):
+    """Any quiescent announce/withdraw history with one surviving
+    origin lands on exactly the static ``propagate()`` state, and the
+    full event timeline is bit-identical across same-seed reruns."""
+    graph, schedule, origin, seed = world
+    graph.validate()
+    engine = _run_schedule(graph, schedule, seed)
+    assert engine.converged
+    static = propagate(graph, origin)
+    assert engine.routes() == static._routes
+    assert engine.routing_table()._routes == static._routes
+    rerun = _run_schedule(graph, schedule, seed)
+    assert json.dumps(engine.timeline, sort_keys=True) == json.dumps(
+        rerun.timeline, sort_keys=True
+    )
+
+
+@given(world_and_schedule())
+@settings(max_examples=15, deadline=None)
+def test_random_schedule_then_withdraw_all_drains(world):
+    graph, schedule, origin, seed = world
+    engine = _run_schedule(graph, schedule, seed)
+    engine.schedule_withdraw(engine.now + 1.0, origin)
+    engine.run()
+    assert engine.converged
+    assert engine.routes() == {}
+    assert engine.origins() == ()
+
+
+def test_default_prefix_is_stable():
+    """Scenario artifacts embed the prefix key; keep it pinned."""
+    assert DEFAULT_PREFIX == "prefix"

@@ -1,0 +1,198 @@
+"""Scenario library and routing fault plans: hijacks, cascades, recovery."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from conftest import E2, PROVIDER, build_toy_graph
+from repro.availability import scenario_recovery
+from repro.bgp import (
+    SCENARIOS,
+    propagate,
+    prefix_hijack,
+    more_specific_hijack,
+    run_scenario,
+    withdrawal_cascade,
+)
+from repro.bgp.dynamics import DynamicsConfig, DynamicsEngine
+from repro.bgp.scenarios import (
+    MORE_SPECIFIC_PREFIX,
+    VICTIM_PREFIX,
+    pick_attacker,
+)
+from repro.errors import FaultError, RoutingError
+from repro.faults import ROUTE_EVENT_KINDS, RouteEvent, ScenarioFaultPlan
+
+
+class TestRouteEvent:
+    def test_kinds_pinned(self):
+        assert ROUTE_EVENT_KINDS == (
+            "announce",
+            "withdraw",
+            "link_down",
+            "link_up",
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError, match="unknown route event kind"):
+            RouteEvent("reboot", 0.0, PROVIDER)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(FaultError, match="non-negative"):
+            RouteEvent("announce", -1.0, PROVIDER)
+
+    def test_link_event_needs_peer(self):
+        with pytest.raises(FaultError, match="peer endpoint"):
+            RouteEvent("link_down", 0.0, PROVIDER)
+
+
+class TestScenarioFaultPlan:
+    def test_empty_plan_rejected(self):
+        with pytest.raises(FaultError, match="non-empty phase"):
+            ScenarioFaultPlan(name="x", phases=())
+        with pytest.raises(FaultError, match="non-empty phase"):
+            ScenarioFaultPlan(name="x", phases=((),))
+
+    def test_apply_runs_phases_to_quiescence(self, toy_graph):
+        neighbor = sorted(toy_graph.neighbors(PROVIDER))[0]
+        plan = ScenarioFaultPlan(
+            name="flap",
+            phases=(
+                (RouteEvent("announce", 0.0, PROVIDER),),
+                (
+                    RouteEvent("link_down", 1.0, PROVIDER, peer=neighbor),
+                    RouteEvent("link_up", 4.0, PROVIDER, peer=neighbor),
+                ),
+            ),
+        )
+        engine = DynamicsEngine(toy_graph, DynamicsConfig())
+        boundaries = plan.apply(engine)
+        assert len(boundaries) == 2
+        assert engine.converged
+        # Flap healed: back to the full-graph fixpoint.
+        assert engine.routes() == propagate(toy_graph, PROVIDER)._routes
+        inject, quiesce = boundaries[1]
+        assert quiesce >= inject
+
+    def test_describe_counts_events(self):
+        plan = ScenarioFaultPlan(
+            name="x",
+            phases=(
+                (
+                    RouteEvent("announce", 0.0, PROVIDER),
+                    RouteEvent("withdraw", 1.0, PROVIDER),
+                ),
+            ),
+        )
+        text = plan.describe()
+        assert "announce=1" in text and "withdraw=1" in text
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return build_toy_graph()
+
+
+class TestPrefixHijack:
+    def test_attacker_captures_some_catchment(self, toy):
+        result = prefix_hijack(toy, PROVIDER, E2)
+        assert result.converged
+        assert result.name == "hijack"
+        assert result.metrics["captured_ases"] >= 1
+        assert 0 < result.metrics["captured_fraction"] <= 1
+        assert result.time_to_reconverge_s > 0
+        assert result.timeline
+
+    def test_same_attacker_and_victim_rejected(self, toy):
+        with pytest.raises(RoutingError, match="must differ"):
+            prefix_hijack(toy, PROVIDER, PROVIDER)
+
+
+class TestMoreSpecificHijack:
+    def test_specific_prefix_wins_by_lpm(self, toy):
+        result = more_specific_hijack(toy, PROVIDER, E2)
+        assert result.converged
+        # Every AS reached by the /25 counts as captured.
+        assert (
+            result.metrics["captured_ases"]
+            == result.metrics["specific_reach"] - 1
+        )
+        assert result.metrics["covering_reach"] == len(toy)
+
+
+class TestWithdrawalCascade:
+    def test_recovers_baseline_bit_identical(self, toy):
+        result = withdrawal_cascade(toy, PROVIDER)
+        assert result.converged
+        assert result.recovered is True
+        assert result.metrics["stranded_routes"] == 0
+        assert result.metrics["cascade_s"] > 0
+        assert result.metrics["time_to_recover_s"] > 0
+
+    def test_recovery_metrics_integrate_outage(self, toy):
+        result = withdrawal_cascade(toy, PROVIDER)
+        recovery = scenario_recovery(result, toy)
+        assert recovery.fully_recovered
+        assert recovery.affected_ases == len(toy)
+        assert recovery.unrecovered_ases == 0
+        assert recovery.max_outage_s > 0
+        assert recovery.outage_user_seconds > 0
+        assert recovery.time_to_recover_s == pytest.approx(
+            result.metrics["time_to_recover_s"]
+        )
+
+
+class TestRegistry:
+    def test_names_pinned(self):
+        """The CLI hardcodes these (SCENARIO_NAMES) — keep in sync."""
+        assert sorted(SCENARIOS) == [
+            "hijack",
+            "more-specific-hijack",
+            "withdrawal-cascade",
+        ]
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(RoutingError, match="unknown scenario"):
+            run_scenario("nope")
+
+    def test_prefixes_distinct(self):
+        assert VICTIM_PREFIX != MORE_SPECIFIC_PREFIX
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_runs_deterministically_on_topology(self, name):
+        """One (name, seed) pair fixes the full JSON artifact."""
+        first = run_scenario(name, seed=1)
+        again = run_scenario(name, seed=1)
+        assert first.converged
+        assert first.timeline
+        assert first.to_json() == again.to_json()
+        if name == "withdrawal-cascade":
+            assert first.recovered is True
+
+    def test_seed_changes_the_timeline(self):
+        a = run_scenario("hijack", seed=0)
+        b = run_scenario("hijack", seed=2)
+        assert a.to_json() != b.to_json()
+
+
+class TestPickAttacker:
+    def test_never_adjacent_to_victim(self, toy):
+        attacker = pick_attacker(toy, PROVIDER, seed=0)
+        assert attacker != PROVIDER
+        assert not toy.has_link(PROVIDER, attacker)
+
+    def test_deterministic_per_seed(self, toy):
+        assert pick_attacker(toy, PROVIDER, 5) == pick_attacker(toy, PROVIDER, 5)
+
+
+class TestResultSerialization:
+    def test_summary_round_trips_as_json(self, toy):
+        result = prefix_hijack(toy, PROVIDER, E2)
+        payload = json.loads(result.to_json())
+        assert payload["name"] == "hijack"
+        assert payload["victim"] == PROVIDER
+        assert payload["attacker"] == E2
+        assert payload["timeline_entries"] == len(payload["timeline"])
+        assert payload["metrics"]["captured_ases"] >= 1

@@ -63,6 +63,58 @@ class TestCommands:
         assert len(text.splitlines()) > 10
 
 
+class TestScenario:
+    def test_flags_parsed(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["scenario", "--name", "hijack", "--mrai-s", "2.5",
+             "--timeline-out", "t.json", "--seed", "3"]
+        )
+        assert args.name == "hijack"
+        assert args.mrai_s == 2.5
+        assert args.timeline_out == "t.json"
+        assert args.seed == 3
+
+    def test_name_required(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])
+
+    def test_unknown_name_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "--name", "nope"])
+
+    def test_choices_match_registry(self):
+        from repro.bgp import SCENARIOS
+        from repro.cli import SCENARIO_NAMES
+
+        assert sorted(SCENARIO_NAMES) == sorted(SCENARIOS)
+
+    def test_hijack_runs_and_writes_timeline(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "hijack.json"
+        assert main(
+            ["scenario", "--name", "hijack", "--timeline-out", str(out)]
+        ) == 0
+        stdout = capsys.readouterr().out
+        assert "time to reconverge" in stdout
+        assert "captured_ases" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["converged"] is True
+        assert payload["timeline"]
+        assert payload["time_to_reconverge_s"] > 0
+
+    def test_withdrawal_cascade_reports_recovery(self, capsys):
+        assert main(["scenario", "--name", "withdrawal-cascade"]) == 0
+        stdout = capsys.readouterr().out
+        assert "recovered to baseline" in stdout
+        assert "time to recover" in stdout
+
+    def test_list_mentions_scenario(self, capsys):
+        assert main(["list"]) == 0
+        assert "scenario" in capsys.readouterr().out
+
+
 class TestIngest:
     def test_flags_parsed(self):
         parser = build_parser()

@@ -401,3 +401,59 @@ class TestTopologyLanes:
         scalar = build_internet(cfg, fast=False)
         fast = build_internet(cfg, fast=True)
         assert internet_to_dict(scalar) == internet_to_dict(fast)
+
+
+class TestBgpDynamicsLanes:
+    """LANE001 for the event-driven engine: once the event queue drains
+    after a lone announcement, the dynamics end-state is *bit-identical*
+    to static ``propagate()`` on the same graph — the event-driven
+    fixpoint and the three-phase construction are the same unique
+    stable state.  Random schedules are covered by
+    ``tests/test_bgp_dynamics.py``'s hypothesis suite."""
+
+    def test_dynamics_end_state_bit_identical(self, small_internet):
+        from repro.bgp.dynamics import DynamicsConfig, DynamicsEngine
+
+        graph = small_internet.graph
+        asns = [asys.asn for asys in graph.ases()]
+        for origin in asns[:: max(1, len(asns) // 8)]:
+            engine = DynamicsEngine(graph, DynamicsConfig(seed=0))
+            engine.schedule_announce(0.0, origin)
+            engine.run()
+            assert engine.converged
+            static = propagate(graph, origin, fast=True)
+            assert engine.routes() == static._routes, f"origin {origin}"
+            assert engine.routing_table()._routes == static._routes
+
+    def test_dynamics_grooming_bit_identical(self, small_internet):
+        from repro.bgp.dynamics import DynamicsConfig, DynamicsEngine
+
+        graph = small_internet.graph
+        origin = small_internet.provider_asn
+        neighbors = sorted(graph.neighbors(origin))
+        kwargs = dict(
+            prepends={neighbors[0]: 2, neighbors[-1]: 1},
+            suppressed=frozenset({neighbors[1]}),
+        )
+        engine = DynamicsEngine(graph, DynamicsConfig(seed=0))
+        engine.schedule_announce(0.0, origin, **kwargs)
+        engine.run()
+        static = propagate(graph, origin, fast=True, **kwargs)
+        assert engine.routes() == static._routes
+
+    def test_dynamics_after_failure_matches_static_on_effective_graph(
+        self, small_internet
+    ):
+        from repro.bgp.dynamics import DynamicsConfig, DynamicsEngine
+
+        graph = small_internet.graph
+        origin = small_internet.provider_asn
+        neighbor = sorted(graph.neighbors(origin))[0]
+        engine = DynamicsEngine(graph, DynamicsConfig(seed=1))
+        engine.schedule_announce(0.0, origin)
+        engine.run()
+        engine.schedule_link_down(engine.now + 1.0, origin, neighbor)
+        engine.run()
+        assert engine.converged
+        static = propagate(engine.effective_graph(), origin, fast=True)
+        assert engine.routes() == static._routes

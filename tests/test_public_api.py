@@ -41,6 +41,10 @@ PUBLIC_API = {
         "dump_rib",
         "path_statistics",
         "valley_free_violations",
+        "DynamicsEngine",
+        "DynamicsConfig",
+        "run_scenario",
+        "ScenarioResult",
     ],
     "repro.netmodel": [
         "trace",
@@ -93,6 +97,10 @@ PUBLIC_API = {
         "fail_pop_site",
         "anycast_vs_dns_failover",
         "peering_failure_study",
+        "restore_link",
+        "transient_pop_outage",
+        "transient_provider_link_outage",
+        "scenario_recovery",
     ],
     "repro.analysis": [
         "Cdf",
