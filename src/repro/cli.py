@@ -822,6 +822,68 @@ def cmd_scenario(args) -> None:
         raise SystemExit(1)
 
 
+def _git_changed_files(root) -> set[str]:
+    """Repo-root-relative POSIX paths of files changed vs HEAD.
+
+    Union of tracked modifications (``git diff --name-only HEAD``) and
+    untracked files (``git ls-files --others --exclude-standard``),
+    remapped from the git toplevel onto *root*.
+    """
+    import subprocess
+    from pathlib import Path
+
+    def run(*argv: str) -> list[str]:
+        proc = subprocess.run(
+            ["git", "-C", str(root), *argv],
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            raise SystemExit(
+                "lint: --changed requires a git checkout "
+                f"(git {argv[0]} failed: {proc.stderr.strip()})"
+            )
+        return [line for line in proc.stdout.splitlines() if line.strip()]
+
+    toplevel = Path(run("rev-parse", "--show-toplevel")[0])
+    names = run("diff", "--name-only", "HEAD") + run(
+        "ls-files", "--others", "--exclude-standard"
+    )
+    resolved_root = Path(root).resolve()
+    changed = set()
+    for name in names:
+        absolute = (toplevel / name).resolve()
+        try:
+            changed.add(absolute.relative_to(resolved_root).as_posix())
+        except ValueError:
+            continue  # changed outside --root; not lintable here
+    return changed
+
+
+def _cmd_lint_graph(args, root, paths) -> None:
+    """``repro-bgp lint graph``: export the call graph, no findings."""
+    from pathlib import Path
+
+    from repro.lint import build_graph
+
+    graph = build_graph(paths, root=root)
+    payload = graph.to_json()
+    if args.out:
+        Path(args.out).write_text(payload, encoding="utf-8")
+        document = graph.to_document()
+        counts = document["counts"]
+        print(
+            f"wrote {args.out}: {counts['functions']} function(s), "
+            f"{counts['classes']} class(es), {counts['edges']} edge(s) "
+            f"over {counts['files']} file(s)"
+        )
+    else:
+        print(payload, end="")
+    if args.dot:
+        Path(args.dot).write_text(graph.to_dot(), encoding="utf-8")
+        print(f"wrote {args.dot}")
+
+
 def cmd_lint(args) -> None:
     from pathlib import Path
 
@@ -830,16 +892,25 @@ def cmd_lint(args) -> None:
         lint_paths,
         load_baseline,
         render_json,
+        render_sarif,
         render_text,
         split_baselined,
         write_baseline,
     )
 
     root = Path(args.root) if getattr(args, "root", None) else Path.cwd()
-    paths = [Path(p) for p in args.paths] if args.paths else [root / "src"]
+    raw_paths = list(args.paths)
+    graph_mode = bool(raw_paths) and raw_paths[0] == "graph"
+    if graph_mode:
+        raw_paths = raw_paths[1:]
+    paths = [Path(p) for p in raw_paths] if raw_paths else [root / "src"]
     missing = [p for p in paths if not p.exists()]
     if missing:
         raise SystemExit(f"lint: no such path: {', '.join(map(str, missing))}")
+    if graph_mode:
+        _cmd_lint_graph(args, root, paths)
+        return
+    changed = _git_changed_files(root) if args.changed else None
     findings = lint_paths(paths, root=root)
     baseline_path = (
         Path(args.baseline) if args.baseline else root / "lint-baseline.json"
@@ -857,8 +928,15 @@ def cmd_lint(args) -> None:
     elif args.baseline:
         raise SystemExit(f"lint: baseline {baseline_path} does not exist")
     fresh, grandfathered = split_baselined(findings, baseline)
-    renderer = render_json if args.format == "json" else render_text
-    print(renderer(fresh, baselined=len(grandfathered)))
+    if changed is not None:
+        # Whole-tree rules already ran (graph context intact); only the
+        # *reporting* narrows to files touched since HEAD.
+        fresh = [f for f in fresh if f.path in changed]
+    if args.format == "sarif":
+        print(render_sarif(fresh), end="")
+    else:
+        renderer = render_json if args.format == "json" else render_text
+        print(renderer(fresh, baselined=len(grandfathered)))
     if fresh:
         # Exit 1, distinct from argparse usage errors (2) and degraded
         # campaigns (3): "the tree violates an invariant".
@@ -1163,13 +1241,38 @@ def build_parser() -> argparse.ArgumentParser:
         "paths",
         nargs="*",
         metavar="PATH",
-        help="files or directories to lint (default: <root>/src)",
+        help="files or directories to lint (default: <root>/src); the "
+        "reserved first token 'graph' switches to call-graph export "
+        "(see --out/--dot)",
     )
     lint_cmd.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text); sarif emits a SARIF 2.1.0 "
+        "document for CI annotation surfaces",
+    )
+    lint_cmd.add_argument(
+        "--changed",
+        action="store_true",
+        default=False,
+        help="report only findings in files changed vs git HEAD "
+        "(including untracked); rules still see the whole tree, so "
+        "cross-module findings in changed files are not missed",
+    )
+    lint_cmd.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="with 'lint graph': write the canonical byte-stable graph "
+        "JSON here (default: stdout)",
+    )
+    lint_cmd.add_argument(
+        "--dot",
+        default=None,
+        metavar="FILE",
+        help="with 'lint graph': also write a Graphviz rendering of the "
+        "internal call edges",
     )
     lint_cmd.add_argument(
         "--baseline",

@@ -235,7 +235,7 @@ def plan_measurement(
 
 
 def _synthesize_scalar(
-    pairs: Sequence[PairKey],
+    plan: MeasurementPlan,
     times: np.ndarray,
     sessions: np.ndarray,
     cfg: MeasurementConfig,
@@ -245,7 +245,13 @@ def _synthesize_scalar(
     medians: np.ndarray,
     ci_half: np.ndarray,
 ) -> None:
-    """Reference lane: the original per-pair, per-route Python loop."""
+    """Reference lane: the original per-pair, per-route Python loop.
+
+    Takes the full plan like its siblings (PAR001: the dispatcher
+    forwards one argument tuple to whichever lane is selected, so the
+    shared signature prefix must agree across lanes).
+    """
+    pairs = plan.pairs
     lo, hi = cfg.last_mile_ms_range
     for i, pair in enumerate(pairs):
         prefix = pair.prefix
@@ -496,7 +502,7 @@ def synthesize_dataset(
     else:
         lane = _synthesize_fast if fast else _synthesize_scalar
         lane(
-            plan if fast else pairs,
+            plan,
             times,
             sessions,
             cfg,

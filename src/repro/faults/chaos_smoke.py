@@ -47,7 +47,10 @@ import sys
 import tempfile
 import time
 from pathlib import Path
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    import numpy as np
 
 from repro.bgp import propagation_shared_inputs
 from repro.errors import CacheCorruptionError
@@ -120,7 +123,7 @@ def shm_scenario_specs() -> List[JobSpec]:
     ]
 
 
-def _shm_arrays():
+def _shm_arrays() -> Mapping[str, "np.ndarray"]:
     """The deterministic shared-input arrays for the phase-5 campaign.
 
     Built identically by the victim, the resume, and the monitoring

@@ -16,9 +16,12 @@ withdrawal "origin outage" cascade) in :mod:`repro.bgp.scenarios`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.errors import FaultError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.bgp.dynamics import DynamicsEngine
 
 #: Event kinds a routing fault plan may schedule, mirroring the
 #: external API of :class:`repro.bgp.dynamics.DynamicsEngine`.
@@ -83,7 +86,7 @@ class ScenarioFaultPlan:
         """All events across phases, in schedule order."""
         return tuple(e for phase in self.phases for e in phase)
 
-    def apply(self, engine) -> List[Tuple[float, float]]:
+    def apply(self, engine: DynamicsEngine) -> List[Tuple[float, float]]:
         """Run every phase on a :class:`~repro.bgp.dynamics.DynamicsEngine`.
 
         Returns one ``(inject_s, quiesce_s)`` pair per phase: the engine

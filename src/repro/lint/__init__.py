@@ -15,14 +15,22 @@ configuration checkers rather than after-the-fact audits:
   (RNG001/RNG002), wall-clock purity (TIME001), lane-parity coverage
   (LANE001), crash-call containment (CRASH001), exception taxonomy
   (EXC001), serialization safety (SER001), static telemetry names
-  (OBS001).
-* :mod:`repro.lint.engine` — :func:`lint_paths`, the driver.
+  (OBS001), plus the whole-program graph rules: seed taint (DET001),
+  worker purity (FORK001), shm discipline (SHM001), and lane-signature
+  drift (PAR001).
+* :mod:`repro.lint.graph` — the repo-wide symbol table and call graph
+  (:func:`build_graph`, :class:`CallGraph`, :class:`GraphRule`) the
+  cross-module rules traverse.
+* :mod:`repro.lint.engine` — :func:`lint_paths`, the driver; also the
+  stale-waiver check (``SUPPRESS001``).
+* :mod:`repro.lint.sarif` — SARIF 2.1.0 rendering for CI annotations.
 * :mod:`repro.lint.baseline` — grandfathered findings, committed as
   ``lint-baseline.json``.
 
-Run it as ``repro-bgp lint [--format json] [--baseline FILE]``; see
-``docs/static-analysis.md`` for each rule's rationale and the
-suppression / baseline workflow.
+Run it as ``repro-bgp lint [--format json|sarif] [--baseline FILE]
+[--changed]`` or export the graph with ``repro-bgp lint graph --out
+graph.json``; see ``docs/static-analysis.md`` for each rule's
+rationale and the suppression / baseline workflow.
 """
 
 from repro.lint.baseline import (
@@ -32,7 +40,12 @@ from repro.lint.baseline import (
     write_baseline,
 )
 from repro.lint.checks import ALL_RULE_CLASSES, build_rules
-from repro.lint.engine import LintConfig, SYNTAX_RULE_ID, lint_paths
+from repro.lint.engine import (
+    LintConfig,
+    SUPPRESS_RULE_ID,
+    SYNTAX_RULE_ID,
+    lint_paths,
+)
 from repro.lint.findings import (
     ERROR,
     SEVERITIES,
@@ -41,24 +54,31 @@ from repro.lint.findings import (
     render_json,
     render_text,
 )
+from repro.lint.graph import CallGraph, GraphRule, build_graph
 from repro.lint.rules import FileContext, ImportMap, Rule
+from repro.lint.sarif import render_sarif
 
 __all__ = [
     "ALL_RULE_CLASSES",
     "BaselineError",
+    "CallGraph",
     "ERROR",
     "FileContext",
     "Finding",
+    "GraphRule",
     "ImportMap",
     "LintConfig",
     "Rule",
     "SEVERITIES",
+    "SUPPRESS_RULE_ID",
     "SYNTAX_RULE_ID",
     "WARNING",
+    "build_graph",
     "build_rules",
     "lint_paths",
     "load_baseline",
     "render_json",
+    "render_sarif",
     "render_text",
     "split_baselined",
     "write_baseline",

@@ -1,0 +1,306 @@
+"""SHM001 — shared-memory borrowers never write.
+
+``repro.runner.shm`` has a one-owner contract: the orchestrator
+creates a :class:`SharedInputSet` and is the only writer; every worker
+*attaches* and gets numpy views deliberately marked read-only
+(``view.flags.writeable = False``).  A worker that flips the flag back
+— or mutates through any other door — corrupts inputs for every
+concurrently running job and silently invalidates the content digests
+the spec hash was built from.
+
+The runtime flag catches the direct ``arr[i] = v`` case with a crash
+*at job time*.  SHM001 catches it at lint time, and also the doors the
+flag cannot see until too late: re-enabling writability
+(``arr.flags.writeable = True`` / ``arr.setflags(write=True)``),
+in-place mutator methods (``fill``/``sort``/``resize``/...), and
+``np.copyto(arr, ...)``.
+
+Borrow tracking is per function and name-based: a dict returned by
+``attach_shared(...)`` (or received as the ``shared`` parameter of a
+spec-able payload's method — exactly what :meth:`JobSpec.build`
+passes) is a *borrow dict*; names bound from its subscripts,
+``.get``, or ``.values()``/``.items()`` iteration are *borrowed
+arrays*.  Any write through either is a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.graph import (
+    CallGraph,
+    GraphRule,
+    _defines_run,
+    _is_dataclass_decorated,
+)
+from repro.lint.rules import FileContext
+
+#: The canonical borrow source.
+ATTACH = "repro.runner.shm.attach_shared"
+
+#: ``np.copyto(dst, src)`` writes into its first argument.
+COPYTO = "numpy.copyto"
+
+#: ndarray methods that mutate in place.
+MUTATORS: Set[str] = {
+    "fill",
+    "sort",
+    "resize",
+    "setflags",
+    "put",
+    "partition",
+    "itemset",
+    "byteswap",
+}
+
+
+def _target_names(target: ast.expr) -> Iterator[ast.Name]:
+    """Bare names bound by an assignment target (tuples unpacked)."""
+    if isinstance(target, ast.Name):
+        yield target
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+
+
+class _FunctionScan:
+    """Borrow tracking and write detection for one function body."""
+
+    def __init__(
+        self,
+        ctx: FileContext,
+        func: ast.AST,
+        shared_param: bool,
+    ) -> None:
+        self.ctx = ctx
+        self.func = func
+        self.borrow_dicts: Set[str] = {"shared"} if shared_param else set()
+        self.borrowed: Set[str] = set()
+
+    def _own_nodes(self) -> List[ast.AST]:
+        """In-order nodes of the function, excluding nested defs."""
+        out: List[ast.AST] = []
+        stack: List[ast.AST] = list(
+            reversed(list(ast.iter_child_nodes(self.func)))
+        )
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.extend(reversed(list(ast.iter_child_nodes(node))))
+        return out
+
+    def _is_attach_call(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and self.ctx.imports.resolve(node.func) == ATTACH
+        )
+
+    def _borrow_dict_expr(self, node: ast.AST) -> bool:
+        """True for a borrow-dict name or a direct ``attach_shared()``."""
+        if isinstance(node, ast.Name):
+            return node.id in self.borrow_dicts
+        return self._is_attach_call(node)
+
+    def _borrow_subscript(self, node: ast.AST) -> bool:
+        """True for ``<borrow_dict>[...]`` / ``.get(...)`` reads.
+
+        The dict side accepts a chained ``attach_shared(spec)["x"]`` as
+        well as a bound name.
+        """
+        if isinstance(node, ast.Subscript) and self._borrow_dict_expr(
+            node.value
+        ):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and self._borrow_dict_expr(node.func.value)
+        )
+
+    def collect_borrows(self) -> None:
+        """Fixpoint over assignments: find borrow dicts, then arrays."""
+        nodes = self._own_nodes()
+        changed = True
+        while changed:
+            changed = False
+            for node in nodes:
+                if isinstance(node, ast.Assign):
+                    names = [
+                        n.id
+                        for target in node.targets
+                        for n in _target_names(target)
+                    ]
+                    if self._is_attach_call(node.value):
+                        if not set(names) <= self.borrow_dicts:
+                            self.borrow_dicts.update(names)
+                            changed = True
+                    elif self._borrow_subscript(node.value):
+                        if not set(names) <= self.borrowed:
+                            self.borrowed.update(names)
+                            changed = True
+                elif isinstance(node, ast.For):
+                    call = node.iter
+                    if (
+                        isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Attribute)
+                        and call.func.attr in ("values", "items")
+                        and isinstance(call.func.value, ast.Name)
+                        and call.func.value.id in self.borrow_dicts
+                    ):
+                        names = [n.id for n in _target_names(node.target)]
+                        if call.func.attr == "items" and len(names) == 2:
+                            names = names[1:]
+                        if not set(names) <= self.borrowed:
+                            self.borrowed.update(names)
+                            changed = True
+
+    def _is_borrowed_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.borrowed
+        return self._borrow_subscript(node)
+
+    def findings(self, rule: "ShmDisciplineRule") -> Iterator[Finding]:
+        self.collect_borrows()
+        if not self.borrow_dicts and not self.borrowed:
+            return
+        for node in self._own_nodes():
+            yield from self._check_node(node, rule)
+
+    def _check_node(
+        self, node: ast.AST, rule: "ShmDisciplineRule"
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets: List[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            else:
+                targets = [node.target]
+            if (
+                isinstance(node, ast.AugAssign)
+                and isinstance(node.target, ast.Name)
+                and node.target.id in self.borrowed
+            ):
+                # ``arr += x`` mutates the ndarray in place; plain
+                # ``arr = x`` merely rebinds the local and is fine.
+                yield self.ctx.finding(
+                    rule,
+                    node,
+                    f"augmented assignment to borrowed array "
+                    f"'{node.target.id}' mutates shared memory in place; "
+                    "borrowers are read-only by contract",
+                )
+                return
+            for target in targets:
+                described = self._write_target(target)
+                if described is not None:
+                    yield self.ctx.finding(
+                        rule,
+                        target,
+                        f"write to shared-memory borrow {described}; "
+                        "arrays from attach_shared are read-only by "
+                        "contract (one owner: the orchestrator)",
+                    )
+        elif isinstance(node, ast.Call):
+            yield from self._check_call(node, rule)
+
+    def _write_target(self, target: ast.expr) -> Optional[str]:
+        """Describe *target* if assigning to it mutates a borrow."""
+        if isinstance(target, ast.Subscript):
+            value = target.value
+            if self._borrow_dict_expr(value):
+                name = value.id if isinstance(value, ast.Name) else "shared"
+                return f"'{name}[...]' (the attach_shared mapping)"
+            if self._is_borrowed_expr(value):
+                name = value.id if isinstance(value, ast.Name) else "array"
+                return f"element of borrowed array '{name}'"
+        if isinstance(target, ast.Attribute):
+            base: ast.expr = target.value
+            # ``arr.flags.writeable = True`` — unwrap one level.
+            if isinstance(base, ast.Attribute) and base.attr == "flags":
+                base = base.value
+            if self._is_borrowed_expr(base):
+                name = base.id if isinstance(base, ast.Name) else "array"
+                return f"attribute '{target.attr}' of borrowed array '{name}'"
+        return None
+
+    def _check_call(
+        self, node: ast.Call, rule: "ShmDisciplineRule"
+    ) -> Iterator[Finding]:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in MUTATORS
+            and self._is_borrowed_expr(func.value)
+        ):
+            yield self.ctx.finding(
+                rule,
+                node,
+                f"in-place mutator .{func.attr}() on a shared-memory "
+                "borrow; copy first (borrowers are read-only)",
+            )
+            return
+        if self.ctx.imports.resolve(func) == COPYTO and node.args:
+            if self._is_borrowed_expr(node.args[0]):
+                yield self.ctx.finding(
+                    rule,
+                    node,
+                    "np.copyto() into a shared-memory borrow; borrowers "
+                    "are read-only — copy into a private array instead",
+                )
+
+
+class ShmDisciplineRule(GraphRule):
+    """SHM001: attach_shared borrows are never write targets."""
+
+    rule_id = "SHM001"
+    name = "shm-discipline"
+    description = (
+        "arrays obtained via attach_shared / the spec-able 'shared' "
+        "parameter must never appear as a write target — borrowers are "
+        "read-only by contract"
+    )
+
+    def check_graph(self, graph: CallGraph) -> Iterator[Finding]:
+        for relpath in sorted(graph.contexts):
+            ctx = graph.contexts[relpath]
+            yield from self._check_context(ctx)
+
+    def _check_context(self, ctx: FileContext) -> Iterator[Finding]:
+        for func, in_specable in self._functions(ctx.tree):
+            shared_param = in_specable and "shared" in {
+                arg.arg
+                for arg in [
+                    *getattr(func.args, "posonlyargs", []),
+                    *func.args.args,
+                    *func.args.kwonlyargs,
+                ]
+            }
+            scan = _FunctionScan(ctx, func, shared_param=shared_param)
+            yield from scan.findings(self)
+
+    def _functions(
+        self, tree: ast.Module
+    ) -> Iterator[Tuple[ast.FunctionDef, bool]]:
+        """Every function def, paired with 'inside a spec-able class'."""
+        stack: List[Tuple[ast.AST, bool]] = [(tree, False)]
+        while stack:
+            node, in_specable = stack.pop()
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield child, in_specable
+                    stack.append((child, False))
+                elif isinstance(child, ast.ClassDef):
+                    specable = _is_dataclass_decorated(
+                        child
+                    ) and _defines_run(child)
+                    stack.append((child, specable))
+                else:
+                    stack.append((child, in_specable))
+        return

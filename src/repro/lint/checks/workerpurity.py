@@ -1,0 +1,134 @@
+"""FORK001 — worker purity over the full reachable cone.
+
+Campaign workers are forked processes whose results must be pure
+functions of ``(spec, seed)``: the resume-≡-uninterrupted guarantee,
+content-addressed caching, and cross-shard merges all assume a job
+re-run reproduces its bytes.  TIME001 bans wall-clock reads in the
+measurement packages and SER001 keeps runtime state out of payload
+*declarations* — but neither sees a helper three calls deep that grabs
+a threading lock, mutates a module global, or stamps ``time.time()``
+into a result.
+
+FORK001 extends those declaration-site rules to the whole worker cone:
+starting from the :class:`JobSpec` worker entry points (spec-able
+``run()`` methods and the pool dispatch functions), every reachable
+function outside the orchestration/telemetry layers is screened for
+
+* thread-synchronization primitives (locks have no place in a
+  single-threaded forked worker; state guarded by one is state that
+  escapes the spec),
+* ``global`` statements (module-global mutation survives within a
+  pooled worker across jobs — order-dependent results), and
+* wall-clock reads (the TIME001 set, now enforced wherever the worker
+  can reach, not just in measurement packages).
+
+``repro.obs`` / ``repro.runner`` / ``repro.faults`` are exempt by
+design: telemetry timestamps runs, the runner orchestrates them, and
+fault injection breaks things on purpose.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.graph import CallGraph, GraphRule
+from repro.lint.checks.timepurity import WALL_CLOCK_CALLS
+
+#: Thread/process synchronization constructors banned in worker code.
+SYNC_PRIMITIVES: Set[str] = {
+    f"{module}.{name}"
+    for module in ("threading", "multiprocessing")
+    for name in (
+        "Lock",
+        "RLock",
+        "Condition",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Event",
+        "Barrier",
+    )
+} | {"threading.Thread", "threading.Timer"}
+
+#: Layers allowed to orchestrate, timestamp, and inject faults.
+EXEMPT_PREFIXES: Tuple[str, ...] = (
+    "repro.obs",
+    "repro.runner",
+    "repro.faults",
+    "repro.lint",
+)
+
+#: Module whose worker-side functions dispatch campaign jobs.
+CAMPAIGN_MODULE = "repro.runner.campaign"
+
+
+def _is_exempt(module: str) -> bool:
+    parts = module.split(".")
+    if parts[0] in ("tests", "test") or any(
+        part.startswith("test_") for part in parts
+    ):
+        return True
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in EXEMPT_PREFIXES
+    )
+
+
+def worker_roots(graph: CallGraph) -> List[str]:
+    """The worker-side entry points: spec-able runs + pool dispatch."""
+    roots: Set[str] = set()
+    for info in graph.classes.values():
+        if info.is_dataclass and info.defines_run:
+            candidate = f"{info.qualname}.run"
+            if candidate in graph.functions:
+                roots.add(candidate)
+    for info in graph.functions.values():
+        if info.module == CAMPAIGN_MODULE and info.name.startswith("_run_job"):
+            roots.add(info.qualname)
+    return sorted(roots)
+
+
+class WorkerPurityRule(GraphRule):
+    """FORK001: the worker cone is lock-free, global-free, clock-free."""
+
+    rule_id = "FORK001"
+    name = "worker-purity"
+    description = (
+        "code reachable from JobSpec worker entry points must not take "
+        "threading locks, mutate module globals, or read the wall clock "
+        "(outside repro.obs / repro.runner / repro.faults)"
+    )
+
+    def check_graph(self, graph: CallGraph) -> Iterator[Finding]:
+        roots = worker_roots(graph)
+        if not roots:
+            return
+        banned = SYNC_PRIMITIVES | WALL_CLOCK_CALLS
+        for qualname in sorted(graph.reachable_from(roots)):
+            info = graph.functions.get(qualname)
+            if info is None or _is_exempt(info.module):
+                continue
+            for target in sorted(graph.edges.get(qualname, ())):
+                if target not in banned:
+                    continue
+                kind = (
+                    "wall-clock read"
+                    if target in WALL_CLOCK_CALLS
+                    else "synchronization primitive"
+                )
+                yield self.graph_finding(
+                    info,
+                    f"{kind} {target}() inside '{info.name}', which is "
+                    "reachable from a campaign worker entry point; worker "
+                    "results must be pure functions of (spec, seed)",
+                    line=graph.call_line(qualname, target),
+                )
+            for line in info.global_lines:
+                yield self.graph_finding(
+                    info,
+                    f"'{info.name}' mutates module-global state via a "
+                    "'global' statement and is reachable from a campaign "
+                    "worker entry point; pooled workers reuse module state "
+                    "across jobs, making results order-dependent",
+                    line=line,
+                )

@@ -23,8 +23,10 @@ so every waived invariant stays visible at the waiver site.
 from __future__ import annotations
 
 import ast
+import io
 import re
-from dataclasses import dataclass
+import tokenize
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
 
@@ -42,6 +44,26 @@ def suppressed_rules(line: str) -> Set[str]:
     if not match:
         return set()
     return {part.strip() for part in match.group(1).split(",") if part.strip()}
+
+
+def comment_lines(source: str) -> Set[int]:
+    """1-based lines carrying a real ``#`` comment token.
+
+    Distinguishes comments from ``disable=`` patterns quoted inside
+    strings and docstrings — only the former may suppress findings (or
+    go stale).  Tokenization failure degrades to "every line", which
+    errs toward honoring suppressions, never toward inventing findings
+    on quoted examples.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        return {
+            token.start[0]
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        }
+    except (tokenize.TokenizeError, SyntaxError, IndentationError, ValueError):
+        return set(range(1, source.count("\n") + 2))
 
 
 def module_name(path: Path, root: Optional[Path] = None) -> str:
@@ -66,6 +88,27 @@ def module_name(path: Path, root: Optional[Path] = None) -> str:
     return ".".join(parts) or path.stem
 
 
+def resolve_relative_base(package: str, level: int, module: Optional[str]) -> Optional[str]:
+    """Absolute dotted base of a relative ``from``-import.
+
+    ``package`` is the importing file's package (the module itself for
+    an ``__init__``, its parent otherwise).  ``level`` is the number of
+    leading dots, ``module`` the trailing ``from .<module>`` part, if
+    any.  Returns ``None`` when the dots climb past the package root —
+    such an import would not execute either.
+    """
+    if not package:
+        return None
+    parts = package.split(".")
+    if level > len(parts):
+        return None
+    parts = parts[: len(parts) - (level - 1)]
+    base = ".".join(parts)
+    if module:
+        return f"{base}.{module}"
+    return base
+
+
 class ImportMap:
     """Alias → canonical dotted path resolution for one module.
 
@@ -79,11 +122,18 @@ class ImportMap:
         default_rng            ->  "numpy.random.default_rng"
         self.rng               ->  None   (not an imported name)
 
+    Relative imports resolve against *package* (the importing file's
+    package): in ``repro.edgefabric.sampler``, ``from . import routes``
+    binds ``routes -> repro.edgefabric.routes`` and ``from .routes
+    import bgp_routes`` binds ``bgp_routes ->
+    repro.edgefabric.routes.bgp_routes``.  Without a package (loose
+    files), relative imports are skipped, as before.
+
     Scoping is flat: a function-local import registers globally.  For
     lint purposes that errs toward catching more, never less.
     """
 
-    def __init__(self, tree: ast.AST) -> None:
+    def __init__(self, tree: ast.AST, package: str = "") -> None:
         self.aliases: Dict[str, str] = {}
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
@@ -92,12 +142,20 @@ class ImportMap:
                     # ``import a.b`` binds ``a``; ``import a.b as c`` binds c=a.b.
                     target = alias.name if alias.asname else alias.name.partition(".")[0]
                     self.aliases[local] = target
-            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    base = resolve_relative_base(package, node.level, node.module)
+                    if base is None:
+                        continue
+                elif node.module:
+                    base = node.module
+                else:
+                    continue
                 for alias in node.names:
                     if alias.name == "*":
                         continue
                     local = alias.asname or alias.name
-                    self.aliases[local] = f"{node.module}.{alias.name}"
+                    self.aliases[local] = f"{base}.{alias.name}"
 
     def resolve(self, node: ast.AST) -> Optional[str]:
         """Canonical dotted path of a ``Name``/``Attribute`` chain, if any."""
@@ -126,6 +184,18 @@ class FileContext:
     lines: List[str]
     tree: ast.Module
     imports: ImportMap
+    #: ``(line, rule)`` pairs whose disable comment actually silenced a
+    #: finding this run — the engine's SUPPRESS001 stale-waiver check
+    #: reads this after every rule has spoken.
+    used_suppressions: Set[Tuple[int, str]] = field(default_factory=set)
+    #: Lazily computed cache of :func:`comment_lines`.
+    _comment_lines: Optional[Set[int]] = field(default=None, repr=False)
+
+    def comment_line_set(self) -> Set[int]:
+        """Lines with a real comment token (cached per context)."""
+        if self._comment_lines is None:
+            self._comment_lines = comment_lines(self.source)
+        return self._comment_lines
 
     @classmethod
     def parse(cls, path: Path, root: Optional[Path] = None) -> "FileContext":
@@ -144,14 +214,16 @@ class FileContext:
                 relpath = path.resolve().relative_to(root.resolve()).as_posix()
             except ValueError:
                 relpath = path.as_posix()
+        module = module_name(path, root)
+        package = module if path.name == "__init__.py" else module.rpartition(".")[0]
         return cls(
             path=path,
             relpath=relpath,
-            module=module_name(path, root),
+            module=module,
             source=source,
             lines=source.splitlines(),
             tree=tree,
-            imports=ImportMap(tree),
+            imports=ImportMap(tree, package=package),
         )
 
     def finding(
@@ -172,11 +244,21 @@ class FileContext:
         )
 
     def suppressed(self, finding: Finding) -> bool:
-        """True when the finding's line carries a disable comment for it."""
+        """True when the finding's line carries a disable comment for it.
+
+        A hit is recorded in :attr:`used_suppressions` so the engine
+        can report waivers that no longer silence anything
+        (``SUPPRESS001``).
+        """
         if not 1 <= finding.line <= len(self.lines):
             return False
+        if finding.line not in self.comment_line_set():
+            return False
         disabled = suppressed_rules(self.lines[finding.line - 1])
-        return "all" in disabled or finding.rule in disabled
+        if "all" in disabled or finding.rule in disabled:
+            self.used_suppressions.add((finding.line, finding.rule))
+            return True
+        return False
 
 
 class Rule:

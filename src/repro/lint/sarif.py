@@ -1,0 +1,99 @@
+"""SARIF 2.1.0 rendering of lint findings.
+
+SARIF is the interchange format CI annotation surfaces (GitHub code
+scanning among them) consume; emitting it from ``repro-bgp lint
+--format sarif`` turns every finding into an inline PR annotation with
+no extra glue.  The document is minimal but valid: one run, one tool,
+a ``rules`` table carrying each shipped rule's one-line invariant, and
+one ``result`` per finding pointing at the repo-relative location.
+
+Rendering is deterministic: rules sorted by id, results in the
+engine's ``(path, line, col, rule)`` order, keys sorted, no
+timestamps — the same findings always produce the same bytes (the CI
+artifact diffs cleanly between runs).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from repro.lint.checks import ALL_RULE_CLASSES
+from repro.lint.engine import SUPPRESS_RULE_ID, SYNTAX_RULE_ID
+from repro.lint.findings import ERROR, Finding
+
+#: SARIF spec version emitted.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Engine pseudo-rules that have no class but can appear in findings.
+_PSEUDO_RULES: Dict[str, str] = {
+    SYNTAX_RULE_ID: "file does not parse",
+    SUPPRESS_RULE_ID: (
+        "a repro-lint disable comment silenced no finding this run"
+    ),
+}
+
+
+def _severity_level(severity: str) -> str:
+    return "error" if severity == ERROR else "warning"
+
+
+def _rule_table() -> List[Dict[str, Any]]:
+    entries: Dict[str, str] = dict(_PSEUDO_RULES)
+    for rule_cls in ALL_RULE_CLASSES:
+        entries[rule_cls.rule_id] = rule_cls.description
+    return [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": description},
+        }
+        for rule_id, description in sorted(entries.items())
+    ]
+
+
+def render_sarif(findings: Iterable[Finding]) -> str:
+    """A byte-stable SARIF 2.1.0 document for *findings*."""
+    ordered = sorted(findings)
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": _severity_level(finding.severity),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in ordered
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": _rule_table(),
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///./"}},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -258,7 +258,7 @@ class IngestSnapshot:
 class SessionIngestor:
     """Streaming aggregation of session batches into per-cell sketches."""
 
-    def __init__(self, config: Optional[IngestConfig] = None):
+    def __init__(self, config: Optional[IngestConfig] = None) -> None:
         self.config = config or IngestConfig()
         self._agg = WindowedAggregator(
             window_minutes=self.config.window_minutes,

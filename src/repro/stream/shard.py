@@ -20,9 +20,12 @@ and *bit*-equal to any other run of the same shard decomposition.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import ClassVar, Sequence
+from typing import TYPE_CHECKING, ClassVar, Sequence
 
 from repro.errors import StreamError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.study import StudyResult
 from repro.obs.trace import span
 from repro.stream.ingest import (
     IngestConfig,
@@ -69,7 +72,7 @@ class IngestShardStudy:
                 f"{self.shard}/{self.n_shards}"
             )
 
-    def run(self):
+    def run(self) -> StudyResult:
         """Stream this shard's sessions; snapshot rides in artifacts."""
         from repro.core.configs import edgefabric_topology
         from repro.core.study import StudyResult

@@ -32,11 +32,14 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Dict, List, Union
+from typing import Dict, List, Sequence, Union
 
 import numpy as np
 
 from repro.errors import StreamError
+
+#: Anything ``np.asarray`` folds into a 1-D float batch.
+ArrayLike = Union[Sequence[float], np.ndarray]
 
 #: Rank-space error bound of ``CentroidSketch.quantile(0.5)`` against
 #: the exact median, as a fraction of the sample count (documented and
@@ -75,7 +78,7 @@ class P2Sketch:
 
     kind = "p2"
 
-    def __init__(self, p: float = 0.5):
+    def __init__(self, p: float = 0.5) -> None:
         if not 0.0 < p < 1.0:
             raise StreamError(f"P2 target quantile must be in (0, 1), got {p}")
         self.p = float(p)
@@ -134,7 +137,7 @@ class P2Sketch:
                     h[i] = _linear(h, pos, i, step)
                 pos[i] += step
 
-    def update_batch(self, values) -> None:
+    def update_batch(self, values: ArrayLike) -> None:
         """Fold a batch of samples (a scalar loop — P² is sequential)."""
         arr = np.asarray(values, dtype=np.float64).ravel()
         if arr.size and not np.all(np.isfinite(arr)):
@@ -261,7 +264,7 @@ class CentroidSketch:
 
     kind = "centroid"
 
-    def __init__(self, max_centroids: int = 64):
+    def __init__(self, max_centroids: int = 64) -> None:
         if max_centroids < 8:
             raise StreamError(
                 f"max_centroids must be >= 8, got {max_centroids}"
@@ -280,7 +283,7 @@ class CentroidSketch:
     def update(self, value: float) -> None:
         self.update_batch(np.asarray([value], dtype=np.float64))
 
-    def update_batch(self, values) -> None:
+    def update_batch(self, values: ArrayLike) -> None:
         """Fold a batch: append as unit-weight centroids, sort, compress."""
         arr = np.asarray(values, dtype=np.float64).ravel()
         if arr.size == 0:

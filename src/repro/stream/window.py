@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.errors import StreamError
 from repro.obs.trace import counter
-from repro.stream.sketch import CentroidSketch, Sketch
+from repro.stream.sketch import ArrayLike, CentroidSketch, Sketch
 
 #: Watermark floor before any observation arrives.
 _NO_WATERMARK = -math.inf
@@ -53,7 +53,7 @@ class WindowSpec:
     def hours(self) -> float:
         return self.minutes / 60.0
 
-    def index_of(self, times_h) -> np.ndarray:
+    def index_of(self, times_h: ArrayLike) -> np.ndarray:
         """Window index per timestamp (vectorized floor division)."""
         times = np.asarray(times_h, dtype=np.float64)
         return np.floor(times / self.hours).astype(np.int64)
@@ -82,7 +82,7 @@ class WindowedAggregator:
         window_minutes: float = 15.0,
         sketch_factory: Optional[Callable[[], Sketch]] = None,
         allowed_lateness_windows: int = 1,
-    ):
+    ) -> None:
         if allowed_lateness_windows < 0:
             raise StreamError(
                 "allowed_lateness_windows must be >= 0, got "
@@ -143,7 +143,7 @@ class WindowedAggregator:
 
     # -- ingest -------------------------------------------------------------
 
-    def observe(self, key: Hashable, times_h, values) -> None:
+    def observe(self, key: Hashable, times_h: ArrayLike, values: ArrayLike) -> None:
         """Fold aligned (time, value) samples for one key.
 
         Samples landing in already-closed windows are dropped and

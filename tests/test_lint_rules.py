@@ -742,6 +742,42 @@ VIOLATION_FILES = {
             def run(self):
                 return self.rng.normal()
         """,
+    # Graph-rule bait: a spec-able payload whose worker cone launders a
+    # seed (DET001) and takes a lock (FORK001), a shared-memory borrower
+    # that writes (SHM001), and a drifted lane pair (PAR001).
+    "src/repro/cdn/badflow.py": """
+        import threading
+        from dataclasses import dataclass
+
+        import numpy as np
+
+        def draw_noise():
+            return np.random.default_rng(7).normal()
+
+        def guarded():
+            with threading.Lock():
+                return 1
+
+        @dataclass
+        class NoiseStudy:
+            def run(self):
+                return draw_noise() + guarded()
+
+        def blend_scalar(values, weights):
+            return values
+
+        def blend_fast(plan, values, weights):
+            return values
+        """,
+    "src/repro/cdn/badshm.py": """
+        from repro.runner.shm import attach_shared
+
+        def clobber(spec):
+            shared = attach_shared(spec)
+            arr = shared["matrix"]
+            arr[0] = 1.0
+            return arr
+        """,
 }
 
 
